@@ -1,0 +1,125 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+package layout: RDF parsing, SPARQL parsing/evaluation, TGD/chase machinery,
+peer-system validation and federation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class RDFError(ReproError):
+    """Base class for errors in the RDF data model and serialisations."""
+
+
+class TermError(RDFError):
+    """An RDF term was constructed with an invalid value."""
+
+
+class TripleError(RDFError):
+    """A triple violates RDF positional constraints (e.g. literal subject)."""
+
+
+class ParseError(RDFError):
+    """A serialisation (N-Triples / Turtle) failed to parse.
+
+    Attributes:
+        line: 1-based line number of the offending input, when known.
+        column: 1-based column number, when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class SparqlError(ReproError):
+    """Base class for SPARQL front-end errors."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """The SPARQL query text failed to parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class SparqlEvaluationError(SparqlError):
+    """The SPARQL algebra tree could not be evaluated."""
+
+
+class UnsupportedSparqlError(SparqlError):
+    """The query uses SPARQL features outside the conjunctive fragment."""
+
+
+class QueryError(ReproError):
+    """A graph pattern query is malformed (e.g. free variable not in body)."""
+
+
+class TGDError(ReproError):
+    """Base class for errors in the relational TGD machinery."""
+
+
+class ChaseError(TGDError):
+    """The chase failed or exceeded its configured bounds."""
+
+
+class ChaseNonTerminationError(ChaseError):
+    """The chase exceeded its step budget without reaching a fixpoint.
+
+    Attributes:
+        steps: number of chase steps performed before giving up.
+    """
+
+    def __init__(self, message: str, steps: int = 0) -> None:
+        self.steps = steps
+        super().__init__(message)
+
+
+class RewritingError(TGDError):
+    """Query rewriting failed (e.g. non-terminating TGD class)."""
+
+
+class NotRewritableError(RewritingError):
+    """The dependency set is provably outside the FO-rewritable classes.
+
+    Raised when a perfect first-order rewriting is requested for a TGD set
+    that is neither linear nor sticky nor sticky-join (Proposition 3 of the
+    paper shows such sets exist for RPS mapping assertions).
+    """
+
+
+class PeerSystemError(ReproError):
+    """Base class for RDF Peer System validation errors."""
+
+
+class SchemaViolationError(PeerSystemError):
+    """A mapping or a stored triple uses IRIs outside the peer's schema."""
+
+
+class MappingError(PeerSystemError):
+    """A graph mapping assertion or equivalence mapping is malformed."""
+
+
+class FederationError(ReproError):
+    """Base class for federated-execution errors."""
+
+
+class SourceSelectionError(FederationError):
+    """No peer can answer a required triple pattern."""
+
+
+class EndpointError(FederationError):
+    """A simulated endpoint rejected or failed a sub-query."""

@@ -1,0 +1,90 @@
+"""Simulated network cost model for federated query execution.
+
+The paper's prototype sketch (§5 item 4) federates sub-queries over
+remote SPARQL access points.  No live endpoints exist in this offline
+reproduction, so the network is *simulated*: every request/response pair
+is accounted with a parametric cost model (per-message latency plus
+per-solution transfer cost), and the simulated clock replaces wall time.
+This preserves the quantities the prototype design reasons about —
+message counts, data volume, and their dependence on the join strategy —
+without real sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["NetworkModel", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Accumulated traffic statistics for one execution.
+
+    Attributes:
+        messages: number of request/response round trips.
+        solutions_transferred: total solution mappings shipped back.
+        triples_transferred: total result triples shipped (for dumps).
+        simulated_seconds: total simulated time spent on the wire.
+        per_endpoint_messages: message count per endpoint name.
+    """
+
+    messages: int = 0
+    solutions_transferred: int = 0
+    triples_transferred: int = 0
+    simulated_seconds: float = 0.0
+    per_endpoint_messages: Dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.messages += other.messages
+        self.solutions_transferred += other.solutions_transferred
+        self.triples_transferred += other.triples_transferred
+        self.simulated_seconds += other.simulated_seconds
+        for endpoint, count in other.per_endpoint_messages.items():
+            self.per_endpoint_messages[endpoint] = (
+                self.per_endpoint_messages.get(endpoint, 0) + count
+            )
+
+
+@dataclass
+class NetworkModel:
+    """Parametric cost model applied to every simulated exchange.
+
+    Attributes:
+        latency_seconds: fixed cost per round trip (default 50 ms — a
+            typical WAN RTT to a public SPARQL endpoint).
+        per_solution_seconds: marginal cost per solution mapping
+            transferred (serialisation + wire).
+        per_triple_seconds: marginal cost per triple for data dumps.
+    """
+
+    latency_seconds: float = 0.05
+    per_solution_seconds: float = 0.0001
+    per_triple_seconds: float = 0.00005
+
+    def charge_query(
+        self, stats: NetworkStats, endpoint: str, solutions: int
+    ) -> None:
+        """Account one sub-query round trip returning ``solutions`` rows."""
+        stats.messages += 1
+        stats.solutions_transferred += solutions
+        stats.simulated_seconds += (
+            self.latency_seconds + solutions * self.per_solution_seconds
+        )
+        stats.per_endpoint_messages[endpoint] = (
+            stats.per_endpoint_messages.get(endpoint, 0) + 1
+        )
+
+    def charge_dump(
+        self, stats: NetworkStats, endpoint: str, triples: int
+    ) -> None:
+        """Account one full data-dump transfer (the centralised baseline)."""
+        stats.messages += 1
+        stats.triples_transferred += triples
+        stats.simulated_seconds += (
+            self.latency_seconds + triples * self.per_triple_seconds
+        )
+        stats.per_endpoint_messages[endpoint] = (
+            stats.per_endpoint_messages.get(endpoint, 0) + 1
+        )

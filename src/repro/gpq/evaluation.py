@@ -1,0 +1,172 @@
+"""Evaluation of graph patterns and graph pattern queries over a graph.
+
+Implements Definition 1 (the ``⟦·⟧_D`` function) and the two query
+semantics of Section 2.1:
+
+* ``Q_D`` — answer tuples restricted to ``I ∪ L`` (blank nodes dropped;
+  blanks are labelled nulls carrying only partial information);
+* ``Q*_D`` — answer tuples that may contain blank nodes, used by the
+  semantics of equivalence mappings.
+
+The evaluator is an index-nested-loop join: conjuncts are processed one at
+a time, each partial mapping is substituted into the next triple pattern
+and the graph indexes enumerate its matches.  Conjunct order does not
+change the result (join is commutative/associative — property-tested), so
+the evaluator greedily picks the most selective unprocessed conjunct,
+which is the standard BGP heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BlankNode, Term, Variable
+from repro.rdf.triples import TriplePattern
+from repro.gpq.bindings import SolutionMapping
+from repro.gpq.pattern import GraphPattern
+from repro.gpq.query import GraphPatternQuery
+
+__all__ = [
+    "evaluate_pattern",
+    "evaluate_query",
+    "evaluate_query_star",
+    "ask",
+    "match_pattern_bindings",
+]
+
+
+def _estimated_cost(
+    graph: Graph, tp: TriplePattern, bound: Set[Variable]
+) -> Tuple[int, int]:
+    """Cheap selectivity estimate for ordering conjuncts.
+
+    Counts positions that are ground *or already bound*; more bound
+    positions first, breaking ties by the predicate's triple count.
+    """
+    bound_positions = 0
+    for term in tp:
+        if not isinstance(term, Variable) or term in bound:
+            bound_positions += 1
+    if isinstance(tp.predicate, Variable) and tp.predicate not in bound:
+        predicate_count = len(graph)
+    else:
+        if isinstance(tp.predicate, Variable):
+            predicate_count = len(graph)  # bound at runtime, unknown here
+        else:
+            predicate_count = graph.count(predicate=tp.predicate)
+    return (-bound_positions, predicate_count)
+
+
+def _order_conjuncts(
+    graph: Graph, conjuncts: List[TriplePattern], optimize: bool
+) -> List[TriplePattern]:
+    if not optimize or len(conjuncts) <= 1:
+        return list(conjuncts)
+    remaining = list(conjuncts)
+    ordered: List[TriplePattern] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        best = min(remaining, key=lambda tp: _estimated_cost(graph, tp, bound))
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def match_pattern_bindings(
+    graph: Graph, tp: TriplePattern, partial: SolutionMapping
+) -> Iterable[SolutionMapping]:
+    """Extend a partial mapping with every match of one triple pattern."""
+    instantiated = tp.substitute(partial.as_dict())
+    for triple in graph.match(instantiated):
+        binding = instantiated.matches(triple)
+        if binding is None:
+            continue
+        extended = partial
+        ok = True
+        for var, term in binding.items():
+            bound = extended.get(var)
+            if bound is None:
+                extended = extended.extend(var, term)
+            elif bound != term:
+                ok = False
+                break
+        if ok:
+            yield extended
+
+
+def evaluate_pattern(
+    graph: Graph,
+    pattern: GraphPattern,
+    optimize: bool = True,
+) -> Set[SolutionMapping]:
+    """Compute ``⟦GP⟧_D``: all mappings µ with ``dom(µ) = var(GP)``
+    such that every conjunct instantiated by µ is a triple of ``graph``.
+
+    Args:
+        graph: the RDF database ``D``.
+        pattern: the graph pattern ``GP``.
+        optimize: reorder conjuncts by selectivity (results identical).
+    """
+    conjuncts = _order_conjuncts(graph, pattern.conjuncts(), optimize)
+    frontier: List[SolutionMapping] = [SolutionMapping()]
+    for tp in conjuncts:
+        next_frontier: List[SolutionMapping] = []
+        for partial in frontier:
+            next_frontier.extend(match_pattern_bindings(graph, tp, partial))
+        if not next_frontier:
+            return set()
+        frontier = next_frontier
+    return set(frontier)
+
+
+def evaluate_query_star(
+    graph: Graph, query: GraphPatternQuery, optimize: bool = True
+) -> Set[Tuple[Term, ...]]:
+    """The blank-keeping semantics ``Q*_D`` (Section 2.1).
+
+    Returns all head tuples, including those containing blank nodes.
+    """
+    omega = evaluate_pattern(graph, query.pattern, optimize=optimize)
+    return {tuple(mu[v] for v in query.head) for mu in omega}
+
+
+def evaluate_query(
+    graph: Graph, query: GraphPatternQuery, optimize: bool = True
+) -> Set[Tuple[Term, ...]]:
+    """The certain-information semantics ``Q_D``.
+
+    Tuples containing blank nodes (labelled nulls / partial information)
+    are dropped, mirroring the treatment of nulls in relational data
+    exchange.
+    """
+    return {
+        answer
+        for answer in evaluate_query_star(graph, query, optimize=optimize)
+        if not any(isinstance(term, BlankNode) for term in answer)
+    }
+
+
+def ask(graph: Graph, query: GraphPatternQuery, optimize: bool = True) -> bool:
+    """Boolean evaluation: does the body match at all?
+
+    For arity-0 queries this is the BCQ semantics of Section 4; for
+    non-Boolean queries it reports whether ``Q*_D`` is non-empty.
+    """
+    conjuncts = _order_conjuncts(graph, query.pattern.conjuncts(), optimize)
+    return _ask_rec(graph, conjuncts, 0, SolutionMapping())
+
+
+def _ask_rec(
+    graph: Graph,
+    conjuncts: List[TriplePattern],
+    index: int,
+    partial: SolutionMapping,
+) -> bool:
+    if index == len(conjuncts):
+        return True
+    for extended in match_pattern_bindings(graph, conjuncts[index], partial):
+        if _ask_rec(graph, conjuncts, index + 1, extended):
+            return True
+    return False

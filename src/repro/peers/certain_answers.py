@@ -1,0 +1,118 @@
+"""Certain answers over an RPS (Definition 3 + Algorithm 1).
+
+``ans(q, P, D)`` is the set of answer tuples of constants (IRIs and
+literals — no blank nodes) present in *every* solution of P.  Per
+Section 3, evaluating q over a universal solution under the
+blank-dropping ``Q_D`` semantics yields exactly the certain answers;
+:func:`certain_answers` implements that pipeline and
+:func:`certain_answers_report` additionally returns the chase statistics
+for instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple, Union
+
+from repro.errors import SparqlEvaluationError
+from repro.gpq.evaluation import ask as gpq_ask, evaluate_query
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import Term
+from repro.sparql.bridge import sparql_to_gpq
+from repro.peers.chase import PeerChaseResult, chase_universal_solution
+from repro.peers.system import RPS
+
+__all__ = [
+    "CertainAnswerReport",
+    "certain_answers",
+    "certain_answers_report",
+    "certain_ask",
+]
+
+QueryLike = Union[str, GraphPatternQuery]
+
+
+def _to_gpq(
+    query: QueryLike, nsm: Optional[NamespaceManager]
+) -> GraphPatternQuery:
+    if isinstance(query, GraphPatternQuery):
+        return query
+    return sparql_to_gpq(query, nsm)
+
+
+@dataclass
+class CertainAnswerReport:
+    """Certain answers plus the chase run that produced them.
+
+    Attributes:
+        answers: the certain answer tuples.
+        chase: statistics of the Algorithm-1 run.
+        universal_solution: the materialised J (shared, not copied).
+    """
+
+    answers: Set[Tuple[Term, ...]]
+    chase: PeerChaseResult
+    universal_solution: Graph
+
+
+def certain_answers(
+    system: RPS,
+    query: QueryLike,
+    nsm: Optional[NamespaceManager] = None,
+    solution: Optional[Graph] = None,
+) -> Set[Tuple[Term, ...]]:
+    """Compute ``ans(q, P, D)`` by the chase (Algorithm 1).
+
+    Args:
+        system: the RPS.
+        query: a graph pattern query, or conjunctive SPARQL text.
+        nsm: namespace manager for SPARQL parsing.
+        solution: a pre-materialised universal solution to reuse
+            (skips the chase; callers answering many queries over the
+            same data should materialise once).
+
+    Returns:
+        The set of certain answer tuples (blank-free).
+    """
+    gpq = _to_gpq(query, nsm)
+    if solution is None:
+        solution = chase_universal_solution(system).solution
+    return evaluate_query(solution, gpq)
+
+
+def certain_answers_report(
+    system: RPS,
+    query: QueryLike,
+    nsm: Optional[NamespaceManager] = None,
+) -> CertainAnswerReport:
+    """Certain answers with full chase instrumentation."""
+    gpq = _to_gpq(query, nsm)
+    chase_result = chase_universal_solution(system)
+    answers = evaluate_query(chase_result.solution, gpq)
+    return CertainAnswerReport(
+        answers=answers,
+        chase=chase_result,
+        universal_solution=chase_result.solution,
+    )
+
+
+def certain_ask(
+    system: RPS,
+    query: QueryLike,
+    nsm: Optional[NamespaceManager] = None,
+    solution: Optional[Graph] = None,
+) -> bool:
+    """Boolean certain answering: does the query hold in every solution?
+
+    For an arity-0 query this asks whether the (certain) Boolean answer
+    is true; for higher arities it asks whether any certain answer
+    exists.
+    """
+    gpq = _to_gpq(query, nsm)
+    if solution is None:
+        solution = chase_universal_solution(system).solution
+    if gpq.is_boolean():
+        return gpq_ask(solution, gpq)
+    return bool(evaluate_query(solution, gpq))

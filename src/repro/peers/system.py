@@ -1,0 +1,204 @@
+"""RDF Peer Systems: the triple ``P = (S, G, E)`` of Section 2.2.
+
+An :class:`RPS` bundles peer schemas (with their stored databases),
+graph mapping assertions and equivalence mappings, and exposes the
+derived artefacts the rest of the library consumes: the stored database
+*D* (union of peer databases), schema-closure validation, and the peer
+mapping topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import MappingError, PeerSystemError
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI
+from repro.peers.mappings import (
+    EquivalenceMapping,
+    GraphMappingAssertion,
+    equivalences_from_sameas,
+)
+from repro.peers.peer import Peer
+from repro.peers.schema import PeerSchema
+
+__all__ = ["RPS"]
+
+
+class RPS:
+    """An RDF Peer System ``P = (S, G, E)``.
+
+    Args:
+        peers: the peers (each carrying its schema S ∈ 𝒮 and database d).
+        assertions: the graph mapping assertions G.
+        equivalences: the equivalence mappings E.
+        validate: check mappings against peer schemas on construction.
+
+    Raises:
+        PeerSystemError: duplicate peer names.
+        MappingError: a mapping references unknown peers or foreign IRIs
+            (only when ``validate`` and the mapping names its peers).
+    """
+
+    def __init__(
+        self,
+        peers: Sequence[Peer],
+        assertions: Sequence[GraphMappingAssertion] = (),
+        equivalences: Sequence[EquivalenceMapping] = (),
+        validate: bool = True,
+    ) -> None:
+        self.peers: Dict[str, Peer] = {}
+        for peer in peers:
+            if peer.name in self.peers:
+                raise PeerSystemError(f"duplicate peer name {peer.name!r}")
+            self.peers[peer.name] = peer
+        self.assertions: List[GraphMappingAssertion] = list(assertions)
+        self.equivalences: List[EquivalenceMapping] = list(equivalences)
+        if validate:
+            self._validate()
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def from_graphs(
+        graphs: Dict[str, Graph],
+        assertions: Sequence[GraphMappingAssertion] = (),
+        equivalences: Sequence[EquivalenceMapping] = (),
+        harvest_sameas: bool = False,
+    ) -> "RPS":
+        """Build an RPS from named graphs, inferring each peer's schema.
+
+        Args:
+            graphs: peer name → stored database.
+            assertions: graph mapping assertions.
+            equivalences: explicit equivalence mappings.
+            harvest_sameas: additionally compile every ``owl:sameAs``
+                stored triple into an equivalence mapping (Example 2).
+        """
+        peers = [Peer.from_graph(name, graph) for name, graph in graphs.items()]
+        eqs = list(equivalences)
+        if harvest_sameas:
+            existing = set(eqs)
+            for mapping in equivalences_from_sameas(graphs.values()):
+                if mapping not in existing:
+                    existing.add(mapping)
+                    eqs.append(mapping)
+        return RPS(peers, assertions, eqs)
+
+    def _validate(self) -> None:
+        for assertion in self.assertions:
+            if assertion.source_peer:
+                source = self._peer_schema(assertion.source_peer)
+                target = self._peer_schema(assertion.target_peer)
+                assertion.validate_against(source, target)
+        known = self.all_schema_iris()
+        for equivalence in self.equivalences:
+            for side in equivalence.terms():
+                if side not in known:
+                    raise MappingError(
+                        f"equivalence constant {side.n3()} belongs to no "
+                        "peer schema"
+                    )
+
+    def _peer_schema(self, name: str) -> PeerSchema:
+        try:
+            return self.peers[name].schema
+        except KeyError:
+            raise MappingError(f"mapping references unknown peer {name!r}") from None
+
+    # -- accessors ---------------------------------------------------------------
+
+    def peer(self, name: str) -> Peer:
+        try:
+            return self.peers[name]
+        except KeyError:
+            raise PeerSystemError(f"no peer named {name!r}") from None
+
+    def peer_names(self) -> List[str]:
+        return sorted(self.peers.keys())
+
+    def schemas(self) -> List[PeerSchema]:
+        """The set 𝒮 of peer schemas."""
+        return [self.peers[name].schema for name in self.peer_names()]
+
+    def all_schema_iris(self) -> Set[IRI]:
+        """``S₁ ∪ … ∪ Sₙ`` — the vocabulary of the whole system."""
+        out: Set[IRI] = set()
+        for peer in self.peers.values():
+            out.update(peer.schema.iris)
+        return out
+
+    def stored_database(self) -> Graph:
+        """The stored database D: the union of all peer databases."""
+        union = Graph(name="stored")
+        for name in self.peer_names():
+            union.add_all(self.peers[name].graph)
+        return union
+
+    def total_stored_triples(self) -> int:
+        return sum(len(p.graph) for p in self.peers.values())
+
+    # -- mutation -------------------------------------------------------------------
+
+    def add_assertion(self, assertion: GraphMappingAssertion) -> None:
+        if assertion.source_peer:
+            assertion.validate_against(
+                self._peer_schema(assertion.source_peer),
+                self._peer_schema(assertion.target_peer),
+            )
+        self.assertions.append(assertion)
+
+    def add_equivalence(self, equivalence: EquivalenceMapping) -> None:
+        known = self.all_schema_iris()
+        for side in equivalence.terms():
+            if side not in known:
+                raise MappingError(
+                    f"equivalence constant {side.n3()} belongs to no peer schema"
+                )
+        self.equivalences.append(equivalence)
+
+    def add_peer(self, peer: Peer) -> None:
+        if peer.name in self.peers:
+            raise PeerSystemError(f"duplicate peer name {peer.name!r}")
+        self.peers[peer.name] = peer
+
+    # -- equivalence classes -----------------------------------------------------------
+
+    def equivalence_classes(self) -> Dict[IRI, Set[IRI]]:
+        """Union-find closure of E: each IRI → its full equivalence class.
+
+        E is a set of pairs; its reflexive-symmetric-transitive closure
+        partitions the affected IRIs.  Used by redundancy elimination and
+        by the optimised chase.
+        """
+        parent: Dict[IRI, IRI] = {}
+
+        def find(x: IRI) -> IRI:
+            root = x
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(x, x) != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(a: IRI, b: IRI) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for equivalence in self.equivalences:
+            union(equivalence.left, equivalence.right)
+        classes: Dict[IRI, Set[IRI]] = {}
+        members: Set[IRI] = set()
+        for equivalence in self.equivalences:
+            members.update(equivalence.terms())
+        for iri in members:
+            classes.setdefault(find(iri), set()).add(iri)
+        return {iri: classes[find(iri)] for iri in members}
+
+    def __repr__(self) -> str:
+        return (
+            f"RPS({len(self.peers)} peers, {len(self.assertions)} assertions, "
+            f"{len(self.equivalences)} equivalences)"
+        )

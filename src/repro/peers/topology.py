@@ -1,0 +1,147 @@
+"""Mapping topology analysis over the peers of an RPS.
+
+The paper's motivation is that existing rewriting techniques assume
+two-tiered architectures while "the LOD cloud … comprises several data
+sources with arbitrary mapping topologies", including cycles.  This
+module builds the peer mapping graph (a ``networkx`` digraph) and
+reports the structural properties — cycles, diameter, connectivity —
+that the scalability experiments sweep over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.rdf.terms import IRI
+from repro.peers.system import RPS
+
+__all__ = ["TopologySummary", "mapping_graph", "summarize_topology"]
+
+
+def _peers_containing(system: RPS, iri: IRI) -> List[str]:
+    return [
+        name
+        for name in system.peer_names()
+        if iri in system.peers[name].schema
+    ]
+
+
+def mapping_graph(system: RPS) -> nx.MultiDiGraph:
+    """Build the peer-level mapping topology.
+
+    Nodes are peer names.  Each graph mapping assertion adds a directed
+    edge source→target (information flows from Q matches to Q′ triples).
+    Each equivalence mapping adds a pair of directed edges between every
+    pair of peers whose schemas contain its two constants (equivalences
+    are symmetric).  Edges carry ``kind`` ("assertion"/"equivalence") and
+    ``label`` attributes.
+    """
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(system.peer_names())
+    for index, assertion in enumerate(system.assertions):
+        source = assertion.source_peer
+        target = assertion.target_peer
+        if not source or not target:
+            source_candidates = _owners_of_query(system, assertion.source)
+            target_candidates = _owners_of_query(system, assertion.target)
+            for s in source_candidates or system.peer_names():
+                for t in target_candidates or system.peer_names():
+                    if s != t:
+                        graph.add_edge(
+                            s, t, kind="assertion",
+                            label=assertion.label or f"gma#{index}",
+                        )
+            continue
+        graph.add_edge(
+            source, target, kind="assertion",
+            label=assertion.label or f"gma#{index}",
+        )
+    for index, equivalence in enumerate(system.equivalences):
+        left_owners = _peers_containing(system, equivalence.left)
+        right_owners = _peers_containing(system, equivalence.right)
+        for left_peer in left_owners:
+            for right_peer in right_owners:
+                if left_peer == right_peer:
+                    continue
+                graph.add_edge(
+                    left_peer, right_peer, kind="equivalence",
+                    label=f"eq#{index}",
+                )
+                graph.add_edge(
+                    right_peer, left_peer, kind="equivalence",
+                    label=f"eq#{index}",
+                )
+    return graph
+
+
+def _owners_of_query(system: RPS, query) -> List[str]:
+    """Peers whose schema covers every IRI of the query."""
+    iris = query.iris()
+    return [
+        name
+        for name in system.peer_names()
+        if all(iri in system.peers[name].schema for iri in iris)
+    ]
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Structural facts about a mapping topology.
+
+    Attributes:
+        peers: number of peers.
+        assertion_edges / equivalence_edges: edge counts by kind.
+        has_cycles: does the digraph contain a directed cycle?  (The
+            regime where prior two-tier rewriting approaches break.)
+        weakly_connected_components: count of weakly connected parts.
+        largest_scc: size of the largest strongly connected component.
+        diameter: diameter of the largest weakly connected component
+            viewed as an undirected graph (0 for singleton components).
+    """
+
+    peers: int
+    assertion_edges: int
+    equivalence_edges: int
+    has_cycles: bool
+    weakly_connected_components: int
+    largest_scc: int
+    diameter: int
+
+
+def summarize_topology(system: RPS) -> TopologySummary:
+    """Compute a :class:`TopologySummary` for the system."""
+    graph = mapping_graph(system)
+    assertion_edges = sum(
+        1 for *_edge, data in graph.edges(data=True) if data["kind"] == "assertion"
+    )
+    equivalence_edges = sum(
+        1 for *_edge, data in graph.edges(data=True) if data["kind"] == "equivalence"
+    )
+    simple = nx.DiGraph(graph)
+    has_cycles = not nx.is_directed_acyclic_graph(simple) if len(simple) else False
+    weak_components = (
+        list(nx.weakly_connected_components(simple)) if len(simple) else []
+    )
+    largest_scc = (
+        max(len(c) for c in nx.strongly_connected_components(simple))
+        if len(simple)
+        else 0
+    )
+    diameter = 0
+    if weak_components:
+        largest = max(weak_components, key=len)
+        if len(largest) > 1:
+            undirected = simple.subgraph(largest).to_undirected()
+            diameter = nx.diameter(undirected)
+    return TopologySummary(
+        peers=len(system.peers),
+        assertion_edges=assertion_edges,
+        equivalence_edges=equivalence_edges,
+        has_cycles=has_cycles,
+        weakly_connected_components=len(weak_components),
+        largest_scc=largest_scc,
+        diameter=diameter,
+    )

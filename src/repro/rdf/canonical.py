@@ -1,0 +1,212 @@
+"""Blank-node-aware canonicalisation and graph comparison.
+
+Chase runs mint fresh blank nodes whose labels depend on execution order,
+so two universal solutions that are "the same" differ textually.  This
+module provides:
+
+* :func:`canonical_hash` - a hash invariant under blank node relabelling
+  (iterative colour refinement, as in graph-isomorphism algorithms);
+* :func:`isomorphic` - decide whether two graphs are equal up to a blank
+  node bijection (refinement plus backtracking on ties);
+* :func:`canonicalize` - relabel blank nodes deterministically.
+
+These power the Figure-2 reproduction test (chase output must match the
+paper's universal solution modulo null names) and the property test that
+the chase is confluent up to isomorphism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BlankNode, Term
+from repro.rdf.triples import Triple
+
+__all__ = ["canonical_hash", "canonicalize", "isomorphic"]
+
+
+def _term_token(term: Term, colors: Dict[BlankNode, str]) -> str:
+    if isinstance(term, BlankNode):
+        return "~" + colors[term]
+    return term.n3()
+
+
+def _refine(graph: Graph, colors: Dict[BlankNode, str]) -> Dict[BlankNode, str]:
+    """One round of colour refinement over the blank nodes."""
+    signatures: Dict[BlankNode, List[str]] = {b: [] for b in colors}
+    for triple in graph:
+        s, p, o = triple.subject, triple.predicate, triple.object
+        if isinstance(s, BlankNode):
+            signatures[s].append(
+                "S" + p.n3() + "|" + _term_token(o, colors)
+            )
+        if isinstance(o, BlankNode):
+            signatures[o].append(
+                "O" + p.n3() + "|" + _term_token(s, colors)
+            )
+    out: Dict[BlankNode, str] = {}
+    for bnode, sig in signatures.items():
+        sig.sort()
+        digest = hashlib.sha256(
+            (colors[bnode] + "||" + ";".join(sig)).encode()
+        ).hexdigest()[:16]
+        out[bnode] = digest
+    return out
+
+
+def _stable_colors(graph: Graph) -> Dict[BlankNode, str]:
+    """Run colour refinement to a fixpoint (or |B| rounds)."""
+    bnodes = graph.blank_nodes()
+    colors: Dict[BlankNode, str] = {b: "init" for b in bnodes}
+    for _ in range(max(1, len(bnodes))):
+        new_colors = _refine(graph, colors)
+        if _partition(new_colors) == _partition(colors):
+            return new_colors
+        colors = new_colors
+    return colors
+
+
+def _partition(colors: Dict[BlankNode, str]) -> Tuple[Tuple[str, ...], ...]:
+    groups: Dict[str, List[str]] = {}
+    for bnode, color in colors.items():
+        groups.setdefault(color, []).append(bnode.label)
+    return tuple(
+        tuple(sorted(labels)) for _, labels in sorted(groups.items())
+    )
+
+
+def canonical_hash(graph: Graph) -> str:
+    """Hash of the graph invariant under blank node renaming.
+
+    Two isomorphic graphs always get equal hashes.  Distinct graphs collide
+    only if colour refinement cannot separate their blank nodes, which does
+    not happen for the tree-shaped null structures the chase produces.
+    """
+    colors = _stable_colors(graph)
+    lines = sorted(
+        " ".join(_term_token(t, colors) for t in triple)
+        for triple in graph
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def canonicalize(graph: Graph) -> Graph:
+    """Relabel blank nodes deterministically (``c0``, ``c1``, ...).
+
+    Nodes are ordered by refined colour, breaking ties by original label;
+    the result is stable across runs for chase outputs whose blank nodes
+    are distinguishable by structure.
+    """
+    colors = _stable_colors(graph)
+    ordered = sorted(colors.items(), key=lambda kv: (kv[1], kv[0].label))
+    renaming: Dict[BlankNode, BlankNode] = {
+        old: BlankNode(f"c{i}") for i, (old, _) in enumerate(ordered)
+    }
+
+    def rename(term: Term) -> Term:
+        if isinstance(term, BlankNode):
+            return renaming[term]
+        return term
+
+    return Graph(
+        Triple(rename(t.subject), t.predicate, rename(t.object)) for t in graph
+    )
+
+
+def isomorphic(left: Graph, right: Graph) -> bool:
+    """Decide whether two graphs are equal up to a blank node bijection."""
+    if len(left) != len(right):
+        return False
+    lb, rb = left.blank_nodes(), right.blank_nodes()
+    if len(lb) != len(rb):
+        return False
+    if not lb:
+        return left == right
+    left_colors = _stable_colors(left)
+    right_colors = _stable_colors(right)
+    left_groups = _group_by_color(left_colors)
+    right_groups = _group_by_color(right_colors)
+    if set(left_groups) != set(right_groups):
+        return False
+    if any(
+        len(left_groups[c]) != len(right_groups[c]) for c in left_groups
+    ):
+        return False
+    mapping: Dict[BlankNode, BlankNode] = {}
+    colors = sorted(left_groups.keys())
+    return _match_groups(left, right, colors, 0, left_groups, right_groups, mapping)
+
+
+def _group_by_color(
+    colors: Dict[BlankNode, str]
+) -> Dict[str, List[BlankNode]]:
+    groups: Dict[str, List[BlankNode]] = {}
+    for bnode, color in colors.items():
+        groups.setdefault(color, []).append(bnode)
+    for members in groups.values():
+        members.sort(key=lambda b: b.label)
+    return groups
+
+
+def _match_groups(
+    left: Graph,
+    right: Graph,
+    colors: List[str],
+    index: int,
+    left_groups: Dict[str, List[BlankNode]],
+    right_groups: Dict[str, List[BlankNode]],
+    mapping: Dict[BlankNode, BlankNode],
+) -> bool:
+    """Backtracking search over per-colour bijections."""
+    if index == len(colors):
+        return _apply_mapping(left, mapping) == right
+    color = colors[index]
+    left_members = left_groups[color]
+    right_members = right_groups[color]
+    return _match_members(
+        left, right, colors, index, left_groups, right_groups, mapping,
+        left_members, list(right_members),
+    )
+
+
+def _match_members(
+    left: Graph,
+    right: Graph,
+    colors: List[str],
+    index: int,
+    left_groups: Dict[str, List[BlankNode]],
+    right_groups: Dict[str, List[BlankNode]],
+    mapping: Dict[BlankNode, BlankNode],
+    remaining_left: List[BlankNode],
+    remaining_right: List[BlankNode],
+) -> bool:
+    if not remaining_left:
+        return _match_groups(
+            left, right, colors, index + 1, left_groups, right_groups, mapping
+        )
+    head, rest = remaining_left[0], remaining_left[1:]
+    for i, candidate in enumerate(remaining_right):
+        mapping[head] = candidate
+        next_right = remaining_right[:i] + remaining_right[i + 1 :]
+        if _match_members(
+            left, right, colors, index, left_groups, right_groups, mapping,
+            rest, next_right,
+        ):
+            return True
+    mapping.pop(head, None)
+    return False
+
+
+def _apply_mapping(
+    graph: Graph, mapping: Dict[BlankNode, BlankNode]
+) -> Graph:
+    def rename(term: Term) -> Term:
+        if isinstance(term, BlankNode):
+            return mapping.get(term, term)
+        return term
+
+    return Graph(
+        Triple(rename(t.subject), t.predicate, rename(t.object)) for t in graph
+    )

@@ -1,0 +1,98 @@
+"""Multi-graph dataset: one named graph per peer plus their union.
+
+An RPS stores "a database *d* for each peer" and defines the stored
+database *D* as the union of all peer databases (Section 2.3).  The
+:class:`Dataset` models exactly this: named member graphs plus a lazily
+computed union view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import RDFError
+from repro.rdf.graph import Graph
+from repro.rdf.triples import Triple
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """A collection of named :class:`Graph` instances.
+
+    Args:
+        graphs: optional initial mapping from name to graph.
+    """
+
+    def __init__(self, graphs: Optional[Dict[str, Graph]] = None) -> None:
+        self._graphs: Dict[str, Graph] = {}
+        if graphs:
+            for name, graph in graphs.items():
+                self.add_graph(name, graph)
+
+    def add_graph(self, name: str, graph: Optional[Graph] = None) -> Graph:
+        """Register (or create) the named graph and return it.
+
+        Raises:
+            RDFError: if a graph with this name already exists.
+        """
+        if name in self._graphs:
+            raise RDFError(f"graph {name!r} already exists in dataset")
+        if graph is None:
+            graph = Graph(name=name)
+        elif not graph.name:
+            graph.name = name
+        self._graphs[name] = graph
+        return graph
+
+    def graph(self, name: str) -> Graph:
+        """Return the named graph.
+
+        Raises:
+            RDFError: if no graph with this name exists.
+        """
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise RDFError(f"no graph named {name!r} in dataset") from None
+
+    def get_or_create(self, name: str) -> Graph:
+        if name not in self._graphs:
+            return self.add_graph(name)
+        return self._graphs[name]
+
+    def remove_graph(self, name: str) -> None:
+        if name not in self._graphs:
+            raise RDFError(f"no graph named {name!r} in dataset")
+        del self._graphs[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._graphs.keys())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graphs
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[Tuple[str, Graph]]:
+        for name in self.names():
+            yield name, self._graphs[name]
+
+    def union(self, name: str = "union") -> Graph:
+        """Materialise the union of all member graphs (the stored *D*)."""
+        out = Graph(name=name)
+        for graph in self._graphs.values():
+            out.add_all(graph)
+        return out
+
+    def total_triples(self) -> int:
+        return sum(len(g) for g in self._graphs.values())
+
+    def add(self, name: str, triples: Iterable[Triple]) -> int:
+        """Add triples into the named graph, creating it if needed."""
+        return self.get_or_create(name).add_all(triples)
+
+    def find_graphs_with(self, triple: Triple) -> List[str]:
+        """Names of all member graphs containing the given triple."""
+        return [name for name, graph in self if triple in graph]

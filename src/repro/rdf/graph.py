@@ -1,0 +1,353 @@
+"""In-memory indexed RDF graph (triple store).
+
+The store keeps three nested-dictionary indexes — SPO, POS and OSP — so any
+triple pattern with at least one ground position is answered by dictionary
+lookups instead of a scan.  This is the classic Hexastore-lite layout used
+by in-memory RDF engines; three of the six orderings suffice because each
+covers two access paths:
+
+* ``SPO`` answers ``(s, ?, ?)`` and ``(s, p, ?)``;
+* ``POS`` answers ``(?, p, ?)`` and ``(?, p, o)``;
+* ``OSP`` answers ``(?, ?, o)`` and ``(s, ?, o)``.
+
+Fully ground lookups use the triple set directly and fully unbound lookups
+scan it.  All mutation goes through :meth:`Graph.add` / :meth:`Graph.remove`
+so the indexes can never drift from the triple set (a property-tested
+invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.terms import BlankNode, IRI, Literal, Term, Variable
+from repro.rdf.triples import Triple, TriplePattern
+
+__all__ = ["Graph"]
+
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+    level1 = index.get(a)
+    if level1 is None:
+        return
+    level2 = level1.get(b)
+    if level2 is None:
+        return
+    level2.discard(c)
+    if not level2:
+        del level1[b]
+        if not level1:
+            del index[a]
+
+
+class Graph:
+    """A mutable set of RDF triples with pattern-matching access.
+
+    Args:
+        triples: optional initial triples.
+        name: optional graph name (used by :class:`repro.rdf.dataset.Dataset`
+            and in diagnostics).
+
+    The class supports the container protocol (``len``, ``in``, iteration)
+    plus set-style algebra (``|``, ``&``, ``-``) which returns new graphs.
+    """
+
+    __slots__ = ("_triples", "_spo", "_pos", "_osp", "name")
+
+    def __init__(
+        self,
+        triples: Optional[Iterable[Triple]] = None,
+        name: str = "",
+    ) -> None:
+        self._triples: Set[Triple] = set()
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self.name = name
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; returns True if it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+        _index_add(self._spo, s, p, o)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple; returns True if it was present."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+        _index_remove(self._spo, s, p, o)
+        _index_remove(self._pos, p, o, s)
+        _index_remove(self._osp, o, s, p)
+        return True
+
+    def clear(self) -> None:
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __bool__(self) -> bool:
+        return bool(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._triples == other._triples
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph is unhashable; use canonical_hash() instead")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label} with {len(self)} triples>"
+
+    # ------------------------------------------------------------------
+    # Pattern access
+    # ------------------------------------------------------------------
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over triples matching the given ground positions.
+
+        ``None`` (or a :class:`Variable`) in a position acts as a wildcard.
+        The most selective index available is used.
+        """
+        if isinstance(subject, Variable):
+            subject = None
+        if isinstance(predicate, Variable):
+            predicate = None
+        if isinstance(object, Variable):
+            object = None
+
+        if subject is not None and predicate is not None and object is not None:
+            candidate = Triple(subject, predicate, object)
+            if candidate in self._triples:
+                yield candidate
+            return
+
+        if subject is not None:
+            by_pred = self._spo.get(subject)
+            if not by_pred:
+                return
+            if predicate is not None:
+                for obj in by_pred.get(predicate, ()):
+                    yield Triple(subject, predicate, obj)
+            elif object is not None:
+                by_subj = self._osp.get(object)
+                if not by_subj:
+                    return
+                for pred in by_subj.get(subject, ()):
+                    yield Triple(subject, pred, object)
+            else:
+                for pred, objs in by_pred.items():
+                    for obj in objs:
+                        yield Triple(subject, pred, obj)
+            return
+
+        if predicate is not None:
+            by_obj = self._pos.get(predicate)
+            if not by_obj:
+                return
+            if object is not None:
+                for subj in by_obj.get(object, ()):
+                    yield Triple(subj, predicate, object)
+            else:
+                for obj, subjs in by_obj.items():
+                    for subj in subjs:
+                        yield Triple(subj, predicate, obj)
+            return
+
+        if object is not None:
+            by_subj = self._osp.get(object)
+            if not by_subj:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield Triple(subj, pred, object)
+            return
+
+        yield from self._triples
+
+    def match(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Iterate over triples matching a :class:`TriplePattern`.
+
+        Ground positions (IRIs, literals, blank nodes) constrain the lookup;
+        variable positions are wildcards.  Repeated variables are checked
+        (e.g. ``(?x, p, ?x)`` only matches triples with equal subject and
+        object).  A literal in the subject position matches nothing, since
+        triples cannot have literal subjects.
+        """
+        subject = None if isinstance(pattern.subject, Variable) else pattern.subject
+        predicate = (
+            None if isinstance(pattern.predicate, Variable) else pattern.predicate
+        )
+        object = None if isinstance(pattern.object, Variable) else pattern.object
+        if isinstance(subject, Literal):
+            return
+        for triple in self.triples(subject, predicate, object):
+            if pattern.matches(triple) is not None:
+                yield triple
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        """Count matching triples without materialising them all.
+
+        Counts for single-ground-position patterns come straight from the
+        indexes; other shapes fall back to iteration.
+        """
+        has_s = subject is not None and not isinstance(subject, Variable)
+        has_p = predicate is not None and not isinstance(predicate, Variable)
+        has_o = object is not None and not isinstance(object, Variable)
+        if not (has_s or has_p or has_o):
+            return len(self._triples)
+        if has_s and not has_p and not has_o:
+            by_pred = self._spo.get(subject, {})
+            return sum(len(objs) for objs in by_pred.values())
+        if has_p and not has_s and not has_o:
+            by_obj = self._pos.get(predicate, {})
+            return sum(len(subjs) for subjs in by_obj.values())
+        if has_o and not has_s and not has_p:
+            by_subj = self._osp.get(object, {})
+            return sum(len(preds) for preds in by_subj.values())
+        return sum(1 for _ in self.triples(subject, predicate, object))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def subjects(self) -> Set[Term]:
+        return set(self._spo.keys())
+
+    def predicates(self) -> Set[Term]:
+        return set(self._pos.keys())
+
+    def objects(self) -> Set[Term]:
+        return set(self._osp.keys())
+
+    def terms(self) -> Set[Term]:
+        """All terms occurring in any position."""
+        out: Set[Term] = set()
+        for triple in self._triples:
+            out.update(triple.terms())
+        return out
+
+    def iris(self) -> Set[IRI]:
+        """All IRIs occurring in the graph — the peer schema of Section 2.2."""
+        return {t for t in self.terms() if isinstance(t, IRI)}
+
+    def blank_nodes(self) -> Set[BlankNode]:
+        return {t for t in self.terms() if isinstance(t, BlankNode)}
+
+    def literals(self) -> Set[Literal]:
+        return {t for t in self.terms() if isinstance(t, Literal)}
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str = "") -> "Graph":
+        return Graph(self._triples, name=name or self.name)
+
+    def __or__(self, other: "Graph") -> "Graph":
+        out = self.copy()
+        out.add_all(other)
+        return out
+
+    def __and__(self, other: "Graph") -> "Graph":
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return Graph(t for t in small if t in large)
+
+    def __sub__(self, other: "Graph") -> "Graph":
+        return Graph(t for t in self if t not in other)
+
+    def issubset(self, other: "Graph") -> bool:
+        return all(t in other for t in self)
+
+    # ------------------------------------------------------------------
+    # Statistics (used by the SPARQL planner)
+    # ------------------------------------------------------------------
+
+    def predicate_histogram(self) -> Dict[Term, int]:
+        """Triple count per predicate, for join-order selectivity."""
+        return {
+            pred: sum(len(subjs) for subjs in by_obj.values())
+            for pred, by_obj in self._pos.items()
+        }
+
+    def sorted_triples(self) -> List[Triple]:
+        """Triples in the deterministic library-wide order."""
+        return sorted(self._triples, key=Triple.sort_key)
+
+    # ------------------------------------------------------------------
+    # Debug / verification helpers
+    # ------------------------------------------------------------------
+
+    def check_index_coherence(self) -> bool:
+        """Verify all three indexes agree with the triple set.
+
+        Used by property tests; O(n) in the graph size.
+        """
+        spo = {
+            Triple(s, p, o)
+            for s, by_p in self._spo.items()
+            for p, objs in by_p.items()
+            for o in objs
+        }
+        pos = {
+            Triple(s, p, o)
+            for p, by_o in self._pos.items()
+            for o, subjs in by_o.items()
+            for s in subjs
+        }
+        osp = {
+            Triple(s, p, o)
+            for o, by_s in self._osp.items()
+            for s, preds in by_s.items()
+            for p in preds
+        }
+        return spo == self._triples and pos == self._triples and osp == self._triples

@@ -1,0 +1,202 @@
+"""N-Triples parser and serialiser (line-based RDF syntax).
+
+Implements the W3C N-Triples grammar closely enough for full round-trips
+of the library's term model: IRIs in angle brackets, ``_:label`` blank
+nodes, and literals with escapes, language tags and ``^^`` datatypes.
+Comments (``#``) and blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+
+from repro.errors import ParseError, TermError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    Term,
+    unescape_literal,
+)
+from repro.rdf.triples import Triple
+
+__all__ = [
+    "parse_ntriples",
+    "parse_ntriples_line",
+    "serialize_ntriples",
+    "graph_from_ntriples",
+]
+
+
+class _LineScanner:
+    """Character scanner over one N-Triples line."""
+
+    def __init__(self, text: str, lineno: int) -> None:
+        self.text = text
+        self.pos = 0
+        self.lineno = lineno
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.lineno, column=self.pos + 1)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        raw = self.text[self.pos : end]
+        self.pos = end + 1
+        try:
+            return IRI(raw)
+        except TermError as exc:
+            raise self.error(str(exc)) from exc
+
+    def read_bnode(self) -> BlankNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in " \t":
+            self.pos += 1
+        label = self.text[start : self.pos]
+        try:
+            return BlankNode(label)
+        except TermError as exc:
+            raise self.error(str(exc)) from exc
+
+    def read_literal(self) -> Literal:
+        self.expect('"')
+        chars: List[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            ch = self.text[self.pos]
+            if ch == "\\":
+                if self.pos + 1 >= len(self.text):
+                    raise self.error("dangling backslash in literal")
+                chars.append(self.text[self.pos : self.pos + 2])
+                self.pos += 2
+                # \u and \U escapes carry extra hex digits.
+                esc = chars[-1][1]
+                width = 4 if esc == "u" else 8 if esc == "U" else 0
+                if width:
+                    chars[-1] += self.text[self.pos : self.pos + width]
+                    self.pos += width
+                continue
+            if ch == '"':
+                self.pos += 1
+                break
+            chars.append(ch)
+            self.pos += 1
+        try:
+            lexical = unescape_literal("".join(chars))
+        except TermError as exc:
+            raise self.error(str(exc)) from exc
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "-"
+            ):
+                self.pos += 1
+            tag = self.text[start : self.pos]
+            try:
+                return Literal(lexical, language=tag)
+            except TermError as exc:
+                raise self.error(str(exc)) from exc
+        if self.text.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.read_iri()
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+    def read_subject(self) -> Term:
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri()
+        if ch == "_":
+            return self.read_bnode()
+        raise self.error(f"invalid subject start {ch!r}")
+
+    def read_object(self) -> Term:
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri()
+        if ch == "_":
+            return self.read_bnode()
+        if ch == '"':
+            return self.read_literal()
+        raise self.error(f"invalid object start {ch!r}")
+
+
+def parse_ntriples_line(line: str, lineno: int = 1) -> Optional[Triple]:
+    """Parse a single N-Triples line; returns None for blanks/comments.
+
+    Raises:
+        ParseError: on malformed input.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, lineno)
+    subject = scanner.read_subject()
+    scanner.skip_ws()
+    predicate = scanner.read_iri()
+    scanner.skip_ws()
+    object_ = scanner.read_object()
+    scanner.skip_ws()
+    scanner.expect(".")
+    scanner.skip_ws()
+    if not scanner.at_end():
+        raise scanner.error("trailing content after '.'")
+    try:
+        return Triple(subject, predicate, object_)
+    except Exception as exc:
+        raise scanner.error(str(exc)) from exc
+
+
+def parse_ntriples(source: Union[str, TextIO]) -> Iterator[Triple]:
+    """Parse N-Triples text (or a file-like object), yielding triples."""
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    for lineno, line in enumerate(lines, start=1):
+        triple = parse_ntriples_line(line, lineno)
+        if triple is not None:
+            yield triple
+
+
+def graph_from_ntriples(source: Union[str, TextIO], name: str = "") -> Graph:
+    """Parse N-Triples into a new :class:`Graph`."""
+    return Graph(parse_ntriples(source), name=name)
+
+
+def serialize_ntriples(
+    triples: Iterable[Triple], sort: bool = True
+) -> str:
+    """Serialise triples to N-Triples text.
+
+    Args:
+        triples: the triples to write (a :class:`Graph` works).
+        sort: emit in deterministic term order (stable output for diffing).
+    """
+    items = list(triples)
+    if sort:
+        items.sort(key=Triple.sort_key)
+    return "".join(t.n3() + "\n" for t in items)

@@ -1,0 +1,306 @@
+"""Turtle-lite parser and serialiser.
+
+Supports the Turtle subset needed for readable fixtures and examples:
+
+* ``@prefix`` / ``PREFIX`` declarations and prefixed names;
+* full IRIs in angle brackets, ``_:label`` blank nodes;
+* literals with language tags, datatypes, and bare numeric / boolean
+  abbreviations (``42``, ``3.14``, ``true``);
+* predicate lists with ``;`` and object lists with ``,``;
+* the ``a`` keyword for ``rdf:type``;
+* ``#`` comments.
+
+Collections ``( ... )`` and anonymous nodes ``[ ... ]`` are not supported —
+the paper's data model never needs them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ParseError, TermError
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import NamespaceManager, RDF_TYPE
+from repro.rdf.terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    unescape_literal,
+)
+from repro.rdf.triples import Triple
+
+__all__ = ["parse_turtle", "serialize_turtle", "graph_from_turtle"]
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>\#[^\n]*)
+    | (?P<iri><[^<>\s]*>)
+    | (?P<literal>"(?:[^"\\]|\\.)*")
+    | (?P<bnode>_:[A-Za-z0-9_][A-Za-z0-9_.\-]*)
+    | (?P<prefix_decl>@prefix|@base|PREFIX|BASE)
+    | (?P<double>[+-]?(?:\d+\.\d*[eE][+-]?\d+|\.?\d+[eE][+-]?\d+))
+    | (?P<decimal>[+-]?\d*\.\d+)
+    | (?P<integer>[+-]?\d+)
+    | (?P<boolean>\btrue\b|\bfalse\b)
+    | (?P<a>\ba\b)
+    | (?P<pname>[A-Za-z_][A-Za-z0-9_\-]*?:[A-Za-z0-9_][A-Za-z0-9_.\-]*|[A-Za-z_][A-Za-z0-9_\-]*:|:[A-Za-z0-9_][A-Za-z0-9_.\-]*)
+    | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+    | (?P<dtype>\^\^)
+    | (?P<punct>[.;,])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value: str, line: int, column: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise ParseError(
+                f"unexpected character {text[pos]!r}", line=line, column=col
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, value, line, pos - line_start + 1))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
+        pos = match.end()
+    return tokens
+
+
+class _TurtleParser:
+    def __init__(self, text: str, nsm: Optional[NamespaceManager]) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.nsm = nsm if nsm is not None else NamespaceManager()
+        self.triples: List[Triple] = []
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect_punct(self, char: str) -> None:
+        token = self.next()
+        if token.kind != "punct" or token.value != char:
+            raise ParseError(
+                f"expected {char!r}, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+
+    def error(self, token: _Token, message: str) -> ParseError:
+        return ParseError(message, line=token.line, column=token.column)
+
+    # -- grammar -------------------------------------------------------
+
+    def parse(self) -> List[Triple]:
+        while self.peek() is not None:
+            token = self.peek()
+            assert token is not None
+            if token.kind == "prefix_decl":
+                self.parse_directive()
+            else:
+                self.parse_statement()
+        return self.triples
+
+    def parse_directive(self) -> None:
+        decl = self.next()
+        keyword = decl.value.lstrip("@").upper()
+        if keyword == "BASE":
+            raise self.error(decl, "@base is not supported by Turtle-lite")
+        prefix_token = self.next()
+        if prefix_token.kind != "pname" or not prefix_token.value.endswith(":"):
+            raise self.error(prefix_token, "expected prefix declaration name")
+        prefix = prefix_token.value[:-1]
+        iri_token = self.next()
+        if iri_token.kind != "iri":
+            raise self.error(iri_token, "expected namespace IRI")
+        self.nsm.bind(prefix, iri_token.value[1:-1])
+        if decl.value.startswith("@"):
+            self.expect_punct(".")
+
+    def parse_statement(self) -> None:
+        subject = self.parse_term(position="subject")
+        self.parse_predicate_object_list(subject)
+        self.expect_punct(".")
+
+    def parse_predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self.parse_verb()
+            while True:
+                object_ = self.parse_term(position="object")
+                try:
+                    self.triples.append(Triple(subject, predicate, object_))
+                except Exception as exc:
+                    raise ParseError(str(exc)) from exc
+                token = self.peek()
+                if token is not None and token.kind == "punct" and token.value == ",":
+                    self.next()
+                    continue
+                break
+            token = self.peek()
+            if token is not None and token.kind == "punct" and token.value == ";":
+                self.next()
+                # Allow trailing ';' before '.'
+                nxt = self.peek()
+                if nxt is not None and nxt.kind == "punct" and nxt.value == ".":
+                    break
+                continue
+            break
+
+    def parse_verb(self) -> Term:
+        token = self.peek()
+        if token is not None and token.kind == "a":
+            self.next()
+            return RDF_TYPE
+        term = self.parse_term(position="predicate")
+        return term
+
+    def parse_term(self, position: str) -> Term:
+        token = self.next()
+        if token.kind == "iri":
+            try:
+                return IRI(token.value[1:-1])
+            except TermError as exc:
+                raise self.error(token, str(exc)) from exc
+        if token.kind == "pname":
+            try:
+                return self.nsm.expand(token.value)
+            except TermError as exc:
+                raise self.error(token, str(exc)) from exc
+        if token.kind == "bnode":
+            return BlankNode(token.value[2:])
+        if token.kind == "literal":
+            return self.parse_literal_tail(token)
+        if token.kind == "integer":
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.kind == "decimal":
+            return Literal(token.value, datatype=XSD_DECIMAL)
+        if token.kind == "double":
+            return Literal(token.value, datatype=XSD_DOUBLE)
+        if token.kind == "boolean":
+            return Literal(token.value, datatype=XSD_BOOLEAN)
+        raise self.error(
+            token, f"unexpected token {token.value!r} in {position} position"
+        )
+
+    def parse_literal_tail(self, token: _Token) -> Literal:
+        try:
+            lexical = unescape_literal(token.value[1:-1])
+        except TermError as exc:
+            raise self.error(token, str(exc)) from exc
+        nxt = self.peek()
+        if nxt is not None and nxt.kind == "langtag":
+            self.next()
+            try:
+                return Literal(lexical, language=nxt.value[1:])
+            except TermError as exc:
+                raise self.error(nxt, str(exc)) from exc
+        if nxt is not None and nxt.kind == "dtype":
+            self.next()
+            dt_token = self.next()
+            if dt_token.kind == "iri":
+                datatype = IRI(dt_token.value[1:-1])
+            elif dt_token.kind == "pname":
+                datatype = self.nsm.expand(dt_token.value)
+            else:
+                raise self.error(dt_token, "expected datatype IRI")
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+
+def parse_turtle(
+    text: str, nsm: Optional[NamespaceManager] = None
+) -> List[Triple]:
+    """Parse Turtle-lite text into a list of triples.
+
+    Args:
+        text: the Turtle document.
+        nsm: optional namespace manager supplying pre-bound prefixes;
+            ``@prefix`` declarations in the document are added to it.
+
+    Raises:
+        ParseError: on any syntax error.
+    """
+    return _TurtleParser(text, nsm).parse()
+
+
+def graph_from_turtle(
+    text: str, nsm: Optional[NamespaceManager] = None, name: str = ""
+) -> Graph:
+    """Parse Turtle-lite text into a new :class:`Graph`."""
+    return Graph(parse_turtle(text, nsm), name=name)
+
+
+def serialize_turtle(
+    triples: Iterable[Triple], nsm: Optional[NamespaceManager] = None
+) -> str:
+    """Serialise triples as Turtle, grouped by subject with ``;`` lists."""
+    nsm = nsm if nsm is not None else NamespaceManager()
+
+    def render(term: Term) -> str:
+        if isinstance(term, IRI):
+            return nsm.display(term)
+        return term.n3()
+
+    items = sorted(triples, key=Triple.sort_key)
+    lines: List[str] = []
+    for prefix, namespace in nsm.namespaces():
+        lines.append(f"@prefix {prefix}: <{namespace}> .")
+    if lines:
+        lines.append("")
+
+    current_subject: Optional[Term] = None
+    block: List[str] = []
+
+    def flush() -> None:
+        if current_subject is None or not block:
+            return
+        head = render(current_subject)
+        lines.append(f"{head} " + " ;\n    ".join(block) + " .")
+
+    for triple in items:
+        if triple.subject != current_subject:
+            flush()
+            current_subject = triple.subject
+            block = []
+        pred = "a" if triple.predicate == RDF_TYPE else render(triple.predicate)
+        block.append(f"{pred} {render(triple.object)}")
+    flush()
+    return "\n".join(lines) + "\n"

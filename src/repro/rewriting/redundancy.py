@@ -1,0 +1,55 @@
+"""SameAs-redundancy elimination (Listing 1's "Result without redundancy").
+
+Equivalence mappings make certain answers redundant: every answer
+appears once per equivalent IRI combination.  Listing 1 shows the
+deduplicated result keeping one representative per equivalence class —
+``DB1:Toby_Maguire`` rather than ``foaf:Toby_Maguire``, etc.  The
+canonical representative is the least class member in the library-wide
+term order, which reproduces the paper's choices exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.rdf.terms import IRI, Term
+from repro.peers.system import RPS
+
+__all__ = ["canonical_map", "canonicalize_answer", "deduplicate_answers"]
+
+
+def canonical_map(system: RPS) -> Dict[IRI, IRI]:
+    """IRI → canonical representative of its equivalence class.
+
+    The representative is the smallest member under the deterministic
+    term order; IRIs not mentioned by any equivalence map to themselves
+    (and are omitted from the dict).
+    """
+    classes = system.equivalence_classes()
+    out: Dict[IRI, IRI] = {}
+    for iri, members in classes.items():
+        out[iri] = min(members, key=lambda m: m.sort_key())
+    return out
+
+
+def canonicalize_answer(
+    answer: Tuple[Term, ...], mapping: Dict[IRI, IRI]
+) -> Tuple[Term, ...]:
+    """Replace each IRI in an answer tuple by its class representative."""
+    return tuple(
+        mapping.get(term, term) if isinstance(term, IRI) else term
+        for term in answer
+    )
+
+
+def deduplicate_answers(
+    system: RPS, answers: Iterable[Tuple[Term, ...]]
+) -> Set[Tuple[Term, ...]]:
+    """Listing 1's "Result without redundancy".
+
+    Each answer tuple is canonicalised through the equivalence classes;
+    duplicates collapse.  The result contains only canonical
+    representatives.
+    """
+    mapping = canonical_map(system)
+    return {canonicalize_answer(answer, mapping) for answer in answers}

@@ -1,0 +1,175 @@
+"""SPARQL algebra: translation from the AST and evaluation over a graph.
+
+The algebra has five operators — ``BGP``, ``Join``, ``Union``, ``Filter``
+and ``Project`` (plus the ``Distinct``/``Slice``/``OrderBy`` solution
+modifiers applied at result construction).  Evaluation produces sets of
+:class:`~repro.gpq.bindings.SolutionMapping`, reusing the paper-faithful
+join semantics from :mod:`repro.gpq`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+from typing import Union as TypingUnion
+
+from repro.errors import SparqlEvaluationError
+from repro.gpq.bindings import SolutionMapping, join as omega_join, union as omega_union
+from repro.gpq.evaluation import evaluate_pattern
+from repro.gpq.pattern import GraphPattern
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.ast import (
+    BooleanExpr,
+    Comparison,
+    FilterExpr,
+    GroupPattern,
+    UnionPattern,
+)
+
+__all__ = [
+    "AlgebraNode",
+    "Bgp",
+    "Join",
+    "Union",
+    "Filter",
+    "translate_group",
+    "evaluate_algebra",
+]
+
+
+@dataclass(frozen=True)
+class Bgp:
+    """A basic graph pattern: conjunction of triple patterns."""
+
+    patterns: Tuple[TriplePattern, ...]
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: set = set()
+        for tp in self.patterns:
+            out.update(tp.variables())
+        return frozenset(out)
+
+
+@dataclass(frozen=True)
+class Join:
+    left: "AlgebraNode"
+    right: "AlgebraNode"
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Union:
+    left: "AlgebraNode"
+    right: "AlgebraNode"
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Filter:
+    expr: FilterExpr
+    child: "AlgebraNode"
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.child.variables()
+
+
+AlgebraNode = TypingUnion[Bgp, Join, Union, Filter]
+
+
+def translate_group(group: GroupPattern) -> AlgebraNode:
+    """Translate a parsed WHERE group into an algebra tree.
+
+    Adjacent triple patterns merge into one BGP (so the optimizer can
+    reorder them); nested groups and unions join with what came before;
+    filters wrap the whole group (SPARQL filters scope to their group).
+    """
+    filters: List[FilterExpr] = []
+    operands: List[AlgebraNode] = []
+    bgp_buffer: List[TriplePattern] = []
+
+    def flush_bgp() -> None:
+        if bgp_buffer:
+            operands.append(Bgp(tuple(bgp_buffer)))
+            bgp_buffer.clear()
+
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            bgp_buffer.append(element)
+        elif isinstance(element, GroupPattern):
+            flush_bgp()
+            operands.append(translate_group(element))
+        elif isinstance(element, UnionPattern):
+            flush_bgp()
+            node = translate_group(element.alternatives[0])
+            for alt in element.alternatives[1:]:
+                node = Union(node, translate_group(alt))
+            operands.append(node)
+        elif isinstance(element, (Comparison, BooleanExpr)):
+            filters.append(element)
+        else:  # pragma: no cover - parser guarantees element types
+            raise SparqlEvaluationError(f"unknown group element {element!r}")
+    flush_bgp()
+
+    if not operands:
+        # Empty group matches the empty mapping.
+        node: AlgebraNode = Bgp(())
+    else:
+        node = operands[0]
+        for operand in operands[1:]:
+            node = Join(node, operand)
+    for expr in filters:
+        node = Filter(expr, node)
+    return node
+
+
+def _eval_filter_expr(expr: FilterExpr, mu: SolutionMapping) -> bool:
+    """Evaluate a filter expression under a mapping.
+
+    Unbound variables make the comparison fail (SPARQL error semantics
+    collapse to ``false`` in this fragment).
+    """
+    if isinstance(expr, BooleanExpr):
+        left = _eval_filter_expr(expr.left, mu)
+        right = _eval_filter_expr(expr.right, mu)
+        return (left and right) if expr.op == "&&" else (left or right)
+    left = _resolve(expr.left, mu)
+    right = _resolve(expr.right, mu)
+    if left is None or right is None:
+        return False
+    return (left == right) if expr.op == "=" else (left != right)
+
+
+def _resolve(term: Term, mu: SolutionMapping):
+    if isinstance(term, Variable):
+        return mu.get(term)
+    return term
+
+
+def evaluate_algebra(graph: Graph, node: AlgebraNode) -> Set[SolutionMapping]:
+    """Evaluate an algebra tree over a graph (set semantics)."""
+    if isinstance(node, Bgp):
+        if not node.patterns:
+            return {SolutionMapping()}
+        pattern = GraphPattern.conjunction(list(node.patterns))
+        return evaluate_pattern(graph, pattern)
+    if isinstance(node, Join):
+        left = evaluate_algebra(graph, node.left)
+        if not left:
+            return set()
+        right = evaluate_algebra(graph, node.right)
+        return omega_join(left, right)
+    if isinstance(node, Union):
+        return omega_union(
+            evaluate_algebra(graph, node.left),
+            evaluate_algebra(graph, node.right),
+        )
+    if isinstance(node, Filter):
+        child = evaluate_algebra(graph, node.child)
+        return {mu for mu in child if _eval_filter_expr(node.expr, mu)}
+    raise SparqlEvaluationError(f"unknown algebra node {node!r}")

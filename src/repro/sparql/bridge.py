@@ -1,0 +1,161 @@
+"""Two-way translation between SPARQL and graph pattern queries.
+
+The paper notes (end of Section 2.1) that the graph pattern query
+language "can be seen as a conjunctive fragment of SPARQL, so a graph
+pattern query can always be translated to a conjunctive SPARQL query and
+vice versa".  This module is that translation:
+
+* :func:`sparql_to_gpq` — SELECT/ASK with a pure-BGP WHERE clause becomes
+  a :class:`~repro.gpq.query.GraphPatternQuery`;
+* :func:`gpq_to_sparql` — render a graph pattern query as SPARQL text;
+* :func:`sparql_union_to_gpqs` — a UNION of BGPs becomes a list of graph
+  pattern queries (used by the rewriting output, which produces UCQs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import UnsupportedSparqlError
+from repro.gpq.pattern import GraphPattern
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import IRI, Term, Variable
+from repro.sparql.ast import (
+    AskQuery,
+    GroupPattern,
+    Query,
+    SelectQuery,
+    UnionPattern,
+)
+from repro.sparql.parser import parse_query
+
+__all__ = ["sparql_to_gpq", "gpq_to_sparql", "sparql_union_to_gpqs"]
+
+
+def _flatten_bgp(group: GroupPattern) -> List:
+    """Collect triple patterns from a group, recursing into plain groups.
+
+    Raises:
+        UnsupportedSparqlError: if the group contains UNION or FILTER.
+    """
+    patterns = []
+    for element in group.elements:
+        if isinstance(element, GroupPattern):
+            patterns.extend(_flatten_bgp(element))
+        elif isinstance(element, UnionPattern):
+            raise UnsupportedSparqlError(
+                "UNION cannot be translated to a single graph pattern query"
+            )
+        elif hasattr(element, "op"):  # Comparison / BooleanExpr
+            raise UnsupportedSparqlError(
+                "FILTER cannot be translated to a graph pattern query"
+            )
+        else:
+            patterns.append(element)
+    return patterns
+
+
+def sparql_to_gpq(
+    query: Union[str, Query], nsm: Optional[NamespaceManager] = None
+) -> GraphPatternQuery:
+    """Translate a conjunctive SELECT/ASK query into a graph pattern query.
+
+    SELECT's projection becomes the head; ASK becomes an arity-0 query.
+
+    Raises:
+        UnsupportedSparqlError: if the WHERE clause is not a pure BGP, or
+            the query uses solution modifiers that have no GPQ equivalent
+            (ORDER BY / LIMIT / OFFSET).
+    """
+    ast = parse_query(query, nsm) if isinstance(query, str) else query
+    if isinstance(ast, SelectQuery):
+        if ast.order or ast.limit is not None or ast.offset is not None:
+            raise UnsupportedSparqlError(
+                "ORDER BY/LIMIT/OFFSET have no graph-pattern-query equivalent"
+            )
+        patterns = _flatten_bgp(ast.where)
+        if not patterns:
+            raise UnsupportedSparqlError("empty WHERE clause")
+        head = ast.projected()
+        return GraphPatternQuery(head, GraphPattern.conjunction(patterns))
+    if isinstance(ast, AskQuery):
+        patterns = _flatten_bgp(ast.where)
+        if not patterns:
+            raise UnsupportedSparqlError("empty WHERE clause")
+        return GraphPatternQuery((), GraphPattern.conjunction(patterns))
+    raise UnsupportedSparqlError(f"cannot translate {type(ast).__name__}")
+
+
+def _render_term(term: Term, nsm: Optional[NamespaceManager]) -> str:
+    if nsm is not None and isinstance(term, IRI):
+        return nsm.display(term)
+    return term.n3()
+
+
+def gpq_to_sparql(
+    query: GraphPatternQuery, nsm: Optional[NamespaceManager] = None
+) -> str:
+    """Render a graph pattern query as SPARQL text.
+
+    Arity-0 queries render as ASK, others as SELECT.  The output parses
+    back into an equivalent query (round-trip property-tested).
+    """
+    lines = []
+    if nsm is not None:
+        for prefix, namespace in nsm.namespaces():
+            lines.append(f"PREFIX {prefix}: <{namespace}>")
+    body_lines = [
+        f"  {_render_term(tp.subject, nsm)} {_render_term(tp.predicate, nsm)} "
+        f"{_render_term(tp.object, nsm)} ."
+        for tp in query.conjuncts()
+    ]
+    if query.is_boolean():
+        lines.append("ASK {")
+    else:
+        projection = " ".join(f"?{v.name}" for v in query.head)
+        lines.append(f"SELECT {projection}")
+        lines.append("WHERE {")
+    lines.extend(body_lines)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def sparql_union_to_gpqs(
+    query: Union[str, Query], nsm: Optional[NamespaceManager] = None
+) -> List[GraphPatternQuery]:
+    """Translate a (possibly UNION-of-BGPs) query into a list of GPQs.
+
+    A query whose WHERE clause is a top-level UNION of conjunctive groups
+    — the shape produced by the Proposition-2 rewriting — maps to one
+    graph pattern query per alternative, all with the same head.
+
+    Raises:
+        UnsupportedSparqlError: for any other non-conjunctive structure.
+    """
+    ast = parse_query(query, nsm) if isinstance(query, str) else query
+    if isinstance(ast, SelectQuery):
+        where = ast.where
+        head = ast.projected()
+    elif isinstance(ast, AskQuery):
+        where = ast.where
+        head = ()
+    else:
+        raise UnsupportedSparqlError(f"cannot translate {type(ast).__name__}")
+
+    if len(where.elements) == 1 and isinstance(where.elements[0], UnionPattern):
+        union = where.elements[0]
+        out = []
+        for alternative in union.alternatives:
+            patterns = _flatten_bgp(alternative)
+            if not patterns:
+                raise UnsupportedSparqlError("empty UNION alternative")
+            usable_head = tuple(
+                v for v in head
+                if v in GraphPattern.conjunction(patterns).variables()
+            )
+            out.append(
+                GraphPatternQuery(usable_head, GraphPattern.conjunction(patterns))
+            )
+        return out
+    return [sparql_to_gpq(ast, nsm)]

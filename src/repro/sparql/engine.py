@@ -1,0 +1,128 @@
+"""Top-level SPARQL execution: parse, translate, evaluate, modify.
+
+:func:`execute` is the single entry point used throughout the library —
+it accepts a query string or a pre-parsed AST and returns a
+:class:`~repro.sparql.results.SelectResult` or
+:class:`~repro.sparql.results.AskResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import SparqlEvaluationError
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import BlankNode
+from repro.sparql.algebra import evaluate_algebra, translate_group
+from repro.sparql.ast import AskQuery, Query, SelectQuery
+from repro.sparql.parser import parse_query
+from repro.sparql.results import AskResult, SelectResult
+
+__all__ = ["execute", "select", "ask_text"]
+
+
+def execute(
+    graph: Graph,
+    query: Union[str, Query],
+    nsm: Optional[NamespaceManager] = None,
+    include_blanks: bool = True,
+) -> Union[SelectResult, AskResult]:
+    """Run a SPARQL query over a graph.
+
+    Args:
+        graph: the RDF database.
+        query: query text or a pre-parsed AST.
+        nsm: namespace manager for resolving prefixed names in the text.
+        include_blanks: when False, rows containing blank nodes are
+            dropped — this implements the paper's ``Q_D`` semantics, used
+            when the graph is a universal solution and blank nodes are
+            labelled nulls rather than data.
+
+    Returns:
+        SelectResult for SELECT, AskResult for ASK.
+    """
+    ast = parse_query(query, nsm) if isinstance(query, str) else query
+    if isinstance(ast, SelectQuery):
+        return _execute_select(graph, ast, include_blanks)
+    if isinstance(ast, AskQuery):
+        node = translate_group(ast.where)
+        omega = evaluate_algebra(graph, node)
+        return AskResult(bool(omega))
+    raise SparqlEvaluationError(f"unsupported query type {type(ast).__name__}")
+
+
+def _execute_select(
+    graph: Graph, ast: SelectQuery, include_blanks: bool
+) -> SelectResult:
+    node = translate_group(ast.where)
+    omega = evaluate_algebra(graph, node)
+    variables = ast.projected()
+    rows = [tuple(mu.get(v) for v in variables) for mu in omega]
+    if not include_blanks:
+        rows = [
+            row
+            for row in rows
+            if not any(isinstance(cell, BlankNode) for cell in row)
+        ]
+    # Set semantics first (the paper evaluates under set semantics), then
+    # solution modifiers.
+    unique_rows = sorted(set(rows), key=_row_sort_key)
+    if ast.order:
+        for condition in reversed(ast.order):
+            try:
+                index = variables.index(condition.variable)
+            except ValueError:
+                raise SparqlEvaluationError(
+                    f"ORDER BY variable ?{condition.variable.name} "
+                    "is not projected"
+                ) from None
+            unique_rows.sort(
+                key=lambda row: _cell_sort_key(row[index]),
+                reverse=condition.descending,
+            )
+    offset = ast.offset or 0
+    if offset:
+        unique_rows = unique_rows[offset:]
+    if ast.limit is not None:
+        unique_rows = unique_rows[: ast.limit]
+    return SelectResult(variables, unique_rows)
+
+
+def _cell_sort_key(cell):
+    return (0,) if cell is None else (1,) + cell.sort_key()
+
+
+def _row_sort_key(row):
+    return tuple(_cell_sort_key(cell) for cell in row)
+
+
+def select(
+    graph: Graph,
+    query: str,
+    nsm: Optional[NamespaceManager] = None,
+    include_blanks: bool = True,
+) -> SelectResult:
+    """Typed convenience wrapper: run a SELECT query.
+
+    Raises:
+        SparqlEvaluationError: if the text is not a SELECT query.
+    """
+    result = execute(graph, query, nsm, include_blanks)
+    if not isinstance(result, SelectResult):
+        raise SparqlEvaluationError("expected a SELECT query")
+    return result
+
+
+def ask_text(
+    graph: Graph, query: str, nsm: Optional[NamespaceManager] = None
+) -> bool:
+    """Typed convenience wrapper: run an ASK query, returning a bool.
+
+    Raises:
+        SparqlEvaluationError: if the text is not an ASK query.
+    """
+    result = execute(graph, query, nsm)
+    if not isinstance(result, AskResult):
+        raise SparqlEvaluationError("expected an ASK query")
+    return bool(result)

@@ -1,0 +1,143 @@
+"""Tokenizer for the SPARQL conjunctive fragment.
+
+Covers the surface syntax the library accepts: ``PREFIX``/``BASE``
+headers, ``SELECT``/``ASK`` forms, brace-delimited group graph patterns,
+``UNION``, ``FILTER`` with (in)equality, ``DISTINCT``/``REDUCED``,
+``ORDER BY``/``LIMIT``/``OFFSET``, variables, IRIs, prefixed names,
+literals (with language tags and datatypes), numbers and booleans.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import SparqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "ASK",
+        "WHERE",
+        "PREFIX",
+        "BASE",
+        "UNION",
+        "FILTER",
+        "DISTINCT",
+        "REDUCED",
+        "ORDER",
+        "BY",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "TRUE",
+        "FALSE",
+        # Recognised so the parser can reject them with a precise
+        # "outside the conjunctive fragment" error instead of a lex error.
+        "OPTIONAL",
+        "GRAPH",
+        "SERVICE",
+        "MINUS",
+        "BIND",
+        "VALUES",
+        "GROUP",
+        "HAVING",
+        "CONSTRUCT",
+        "DESCRIBE",
+        "EXISTS",
+    }
+)
+
+
+class Token(NamedTuple):
+    """A lexical token with source position for error messages."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>\#[^\n]*)
+    | (?P<iri><[^<>\s]*>)
+    | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<bnode>_:[A-Za-z0-9_][A-Za-z0-9_.\-]*)
+    | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+    | (?P<dtype>\^\^)
+    | (?P<double>[+-]?(?:\d+\.\d*[eE][+-]?\d+|\.?\d+[eE][+-]?\d+))
+    | (?P<decimal>[+-]?\d*\.\d+)
+    | (?P<integer>[+-]?\d+)
+    | (?P<neq>!=)
+    | (?P<andand>&&)
+    | (?P<oror>\|\|)
+    | (?P<word>[A-Za-z_][A-Za-z0-9_\-]*)
+    | (?P<pname>[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z0-9_.\-]*|:[A-Za-z0-9_.\-]+)
+    | (?P<punct>[{}().;,*=])
+    """,
+    re.VERBOSE,
+)
+
+# A word followed immediately by ':' is a prefixed name, not a keyword.
+_PNAME_AFTER_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z0-9_.\-]*")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SPARQL text.
+
+    Raises:
+        SparqlSyntaxError: on any character that starts no token.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while pos < length:
+        # Prefer prefixed-name interpretation when a word is glued to ':'.
+        pname_match = _PNAME_AFTER_WORD.match(text, pos)
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SparqlSyntaxError(
+                f"unexpected character {text[pos]!r}",
+                line=line,
+                column=pos - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if (
+            kind == "word"
+            and pname_match is not None
+            and len(pname_match.group()) > len(value)
+        ):
+            kind = "pname"
+            value = pname_match.group()
+            end = pname_match.end()
+        else:
+            end = match.end()
+        column = pos - line_start + 1
+        if kind == "word":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, line, column))
+            elif value == "a":
+                tokens.append(Token("a", value, line, column))
+            else:
+                raise SparqlSyntaxError(
+                    f"unexpected identifier {value!r}", line=line, column=column
+                )
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token(kind, value, line, column))
+        newlines = value.count("\n") if kind in ("ws", "comment") else 0
+        if kind == "ws" and newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
+        pos = end
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

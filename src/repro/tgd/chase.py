@@ -1,0 +1,163 @@
+"""The restricted (standard) chase for TGDs.
+
+Given an instance and a set of TGDs, the chase repeatedly looks for a
+homomorphism from a TGD body into the instance whose frontier image does
+not extend to a homomorphism of the head ("the dependency is not
+satisfied"), and repairs it by adding the head image with fresh labelled
+nulls for existential variables (Fagin et al., Section 3 of the paper).
+
+The implementation runs in rounds: each round snapshots the current body
+homomorphisms, then re-checks head satisfaction against the live instance
+before firing, so no redundant nulls are created for triggers satisfied
+earlier in the same round.  Rounds repeat until a fixpoint; a configurable
+step budget guards against the non-terminating cases the paper's general
+TGDs admit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ChaseNonTerminationError
+from repro.tgd.atoms import Atom, Instance, LabeledNull, RelTerm, RelVar, fresh_null
+from repro.tgd.dependencies import TGD
+from repro.tgd.homomorphism import (
+    extend_homomorphism,
+    find_homomorphisms,
+    find_one_homomorphism,
+)
+
+__all__ = ["ChaseResult", "chase", "is_satisfied", "violations"]
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run.
+
+    Attributes:
+        instance: the chased instance (a universal solution on success).
+        fired: total number of chase steps that added facts.
+        rounds: number of fixpoint rounds executed.
+        fired_per_tgd: firing count per TGD label (or repr when unlabeled).
+        facts_added: number of facts added over the initial instance.
+        nulls_created: number of fresh labelled nulls minted.
+    """
+
+    instance: Instance
+    fired: int = 0
+    rounds: int = 0
+    fired_per_tgd: Dict[str, int] = field(default_factory=dict)
+    facts_added: int = 0
+    nulls_created: int = 0
+
+
+def _tgd_key(tgd: TGD) -> str:
+    return tgd.label or repr(tgd)
+
+
+def is_satisfied(tgd: TGD, instance: Instance) -> bool:
+    """Does the instance satisfy the TGD (no active trigger)?"""
+    for hom in find_homomorphisms(tgd.body, instance):
+        frontier_map = {v: hom[v] for v in tgd.frontier()}
+        if extend_homomorphism(tgd.head, instance, frontier_map) is None:
+            return False
+    return True
+
+
+def violations(
+    tgds: Sequence[TGD], instance: Instance
+) -> List[Tuple[TGD, Dict[RelVar, RelTerm]]]:
+    """All active triggers: (TGD, frontier binding) pairs not satisfied."""
+    out: List[Tuple[TGD, Dict[RelVar, RelTerm]]] = []
+    for tgd in tgds:
+        frontier = tgd.frontier()
+        seen_frontiers = set()
+        for hom in find_homomorphisms(tgd.body, instance):
+            frontier_map = {v: hom[v] for v in frontier}
+            key = tuple(sorted((v.name, repr(t)) for v, t in frontier_map.items()))
+            if key in seen_frontiers:
+                continue
+            seen_frontiers.add(key)
+            if extend_homomorphism(tgd.head, instance, frontier_map) is None:
+                out.append((tgd, frontier_map))
+    return out
+
+
+def chase(
+    instance: Instance,
+    tgds: Sequence[TGD],
+    max_steps: int = 1_000_000,
+    in_place: bool = False,
+) -> ChaseResult:
+    """Run the restricted chase to a fixpoint.
+
+    Args:
+        instance: the starting instance (e.g. the stored database image).
+        tgds: the dependencies.
+        max_steps: firing budget; exceeded budget raises.
+        in_place: mutate ``instance`` instead of chasing a copy.
+
+    Returns:
+        A :class:`ChaseResult` whose instance satisfies every TGD.
+
+    Raises:
+        ChaseNonTerminationError: when ``max_steps`` firings did not reach
+            a fixpoint (the paper's general mapping TGDs can be
+            non-terminating; RPS dependencies are not — Theorem 1).
+    """
+    work = instance if in_place else instance.copy()
+    initial_size = len(work)
+    result = ChaseResult(instance=work)
+
+    changed = True
+    while changed:
+        changed = False
+        result.rounds += 1
+        for tgd in tgds:
+            frontier = tgd.frontier()
+            # Snapshot the triggers found against the instance as it was
+            # when this TGD's turn started; satisfaction is re-checked
+            # live before firing.
+            triggers = []
+            seen_frontiers = set()
+            for hom in find_homomorphisms(tgd.body, work):
+                frontier_map = {v: hom[v] for v in frontier}
+                key = tuple(
+                    sorted((v.name, repr(t)) for v, t in frontier_map.items())
+                )
+                if key in seen_frontiers:
+                    continue
+                seen_frontiers.add(key)
+                triggers.append(frontier_map)
+            for frontier_map in triggers:
+                if extend_homomorphism(tgd.head, work, frontier_map) is not None:
+                    continue
+                _fire(tgd, frontier_map, work, result)
+                changed = True
+                if result.fired > max_steps:
+                    raise ChaseNonTerminationError(
+                        f"chase exceeded {max_steps} steps "
+                        f"(last TGD: {_tgd_key(tgd)})",
+                        steps=result.fired,
+                    )
+    result.facts_added = len(work) - initial_size
+    return result
+
+
+def _fire(
+    tgd: TGD,
+    frontier_map: Dict[RelVar, RelTerm],
+    work: Instance,
+    result: ChaseResult,
+) -> None:
+    """One chase step: add the head image under fresh nulls."""
+    assignment = dict(frontier_map)
+    for var in sorted(tgd.existential_variables(), key=lambda v: v.name):
+        assignment[var] = fresh_null()
+        result.nulls_created += 1
+    for atom in tgd.head:
+        work.add(atom.substitute(assignment))
+    result.fired += 1
+    key = _tgd_key(tgd)
+    result.fired_per_tgd[key] = result.fired_per_tgd.get(key, 0) + 1

@@ -1,0 +1,169 @@
+"""Syntactic TGD classes: linear, guarded, weakly acyclic, sticky(-join).
+
+Section 4 observes that RPS dependency sets are "neither sticky, nor
+linear, nor weakly-acyclic, nor guarded, nor weakly-guarded" in general —
+incomparable to the known decidable classes.  This module implements the
+classifiers so that claim is checkable on concrete systems, and so the
+rewriting engine can decide when Proposition 2 applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.tgd.atoms import RelVar
+from repro.tgd.dependencies import TGD
+from repro.tgd.marking import is_sticky
+
+__all__ = [
+    "is_linear_set",
+    "is_guarded_set",
+    "is_full_set",
+    "is_weakly_acyclic",
+    "is_sticky_join",
+    "TGDClassification",
+    "classify",
+]
+
+Position = Tuple[str, int]
+
+
+def is_linear_set(tgds: Sequence[TGD]) -> bool:
+    """Every TGD has a single body atom."""
+    return all(tgd.is_linear() for tgd in tgds)
+
+
+def is_guarded_set(tgds: Sequence[TGD]) -> bool:
+    """Every TGD has a body atom containing all its universal variables."""
+    return all(tgd.is_guarded() for tgd in tgds)
+
+
+def is_full_set(tgds: Sequence[TGD]) -> bool:
+    """No TGD has existential head variables."""
+    return all(tgd.is_full() for tgd in tgds)
+
+
+def _position_graph(tgds: Sequence[TGD]) -> nx.DiGraph:
+    """The Fagin-et-al. dependency graph over positions.
+
+    Regular edge ``π → π'`` when a frontier variable occurs in the body at
+    π and in the head at π'; special edge ``π ⇒ π''`` when a frontier
+    variable occurs in the body at π and the head introduces an
+    existential variable at π''.
+    """
+    graph = nx.DiGraph()
+    for tgd in tgds:
+        frontier = tgd.frontier()
+        existential = tgd.existential_variables()
+        body_positions: Dict[RelVar, Set[Position]] = {}
+        for atom in tgd.body:
+            for i, arg in enumerate(atom.args, start=1):
+                if isinstance(arg, RelVar):
+                    body_positions.setdefault(arg, set()).add(
+                        (atom.predicate, i)
+                    )
+        head_positions: Dict[RelVar, Set[Position]] = {}
+        for atom in tgd.head:
+            for i, arg in enumerate(atom.args, start=1):
+                if isinstance(arg, RelVar):
+                    head_positions.setdefault(arg, set()).add(
+                        (atom.predicate, i)
+                    )
+        existential_positions: Set[Position] = set()
+        for var in existential:
+            existential_positions.update(head_positions.get(var, set()))
+        for var in frontier:
+            for source in body_positions.get(var, set()):
+                for target in head_positions.get(var, set()):
+                    _add_edge(graph, source, target, special=False)
+                for target in existential_positions:
+                    _add_edge(graph, source, target, special=True)
+    return graph
+
+
+def _add_edge(
+    graph: nx.DiGraph, source: Position, target: Position, special: bool
+) -> None:
+    if graph.has_edge(source, target):
+        if special:
+            graph[source][target]["special"] = True
+    else:
+        graph.add_edge(source, target, special=special)
+
+
+def is_weakly_acyclic(tgds: Sequence[TGD]) -> bool:
+    """No cycle through a special edge in the position dependency graph."""
+    graph = _position_graph(tgds)
+    for component in nx.strongly_connected_components(graph):
+        if len(component) == 1:
+            node = next(iter(component))
+            if not graph.has_edge(node, node):
+                continue
+        for source in component:
+            for target in graph.successors(source):
+                if target in component and graph[source][target]["special"]:
+                    return False
+    return True
+
+
+def is_sticky_join(tgds: Sequence[TGD]) -> bool:
+    """Sticky-join membership (conservative approximation).
+
+    Sticky-join sets (Calì, Gottlob & Pieris 2010) generalise both sticky
+    and linear sets.  This implementation returns True when the set is
+    sticky or linear — a *sound but incomplete* test: every set it
+    accepts is sticky-join, but some sticky-join sets are rejected.  The
+    paper's Proposition 2 only relies on the linear and sticky cases, for
+    which this test is exact.
+    """
+    return is_linear_set(tgds) or is_sticky(tgds)
+
+
+@dataclass(frozen=True)
+class TGDClassification:
+    """Membership flags for one TGD set across the standard classes."""
+
+    linear: bool
+    guarded: bool
+    full: bool
+    weakly_acyclic: bool
+    sticky: bool
+    sticky_join: bool
+
+    def fo_rewritable_fragment(self) -> bool:
+        """Does Proposition 2 apply (linear / sticky / sticky-join)?"""
+        return self.linear or self.sticky or self.sticky_join
+
+    def chase_terminating_fragment(self) -> bool:
+        """Known syntactic guarantee that the chase terminates."""
+        return self.weakly_acyclic or self.full
+
+    def summary(self) -> str:
+        flags = [
+            name
+            for name, value in (
+                ("linear", self.linear),
+                ("guarded", self.guarded),
+                ("full", self.full),
+                ("weakly-acyclic", self.weakly_acyclic),
+                ("sticky", self.sticky),
+                ("sticky-join", self.sticky_join),
+            )
+            if value
+        ]
+        return ", ".join(flags) if flags else "none"
+
+
+def classify(tgds: Sequence[TGD]) -> TGDClassification:
+    """Classify a TGD set across all implemented classes."""
+    return TGDClassification(
+        linear=is_linear_set(tgds),
+        guarded=is_guarded_set(tgds),
+        full=is_full_set(tgds),
+        weakly_acyclic=is_weakly_acyclic(tgds),
+        sticky=is_sticky(tgds),
+        sticky_join=is_sticky_join(tgds),
+    )

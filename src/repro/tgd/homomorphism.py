@@ -1,0 +1,131 @@
+"""Homomorphism search between conjunctions of atoms and instances.
+
+A homomorphism from a set of atoms ``A`` (with variables) into an
+instance ``I`` maps every variable to a constant/null such that each atom
+image is a fact of ``I``.  The chase, CQ evaluation and CQ containment
+all reduce to this search.  The implementation is a backtracking join
+with most-constrained-atom-first ordering and index-driven candidate
+enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.tgd.atoms import Atom, Constant, Instance, LabeledNull, RelTerm, RelVar
+
+__all__ = [
+    "find_homomorphisms",
+    "find_one_homomorphism",
+    "match_atom",
+    "extend_homomorphism",
+]
+
+
+def match_atom(
+    atom: Atom, fact: Atom, partial: Dict[RelVar, RelTerm]
+) -> Optional[Dict[RelVar, RelTerm]]:
+    """Try to extend ``partial`` so that ``atom`` maps onto ``fact``.
+
+    Returns the *extension only* (new bindings), or None on mismatch.
+    """
+    if atom.predicate != fact.predicate or atom.arity != fact.arity:
+        return None
+    extension: Dict[RelVar, RelTerm] = {}
+    for pattern_arg, fact_arg in zip(atom.args, fact.args):
+        if isinstance(pattern_arg, RelVar):
+            bound = partial.get(pattern_arg)
+            if bound is None:
+                bound = extension.get(pattern_arg)
+            if bound is None:
+                extension[pattern_arg] = fact_arg
+            elif bound != fact_arg:
+                return None
+        elif pattern_arg != fact_arg:
+            return None
+    return extension
+
+
+def _order_atoms(atoms: Sequence[Atom], instance: Instance) -> List[Atom]:
+    """Most-constrained-first ordering: fewer candidate facts first,
+    preferring atoms sharing variables with already-ordered ones."""
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    bound: Set[RelVar] = set()
+
+    def cost(atom: Atom) -> Tuple[int, int]:
+        shared = sum(1 for v in atom.variables() if v in bound)
+        size = len(instance.facts_with_predicate(atom.predicate))
+        return (-shared, size)
+
+    while remaining:
+        best = min(remaining, key=cost)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def find_homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Optional[Dict[RelVar, RelTerm]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[RelVar, RelTerm]]:
+    """Enumerate homomorphisms from ``atoms`` into ``instance``.
+
+    Args:
+        atoms: conjunction to map (order irrelevant).
+        instance: target instance.
+        partial: pre-bound variables (the homomorphism must extend it).
+        limit: stop after this many homomorphisms.
+
+    Yields:
+        Complete variable bindings (including the ``partial`` entries).
+    """
+    base: Dict[RelVar, RelTerm] = dict(partial or {})
+    ordered = _order_atoms(atoms, instance)
+    count = 0
+    stack: List[Tuple[int, Dict[RelVar, RelTerm]]] = [(0, base)]
+    while stack:
+        index, bindings = stack.pop()
+        if index == len(ordered):
+            yield bindings
+            count += 1
+            if limit is not None and count >= limit:
+                return
+            continue
+        atom = ordered[index]
+        for fact in instance.candidates(atom, bindings):
+            extension = match_atom(atom, fact, bindings)
+            if extension is None:
+                continue
+            merged = dict(bindings)
+            merged.update(extension)
+            stack.append((index + 1, merged))
+
+
+def find_one_homomorphism(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Optional[Dict[RelVar, RelTerm]] = None,
+) -> Optional[Dict[RelVar, RelTerm]]:
+    """First homomorphism or None (the satisfaction check of the chase)."""
+    for hom in find_homomorphisms(atoms, instance, partial, limit=1):
+        return hom
+    return None
+
+
+def extend_homomorphism(
+    head: Sequence[Atom],
+    instance: Instance,
+    frontier_binding: Dict[RelVar, RelTerm],
+) -> Optional[Dict[RelVar, RelTerm]]:
+    """Check whether a TGD head is already satisfied under a frontier map.
+
+    Searches for an extension of ``frontier_binding`` covering the head's
+    existential variables such that all head atoms are facts of the
+    instance.  This is the 'restricted chase' applicability test: the
+    dependency only fires when no such extension exists.
+    """
+    return find_one_homomorphism(head, instance, frontier_binding)

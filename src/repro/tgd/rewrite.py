@@ -1,0 +1,451 @@
+"""UCQ perfect rewriting of conjunctive queries under TGDs.
+
+Implements the rewriting algorithm the paper invokes for Proposition 2
+(after Gottlob, Orsi & Pieris: *Ontological queries: rewriting and
+optimization*): given a CQ ``q`` and a set Σ of TGDs, produce a union of
+CQs ``q_Σ`` such that evaluating ``q_Σ`` over any source database D gives
+exactly the certain answers ``q(chase(D, Σ))``.
+
+Pipeline:
+
+1. **Head decomposition** — every TGD is normalised to single-head TGDs
+   whose head has at most one existential variable occurring once, via a
+   chain of auxiliary predicates (the logspace transformation the GOP
+   paper describes).  Auxiliary atoms are internal: disjuncts still
+   mentioning them at the end are discarded.
+2. **Rewriting step** — unify a query atom with a (renamed-apart) TGD
+   head under the *applicability* condition: classes of the unifier that
+   touch an existential head variable may contain only that existential
+   variable and non-shared query variables (no constants, no second
+   existential, no frontier variable).  The atom is then replaced by the
+   TGD body under the unifier.
+3. **Factorisation step** — two body atoms sharing a variable at an
+   existential position of some TGD head are unified into one, producing
+   a more specific (hence sound) disjunct that enables further rewriting
+   steps blocked by the shared-variable condition.
+4. **Dedup & budget** — disjuncts are deduplicated up to variable
+   renaming; a query budget bounds non-terminating inputs.
+
+Termination is guaranteed for linear and sticky TGD sets (the
+Proposition-2 fragment); for other sets the budget raises
+:class:`~repro.errors.RewritingError` — Proposition 3 shows genuine
+non-FO-rewritability for general RPS mappings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RewritingError
+from repro.tgd.atoms import Atom, Constant, RelTerm, RelVar
+from repro.tgd.cq import ConjunctiveQuery, UnionOfCQs
+from repro.tgd.dependencies import TGD, rename_apart
+
+__all__ = ["RewriteResult", "rewrite_ucq", "decompose_heads", "AUX_PREFIX"]
+
+AUX_PREFIX = "_aux_"
+
+
+# ---------------------------------------------------------------------------
+# Head decomposition
+# ---------------------------------------------------------------------------
+
+_DECOMPOSE_COUNTER = [0]
+
+
+def decompose_heads(tgds: Sequence[TGD]) -> List[TGD]:
+    """Normalise TGDs to single-head, single-existential-occurrence form.
+
+    A TGD ``body → ∃z₁…zₖ h₁ ∧ … ∧ hₘ`` becomes a chain
+
+    .. code-block:: text
+
+        body                →  ∃z₁ aux₁(x, z₁)
+        aux₁(x, z₁)         →  ∃z₂ aux₂(x, z₁, z₂)
+        ...
+        auxₖ(x, z₁…zₖ)      →  hᵢ          (one full TGD per head atom)
+
+    where x is the frontier.  TGDs already in normal form pass through
+    unchanged.  Auxiliary predicate names start with :data:`AUX_PREFIX`
+    and must not occur in user queries.
+    """
+    out: List[TGD] = []
+    for tgd in tgds:
+        existentials = sorted(tgd.existential_variables(), key=lambda v: v.name)
+        single_existential_once = False
+        if len(tgd.head) == 1 and len(existentials) <= 1:
+            if not existentials:
+                single_existential_once = True
+            else:
+                occurrences = sum(
+                    1 for arg in tgd.head[0].args if arg == existentials[0]
+                )
+                single_existential_once = occurrences == 1
+        if single_existential_once:
+            out.append(tgd)
+            continue
+        _DECOMPOSE_COUNTER[0] += 1
+        stem = f"{AUX_PREFIX}{_DECOMPOSE_COUNTER[0]}"
+        frontier = sorted(tgd.frontier(), key=lambda v: v.name)
+        carried: List[RelVar] = list(frontier)
+        previous_body: Tuple[Atom, ...] = tgd.body
+        for depth, z in enumerate(existentials, start=1):
+            aux_atom = Atom(f"{stem}_{depth}", *carried, z)
+            out.append(
+                TGD(
+                    previous_body,
+                    [aux_atom],
+                    label=f"{tgd.label or 'tgd'}#aux{depth}",
+                )
+            )
+            carried = carried + [z]
+            previous_body = (aux_atom,)
+        if not existentials:
+            # Multi-head but full: emit one full TGD per head atom.
+            for i, head_atom in enumerate(tgd.head, start=1):
+                out.append(
+                    TGD(tgd.body, [head_atom], label=f"{tgd.label or 'tgd'}#h{i}")
+                )
+            continue
+        for i, head_atom in enumerate(tgd.head, start=1):
+            out.append(
+                TGD(previous_body, [head_atom], label=f"{tgd.label or 'tgd'}#h{i}")
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Unification
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    """Union-find over relational terms; constants clash on merge."""
+
+    def __init__(self) -> None:
+        self.parent: Dict[RelTerm, RelTerm] = {}
+
+    def find(self, term: RelTerm) -> RelTerm:
+        root = term
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        # Path compression.
+        while self.parent.get(term, term) != root:
+            self.parent[term], term = root, self.parent[term]
+        return root
+
+    def union(self, a: RelTerm, b: RelTerm) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return True
+        if isinstance(ra, Constant) and isinstance(rb, Constant):
+            return False
+        # Keep constants as roots.
+        if isinstance(ra, Constant):
+            self.parent[rb] = ra
+        else:
+            self.parent[ra] = rb
+        return True
+
+    def classes(self) -> Dict[RelTerm, Set[RelTerm]]:
+        groups: Dict[RelTerm, Set[RelTerm]] = {}
+        seen: Set[RelTerm] = set(self.parent.keys())
+        for term in list(self.parent.keys()):
+            seen.add(self.find(term))
+        for term in seen:
+            groups.setdefault(self.find(term), set()).add(term)
+        return groups
+
+
+def _unify_positionwise(a: Atom, b: Atom) -> Optional[_UnionFind]:
+    if a.predicate != b.predicate or a.arity != b.arity:
+        return None
+    uf = _UnionFind()
+    for left, right in zip(a.args, b.args):
+        if not uf.union(left, right):
+            return None
+    return uf
+
+
+# ---------------------------------------------------------------------------
+# Rewriting steps
+# ---------------------------------------------------------------------------
+
+
+def _build_substitution(
+    uf: _UnionFind,
+    answer_vars: Set[RelVar],
+) -> Optional[Dict[RelVar, RelTerm]]:
+    """Choose representatives: constant > answer var > other variable.
+
+    Returns None when two answer variables... never fails here; failures
+    are handled by the applicability filter.
+    """
+    substitution: Dict[RelVar, RelTerm] = {}
+    for root, members in uf.classes().items():
+        rep: RelTerm
+        constants = [m for m in members if isinstance(m, Constant)]
+        if constants:
+            rep = constants[0]
+        else:
+            answer_members = sorted(
+                (m for m in members if m in answer_vars),
+                key=lambda v: v.name,
+            )
+            if answer_members:
+                rep = answer_members[0]
+            else:
+                rep = sorted(
+                    (m for m in members if isinstance(m, RelVar)),
+                    key=lambda v: v.name,
+                )[0]
+        for member in members:
+            if isinstance(member, RelVar) and member != rep:
+                substitution[member] = rep
+    return substitution
+
+
+def _applicable(
+    query: ConjunctiveQuery,
+    atom: Atom,
+    tgd: TGD,
+    uf: _UnionFind,
+) -> bool:
+    """GOP applicability: existential classes are clean.
+
+    Every unification class containing an existential head variable must
+    consist of that variable (once) plus non-shared query variables only.
+    Answer variables must not be bound to constants.
+    """
+    shared = query.shared_variables()
+    existentials = tgd.existential_variables()
+    frontier = tgd.frontier()
+    query_vars = query.variables()
+    classes = uf.classes()
+    for members in classes.values():
+        exist_members = [m for m in members if m in existentials]
+        if exist_members:
+            if len(exist_members) > 1:
+                return False
+            if any(isinstance(m, Constant) for m in members):
+                return False
+            if any(m in frontier for m in members):
+                return False
+            for member in members:
+                if member in exist_members:
+                    continue
+                if not isinstance(member, RelVar):
+                    return False
+                if member in query_vars and member in shared:
+                    return False
+        else:
+            # Answer variables must survive as variables.
+            if any(isinstance(m, Constant) for m in members) and any(
+                isinstance(m, RelVar) and m in set(query.head) for m in members
+            ):
+                return False
+    return True
+
+
+def _rewrite_step(
+    query: ConjunctiveQuery, atom: Atom, tgd: TGD
+) -> Optional[ConjunctiveQuery]:
+    """Replace ``atom`` by the TGD body when the head unifies applicably."""
+    renamed = rename_apart(tgd, query.variables())
+    uf = _unify_positionwise(atom, renamed.head[0])
+    if uf is None:
+        return None
+    if not _applicable(query, atom, renamed, uf):
+        return None
+    substitution = _build_substitution(uf, set(query.head))
+    if substitution is None:
+        return None
+    new_body: List[Atom] = [
+        a.substitute(substitution) for a in query.body if a != atom
+    ]
+    new_body.extend(a.substitute(substitution) for a in renamed.body)
+    # Remove duplicate atoms while preserving order.
+    deduped: List[Atom] = []
+    seen_atoms: Set[Atom] = set()
+    for a in new_body:
+        if a not in seen_atoms:
+            seen_atoms.add(a)
+            deduped.append(a)
+    head = [substitution.get(v, v) for v in query.head]
+    if any(not isinstance(h, RelVar) for h in head):
+        return None
+    return ConjunctiveQuery(head, deduped, label=query.label)
+
+
+def _existential_positions(tgds: Sequence[TGD]) -> Dict[str, Set[int]]:
+    """Positions (predicate → 1-based indexes) that can hold chase nulls."""
+    out: Dict[str, Set[int]] = {}
+    for tgd in tgds:
+        existentials = tgd.existential_variables()
+        for atom in tgd.head:
+            for i, arg in enumerate(atom.args, start=1):
+                if isinstance(arg, RelVar) and arg in existentials:
+                    out.setdefault(atom.predicate, set()).add(i)
+    return out
+
+
+def _factorize_step(
+    query: ConjunctiveQuery,
+    a1: Atom,
+    a2: Atom,
+    existential_positions: Dict[str, Set[int]],
+) -> Optional[ConjunctiveQuery]:
+    """Unify two atoms sharing a variable at an existential position."""
+    if a1.predicate != a2.predicate or a1 == a2:
+        return None
+    positions = existential_positions.get(a1.predicate)
+    if not positions:
+        return None
+    shares_existential_var = any(
+        i in positions
+        and isinstance(a1.args[i - 1], RelVar)
+        and a1.args[i - 1] == a2.args[i - 1]
+        for i in range(1, a1.arity + 1)
+    )
+    if not shares_existential_var:
+        return None
+    uf = _unify_positionwise(a1, a2)
+    if uf is None:
+        return None
+    substitution = _build_substitution(uf, set(query.head))
+    if substitution is None:
+        return None
+    head = [substitution.get(v, v) for v in query.head]
+    if any(not isinstance(h, RelVar) for h in head):
+        return None
+    new_body: List[Atom] = []
+    seen_atoms: Set[Atom] = set()
+    for a in query.body:
+        image = a.substitute(substitution)
+        if image not in seen_atoms:
+            seen_atoms.add(image)
+            new_body.append(image)
+    return ConjunctiveQuery(head, new_body, label=query.label)
+
+
+# ---------------------------------------------------------------------------
+# Main loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of a rewriting run.
+
+    Attributes:
+        ucq: the final union of CQs (auxiliary-free, deduplicated).
+        explored: how many distinct CQs were generated (incl. internal
+            disjuncts mentioning auxiliary predicates).
+        rewrite_steps: number of successful atom/TGD rewriting steps.
+        factorization_steps: number of successful factorisations.
+        complete: True when the rewriting closure was fully explored;
+            False when a depth/size bound truncated it (the UCQ is then
+            a *sound under-approximation* of the perfect rewriting).
+    """
+
+    ucq: UnionOfCQs
+    explored: int = 0
+    rewrite_steps: int = 0
+    factorization_steps: int = 0
+    complete: bool = True
+
+
+def rewrite_ucq(
+    query: ConjunctiveQuery,
+    tgds: Sequence[TGD],
+    max_queries: int = 20_000,
+    max_depth: Optional[int] = None,
+    strict: bool = True,
+) -> RewriteResult:
+    """Compute the UCQ perfect rewriting of ``query`` under ``tgds``.
+
+    Args:
+        query: the input CQ (answer variables allowed; the Proposition-2
+            pipeline feeds Boolean queries, per the paper's Example 3).
+        tgds: the dependency set (multi-head TGDs are decomposed
+            internally).
+        max_queries: exploration budget.
+        max_depth: bound on rewriting-step chains from the input query
+            (``None`` = unbounded).  Bounded runs return a *partial*
+            rewriting with ``complete=False`` — the tool behind the
+            Proposition-3 demonstration that no finite depth suffices.
+        strict: raise on budget exhaustion instead of returning the
+            partial result.
+
+    Raises:
+        RewritingError: when ``strict`` and the budget is exhausted
+            before the rewriting closure is complete (expected exactly
+            when the TGD set is outside the terminating fragment —
+            Proposition 3).
+    """
+    for atom in query.body:
+        if atom.predicate.startswith(AUX_PREFIX):
+            raise RewritingError(
+                f"query must not mention auxiliary predicate {atom.predicate}"
+            )
+    normalised = decompose_heads(tgds)
+    existential_positions = _existential_positions(normalised)
+
+    result_queries: List[ConjunctiveQuery] = []
+    seen: Set[Tuple] = set()
+    queue: deque = deque()
+    stats = RewriteResult(ucq=UnionOfCQs([query]))
+
+    def push(cq: ConjunctiveQuery, depth: int) -> None:
+        key = cq.canonical_form()
+        if key in seen:
+            return
+        if len(seen) >= max_queries:
+            if strict:
+                raise RewritingError(
+                    f"rewriting exceeded the budget of {max_queries} queries; "
+                    "the TGD set is likely not first-order rewritable "
+                    "(cf. Proposition 3)"
+                )
+            stats.complete = False
+            return
+        seen.add(key)
+        queue.append((cq, depth))
+        stats.explored += 1
+        result_queries.append(cq)
+
+    push(query, 0)
+    while queue:
+        current, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            stats.complete = False
+            continue
+        # Rewriting steps.
+        for tgd in normalised:
+            for atom in current.body:
+                if atom.predicate != tgd.head[0].predicate:
+                    continue
+                rewritten = _rewrite_step(current, atom, tgd)
+                if rewritten is not None:
+                    stats.rewrite_steps += 1
+                    push(rewritten, depth + 1)
+        # Factorisation steps (do not consume rewrite depth).
+        body = current.body
+        for i in range(len(body)):
+            for j in range(i + 1, len(body)):
+                factored = _factorize_step(
+                    current, body[i], body[j], existential_positions
+                )
+                if factored is not None:
+                    stats.factorization_steps += 1
+                    push(factored, depth)
+
+    final = [
+        cq
+        for cq in result_queries
+        if not any(a.predicate.startswith(AUX_PREFIX) for a in cq.body)
+    ]
+    stats.ucq = UnionOfCQs(final, label=query.label).deduplicate()
+    return stats

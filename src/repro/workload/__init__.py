@@ -1,0 +1,74 @@
+"""Workload generators: paper datasets and synthetic scaling workloads.
+
+``film_domain`` encodes Figure 1 / Example 2 verbatim plus a scaled
+variant; ``people_domain`` adds a second realistic domain with a
+non-sticky join assertion; ``generators`` produce random RDF stores;
+``topologies`` arrange synthetic peers in chains, stars, cycles and
+random graphs; ``queries`` generates path/star query workloads.
+"""
+
+from repro.workload.film_domain import (
+    DB1,
+    DB2,
+    FOAF,
+    PAPER_EXPECTED_ANSWERS,
+    PAPER_EXPECTED_NONREDUNDANT,
+    example2_assertion,
+    example2_rps,
+    figure1_graphs,
+    figure1_namespaces,
+    paper_query_text,
+    scaled_film_rps,
+)
+from repro.workload.generators import (
+    GeneratorConfig,
+    random_entity_graph,
+    random_graph,
+)
+from repro.workload.people_domain import (
+    SOCIAL,
+    VCARD,
+    friend_of_friend_assertion,
+    people_rps,
+)
+from repro.workload.queries import path_query, random_queries, star_query
+from repro.workload.topologies import (
+    TOPOLOGY_BUILDERS,
+    build_topology_rps,
+    chain_rps,
+    cycle_rps,
+    peer_namespace,
+    random_rps,
+    star_rps,
+)
+
+__all__ = [
+    "DB1",
+    "DB2",
+    "FOAF",
+    "GeneratorConfig",
+    "PAPER_EXPECTED_ANSWERS",
+    "PAPER_EXPECTED_NONREDUNDANT",
+    "SOCIAL",
+    "TOPOLOGY_BUILDERS",
+    "VCARD",
+    "build_topology_rps",
+    "chain_rps",
+    "cycle_rps",
+    "example2_assertion",
+    "example2_rps",
+    "figure1_graphs",
+    "figure1_namespaces",
+    "friend_of_friend_assertion",
+    "paper_query_text",
+    "path_query",
+    "peer_namespace",
+    "people_rps",
+    "random_entity_graph",
+    "random_graph",
+    "random_queries",
+    "random_rps",
+    "scaled_film_rps",
+    "star_query",
+    "star_rps",
+]

@@ -1,0 +1,95 @@
+"""Random RDF data generators.
+
+Deterministic (seeded) generators for synthetic peers: entity-relation
+graphs with configurable vocabulary sizes, literal attributes and blank
+node fractions.  Used by the property tests (random-but-reproducible
+stores) and as building blocks for the topology workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Namespace
+from repro.rdf.terms import BlankNode, IRI, Literal
+from repro.rdf.triples import Triple
+
+__all__ = ["GeneratorConfig", "random_graph", "random_entity_graph"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters for :func:`random_entity_graph`.
+
+    Attributes:
+        entities: number of entity IRIs.
+        predicates: number of distinct relation predicates.
+        triples: number of relation triples to generate.
+        attributes: number of literal-attribute triples to generate.
+        blank_fraction: probability an entity position uses a blank node.
+        namespace: IRI prefix for minted terms.
+        seed: RNG seed.
+    """
+
+    entities: int = 50
+    predicates: int = 5
+    triples: int = 150
+    attributes: int = 30
+    blank_fraction: float = 0.0
+    namespace: str = "http://gen.example.org/"
+    seed: int = 0
+
+
+def random_entity_graph(config: GeneratorConfig, name: str = "") -> Graph:
+    """Generate a random entity-relation RDF graph.
+
+    Entities are ``ns:eN``, predicates ``ns:pN``, attribute values are
+    integer literals.  With ``blank_fraction > 0`` some subjects/objects
+    are blank nodes ``_:bN`` (modelling unidentified resources).
+    """
+    rng = random.Random(config.seed)
+    ns = Namespace(config.namespace)
+    entity_terms: List = []
+    for i in range(config.entities):
+        if rng.random() < config.blank_fraction:
+            entity_terms.append(BlankNode(f"b{i}"))
+        else:
+            entity_terms.append(ns.term(f"e{i}"))
+    predicates = [ns.term(f"p{i}") for i in range(config.predicates)]
+    attribute_predicate = ns.term("value")
+
+    graph = Graph(name=name or "random")
+    if not entity_terms or not predicates:
+        return graph
+    for _ in range(config.triples):
+        subject = rng.choice(entity_terms)
+        predicate = rng.choice(predicates)
+        object_ = rng.choice(entity_terms)
+        graph.add(Triple(subject, predicate, object_))
+    for _ in range(config.attributes):
+        subject = rng.choice(entity_terms)
+        value = Literal(str(rng.randint(0, 99)))
+        graph.add(Triple(subject, attribute_predicate, value))
+    return graph
+
+
+def random_graph(
+    triples: int = 100,
+    seed: int = 0,
+    namespace: str = "http://gen.example.org/",
+    blank_fraction: float = 0.0,
+) -> Graph:
+    """Shorthand for a random graph of roughly ``triples`` triples."""
+    config = GeneratorConfig(
+        entities=max(4, triples // 3),
+        predicates=max(2, triples // 25),
+        triples=triples,
+        attributes=max(1, triples // 5),
+        blank_fraction=blank_fraction,
+        namespace=namespace,
+        seed=seed,
+    )
+    return random_entity_graph(config)

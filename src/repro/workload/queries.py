@@ -1,0 +1,85 @@
+"""Query workload generators: path- and star-shaped graph pattern queries.
+
+Conjunctive query shapes standard in RDF benchmarking: *paths* chain
+triple patterns through shared variables (like the paper's Listing-1
+query) and *stars* fan out around a common subject.  Generators target
+either the synthetic topology peers or arbitrary vocabularies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.gpq.pattern import GraphPattern, make_pattern
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.terms import IRI, Term, Variable
+
+__all__ = ["path_query", "star_query", "random_queries"]
+
+
+def path_query(
+    predicates: Sequence[IRI],
+    anchor: Optional[Term] = None,
+    project_all: bool = False,
+) -> GraphPatternQuery:
+    """A path query ``(a, p₁, v₁)(v₁, p₂, v₂)…(vₖ₋₁, pₖ, vₖ)``.
+
+    Args:
+        predicates: the predicate of each hop (length = path length).
+        anchor: optional ground start term; a variable ``?v0`` otherwise.
+        project_all: project every variable instead of just the last.
+    """
+    if not predicates:
+        raise ValueError("path query needs at least one predicate")
+    start: Term = anchor if anchor is not None else Variable("v0")
+    patterns = []
+    current = start
+    variables: List[Variable] = []
+    if isinstance(start, Variable):
+        variables.append(start)
+    for i, predicate in enumerate(predicates, start=1):
+        nxt = Variable(f"v{i}")
+        patterns.append((current, predicate, nxt))
+        variables.append(nxt)
+        current = nxt
+    head = tuple(variables) if project_all else (variables[-1],)
+    return GraphPatternQuery(head, make_pattern(*patterns), name="path")
+
+
+def star_query(
+    predicates: Sequence[IRI],
+    center: Optional[Term] = None,
+) -> GraphPatternQuery:
+    """A star query ``(c, p₁, v₁)(c, p₂, v₂)…`` projecting the leaves."""
+    if not predicates:
+        raise ValueError("star query needs at least one predicate")
+    hub: Term = center if center is not None else Variable("c")
+    patterns = []
+    leaves: List[Variable] = []
+    for i, predicate in enumerate(predicates, start=1):
+        leaf = Variable(f"l{i}")
+        patterns.append((hub, predicate, leaf))
+        leaves.append(leaf)
+    return GraphPatternQuery(tuple(leaves), make_pattern(*patterns), name="star")
+
+
+def random_queries(
+    predicates: Sequence[IRI],
+    count: int,
+    max_length: int = 3,
+    seed: int = 0,
+) -> List[GraphPatternQuery]:
+    """A mixed bag of random path and star queries over a vocabulary."""
+    rng = random.Random(seed)
+    out: List[GraphPatternQuery] = []
+    if not predicates:
+        return out
+    for i in range(count):
+        length = rng.randint(1, max_length)
+        chosen = [rng.choice(list(predicates)) for _ in range(length)]
+        if rng.random() < 0.5:
+            out.append(path_query(chosen))
+        else:
+            out.append(star_query(chosen))
+    return out
