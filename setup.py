@@ -1,11 +1,25 @@
-"""Legacy setup shim.
+"""Packaging for the src/ layout.
 
-The offline environment ships setuptools without the ``wheel`` package, so
-PEP 517 editable installs fail; ``pip install -e . --no-use-pep517
---no-build-isolation`` uses this file instead.  All metadata lives in
-``pyproject.toml``.
+``pip install -e .`` works on any environment with ``wheel`` available
+(CI does this).  The offline development image ships setuptools without
+``wheel``, where ``python setup.py develop`` is the editable fallback —
+both paths read the ``package_dir``/``find_packages`` declaration below.
+All metadata lives here; there is deliberately no ``pyproject.toml`` so
+the wheel-less legacy path keeps working.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-rps",
+    version="0.1.0",
+    description=(
+        "Reproduction of an RDF peer system with dictionary-encoded "
+        "storage, GPQ evaluation, TGD chase and certain answers"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+    extras_require={"test": ["pytest"]},
+)

@@ -1,0 +1,16 @@
+"""Micro-benchmark harness for the storage and evaluation core.
+
+``python -m repro.bench`` runs three suites — triple-pattern matching,
+GPQ conjunct joins, and the Algorithm-1 peer chase — over the synthetic
+``repro.workload`` generators and writes the results to
+``BENCH_core.json``.  Pattern and join suites are measured twice: once on
+the dictionary-encoded :class:`~repro.rdf.graph.Graph` and once on a
+frozen copy of the pre-dictionary term-object store
+(:mod:`repro.bench.baseline`), so every run reports the speedup the
+encoding buys and regressions show up as a ratio drifting toward 1.
+"""
+
+from repro.bench.baseline import BaselineGraph, baseline_evaluate_query
+from repro.bench.runner import run_all
+
+__all__ = ["BaselineGraph", "baseline_evaluate_query", "run_all"]

@@ -1,0 +1,57 @@
+"""CLI entry point: ``python -m repro.bench [--scale N] [--out PATH]``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.bench.runner import (
+    DEFAULT_OUT,
+    DEFAULT_SCALE,
+    format_summary,
+    run_all,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the storage/evaluation core micro-benchmarks.",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help=f"triples in the workload graph (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="timing repetitions, best-of (default 3)",
+    )
+    parser.add_argument(
+        "--peers",
+        type=int,
+        default=6,
+        help="peer count for the chase suite (default 6)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"JSON report path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out)) or "."
+    if not os.path.isdir(out_dir):
+        parser.error(f"--out directory does not exist: {out_dir}")
+    report = run_all(
+        scale=args.scale, repeat=args.repeat, out=args.out, peers=args.peers
+    )
+    print(format_summary(report))
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

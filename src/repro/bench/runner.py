@@ -1,0 +1,320 @@
+"""Benchmark definitions and the JSON-emitting runner.
+
+Three suites:
+
+* ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
+  indexes, dictionary-encoded vs the frozen term-object baseline;
+* ``join/*`` — path- and star-shaped GPQ evaluation (the hot path of
+  certain-answer computation), new ID-level join vs the seed join;
+* ``chase/*`` — Algorithm-1 universal-solution construction over chain
+  and cycle topologies (absolute timings; the chase has no frozen
+  baseline, its speed rides on the store underneath).
+
+Every comparative benchmark first checks both implementations agree on
+the result (match counts / answer sets) so a timing can never mask a
+correctness regression.  Timings are best-of-``repeat`` wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench.baseline import BaselineGraph, baseline_evaluate_query
+from repro.gpq.evaluation import evaluate_query_star
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.peers.chase import chase_universal_solution
+from repro.workload.generators import GeneratorConfig, random_entity_graph
+from repro.workload.queries import path_query, star_query
+from repro.workload.topologies import chain_rps, cycle_rps
+
+__all__ = ["BenchRecord", "run_all", "write_report"]
+
+DEFAULT_SCALE = 100_000
+DEFAULT_OUT = "BENCH_core.json"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark row of the report.
+
+    Attributes:
+        name: suite-qualified benchmark name, e.g. ``match/by_predicate``.
+        seconds: best wall-clock time of the dictionary-encoded run.
+        baseline_seconds: best time of the frozen seed implementation
+            (absent for benchmarks without a baseline).
+        speedup: ``baseline_seconds / seconds`` when both exist.
+        meta: workload facts (result sizes, rounds, …) for plausibility.
+    """
+
+    name: str
+    seconds: float
+    baseline_seconds: Optional[float] = None
+    speedup: Optional[float] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        if self.baseline_seconds is not None:
+            out["baseline_seconds"] = self.baseline_seconds
+            out["speedup"] = self.speedup
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+
+def _best_time(fn: Callable[[], Any], repeat: int) -> Tuple[float, Any]:
+    """Best-of-``repeat`` wall time of ``fn`` plus its (last) result."""
+    best = float("inf")
+    result: Any = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _compare(
+    name: str,
+    new_fn: Callable[[], Any],
+    base_fn: Callable[[], Any],
+    repeat: int,
+    meta: Dict[str, Any],
+) -> BenchRecord:
+    new_seconds, new_result = _best_time(new_fn, repeat)
+    base_seconds, base_result = _best_time(base_fn, repeat)
+    if new_result != base_result:
+        raise AssertionError(
+            f"benchmark {name!r}: dictionary-encoded result "
+            f"{new_result!r} != baseline result {base_result!r}"
+        )
+    meta = dict(meta)
+    meta["result"] = new_result
+    return BenchRecord(
+        name=name,
+        seconds=new_seconds,
+        baseline_seconds=base_seconds,
+        # Clamp the denominator so a timer-resolution underflow yields a
+        # huge-but-finite (JSON-encodable) ratio instead of None/Infinity.
+        speedup=base_seconds / max(new_seconds, 1e-12),
+        meta=meta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workload construction
+# ---------------------------------------------------------------------------
+
+
+def _workload_graph(scale: int) -> Graph:
+    """A seeded entity-relation graph of roughly ``scale`` triples.
+
+    A small fixed predicate vocabulary keeps per-predicate cardinalities
+    realistic (thousands of triples each at the 100k scale), which is
+    what makes the join benchmarks meaningful.
+    """
+    config = GeneratorConfig(
+        entities=max(20, scale // 10),
+        predicates=20,
+        triples=scale,
+        attributes=max(10, scale // 10),
+        seed=11,
+    )
+    return random_entity_graph(config, name="bench")
+
+
+# ---------------------------------------------------------------------------
+# Suites
+# ---------------------------------------------------------------------------
+
+
+def bench_pattern_match(
+    graph: Graph, baseline: BaselineGraph, repeat: int
+) -> List[BenchRecord]:
+    """Time ``match()`` across the index-backed pattern shapes."""
+    var_s, var_p, var_o = Variable("s"), Variable("p"), Variable("o")
+    predicates = sorted(graph.predicates())[:8]
+    subjects = sorted(graph.subjects())[:200]
+    objects = sorted(graph.objects())[:200]
+
+    def sweep(patterns: List[TriplePattern]) -> Callable[[Any], Callable[[], int]]:
+        def bind(store: Any) -> Callable[[], int]:
+            def run() -> int:
+                total = 0
+                for pattern in patterns:
+                    for _ in store.match(pattern):
+                        total += 1
+                return total
+
+            return run
+
+        return bind
+
+    shapes: List[Tuple[str, List[TriplePattern]]] = [
+        (
+            "match/by_subject",
+            [TriplePattern(s, var_p, var_o) for s in subjects],
+        ),
+        (
+            "match/by_predicate",
+            [TriplePattern(var_s, p, var_o) for p in predicates],
+        ),
+        (
+            "match/by_object",
+            [TriplePattern(var_s, var_p, o) for o in objects],
+        ),
+        (
+            "match/subject_predicate",
+            [
+                TriplePattern(s, p, var_o)
+                for s in subjects[:50]
+                for p in predicates
+            ],
+        ),
+        (
+            "match/repeated_variable",
+            [TriplePattern(var_s, p, var_s) for p in predicates],
+        ),
+    ]
+    records = []
+    for name, patterns in shapes:
+        bind = sweep(patterns)
+        records.append(
+            _compare(
+                name,
+                bind(graph),
+                bind(baseline),
+                repeat,
+                {"patterns": len(patterns)},
+            )
+        )
+    return records
+
+
+def bench_gpq_join(
+    graph: Graph, baseline: BaselineGraph, repeat: int
+) -> List[BenchRecord]:
+    """Time conjunctive GPQ evaluation (path and star shapes)."""
+    predicates = sorted(graph.predicates())
+    queries: List[Tuple[str, GraphPatternQuery]] = [
+        ("join/path2", path_query(predicates[:2])),
+        ("join/path3", path_query(predicates[:3])),
+        ("join/star2", star_query(predicates[:2])),
+        ("join/star3", star_query(predicates[:3])),
+    ]
+    records = []
+    for name, query in queries:
+        new_fn = lambda q=query: len(evaluate_query_star(graph, q))
+        base_fn = lambda q=query: len(baseline_evaluate_query(baseline, q))
+        records.append(
+            _compare(name, new_fn, base_fn, repeat, {"arity": query.arity})
+        )
+    return records
+
+
+def bench_chase(repeat: int, peers: int = 6) -> List[BenchRecord]:
+    """Time Algorithm-1 universal-solution construction."""
+    records = []
+    for name, rps in (
+        ("chase/chain", chain_rps(peers, entities=12, facts=40, seed=3)),
+        ("chase/cycle", cycle_rps(max(3, peers - 1), entities=12, facts=40, seed=3)),
+    ):
+        def run(system=rps):
+            result = chase_universal_solution(system)
+            return (len(result.solution), result.rounds)
+
+        seconds, (solution_size, rounds) = _best_time(run, repeat)
+        records.append(
+            BenchRecord(
+                name=name,
+                seconds=seconds,
+                meta={
+                    "peers": len(rps.peers),
+                    "solution_triples": solution_size,
+                    "rounds": rounds,
+                },
+            )
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def run_all(
+    scale: int = DEFAULT_SCALE,
+    repeat: int = 3,
+    out: Optional[str] = DEFAULT_OUT,
+    peers: int = 6,
+) -> Dict[str, Any]:
+    """Run every suite and (optionally) write the JSON report.
+
+    Args:
+        scale: triple count of the pattern/join workload graph.
+        repeat: timing repetitions (best-of).
+        out: report path, or ``None`` to skip writing.
+        peers: peer count for the chase suite.
+
+    Returns:
+        The report dict (also written to ``out`` when given).
+    """
+    build_start = time.perf_counter()
+    graph = _workload_graph(scale)
+    build_new = time.perf_counter() - build_start
+    build_start = time.perf_counter()
+    baseline = BaselineGraph(graph)
+    build_base = time.perf_counter() - build_start
+
+    records: List[BenchRecord] = []
+    records.extend(bench_pattern_match(graph, baseline, repeat))
+    records.extend(bench_gpq_join(graph, baseline, repeat))
+    records.extend(bench_chase(repeat, peers=peers))
+
+    report = {
+        "suite": "core",
+        "scale": scale,
+        "repeat": repeat,
+        "graph_triples": len(graph),
+        "build_seconds": {"encoded": build_new, "baseline": build_base},
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "created_unix": time.time(),
+        "benchmarks": [r.as_dict() for r in records],
+    }
+    if out:
+        write_report(report, out)
+    return report
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_summary(report: Dict[str, Any]) -> str:
+    """Human-readable one-line-per-benchmark summary for the CLI."""
+    lines = [
+        f"suite=core scale={report['scale']} "
+        f"triples={report['graph_triples']} repeat={report['repeat']}"
+    ]
+    for row in report["benchmarks"]:
+        base = row.get("baseline_seconds")
+        extra = (
+            f"  baseline={base:.4f}s  speedup={row['speedup']:.2f}x"
+            if base is not None
+            else ""
+        )
+        lines.append(f"{row['name']:<26} {row['seconds']:.4f}s{extra}")
+    return "\n".join(lines)

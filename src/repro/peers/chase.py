@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ChaseNonTerminationError
 from repro.gpq.evaluation import evaluate_query
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Variable, fresh_blank_node
 from repro.rdf.triples import Triple, TriplePattern
@@ -89,8 +90,15 @@ def chase_universal_solution(
     Raises:
         ChaseNonTerminationError: if the round budget is exhausted.
     """
-    solution = system.stored_database()
-    solution.name = "universal-solution"
+    # The chase mints globally fresh blank nodes (a process-wide counter),
+    # so encoding the solution against the shared default dictionary would
+    # grow it without bound across runs.  Each universal solution therefore
+    # gets its own private dictionary, reclaimed when the solution is.
+    solution = Graph(
+        system.stored_database(),
+        name="universal-solution",
+        dictionary=TermDictionary(),
+    )
     result = PeerChaseResult(solution=solution, stored_triples=len(solution))
 
     source_conjuncts: List[List[TriplePattern]] = [

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TGDError
 from repro.gpq.query import GraphPatternQuery
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.terms import (
     BlankNode,
@@ -290,7 +291,9 @@ def target_instance_to_graph(instance: Instance, name: str = "") -> Graph:
         TGDError: if a tt fact has a shape no RDF triple allows (cannot
             happen for instances produced by the encoding).
     """
-    graph = Graph(name=name or "exchange-target")
+    # Chase-minted nulls become fresh blank nodes; a private dictionary
+    # keeps them out of the process-wide shared one (see peers/chase.py).
+    graph = Graph(name=name or "exchange-target", dictionary=TermDictionary())
     for fact in instance.facts_with_predicate(TT):
         terms: List[Term] = []
         for arg in fact.args:

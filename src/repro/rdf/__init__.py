@@ -9,6 +9,7 @@ serialisations, and blank-node-aware canonicalisation.
 
 from repro.rdf.canonical import canonical_hash, canonicalize, isomorphic
 from repro.rdf.dataset import Dataset
+from repro.rdf.dictionary import TermDictionary, default_dictionary
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import (
     FOAF_NS,
@@ -59,6 +60,7 @@ __all__ = [
     "RDF_TYPE",
     "RDFS_NS",
     "Term",
+    "TermDictionary",
     "Triple",
     "TriplePattern",
     "Variable",
@@ -70,6 +72,7 @@ __all__ = [
     "XSD_STRING",
     "canonical_hash",
     "canonicalize",
+    "default_dictionary",
     "fresh_blank_node",
     "graph_from_ntriples",
     "graph_from_turtle",

@@ -1,38 +1,47 @@
-"""In-memory indexed RDF graph (triple store).
+"""In-memory indexed RDF graph (triple store), dictionary-encoded.
 
-The store keeps three nested-dictionary indexes — SPO, POS and OSP — so any
-triple pattern with at least one ground position is answered by dictionary
-lookups instead of a scan.  This is the classic Hexastore-lite layout used
-by in-memory RDF engines; three of the six orderings suffice because each
-covers two access paths:
+The store interns every term into an integer ID through a
+:class:`~repro.rdf.dictionary.TermDictionary` and keeps three
+nested-dictionary indexes — SPO, POS and OSP — over those IDs, so any
+triple pattern with at least one ground position is answered by integer
+dictionary lookups instead of a scan over Python term objects.  This is
+the classic Hexastore-lite layout used by in-memory RDF engines; three of
+the six orderings suffice because each covers two access paths:
 
 * ``SPO`` answers ``(s, ?, ?)`` and ``(s, p, ?)``;
 * ``POS`` answers ``(?, p, ?)`` and ``(?, p, o)``;
 * ``OSP`` answers ``(?, ?, o)`` and ``(s, ?, o)``.
 
-Fully ground lookups use the triple set directly and fully unbound lookups
-scan it.  All mutation goes through :meth:`Graph.add` / :meth:`Graph.remove`
-so the indexes can never drift from the triple set (a property-tested
-invariant).
+Fully ground lookups probe the ID-triple set directly and fully unbound
+lookups scan it.  All mutation goes through :meth:`Graph.add` /
+:meth:`Graph.remove` so the indexes can never drift from the triple set
+(a property-tested invariant).
+
+The public API is term-level and unchanged from the pre-dictionary store:
+callers pass and receive :class:`~repro.rdf.triples.Triple` objects and
+never see IDs.  The ID-level access path (:meth:`Graph.triples_ids`,
+:meth:`Graph.term_id`, :meth:`Graph.decode_id`) is exposed for the query
+evaluator, which joins on integers and decodes only final answer rows.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.rdf.dictionary import IDTriple, TermDictionary, default_dictionary
 from repro.rdf.terms import BlankNode, IRI, Literal, Term, Variable
 from repro.rdf.triples import Triple, TriplePattern
 
 __all__ = ["Graph"]
 
-_Index = Dict[Term, Dict[Term, Set[Term]]]
+_Index = Dict[int, Dict[int, Set[int]]]
 
 
-def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_add(index: _Index, a: int, b: int, c: int) -> None:
     index.setdefault(a, {}).setdefault(b, set()).add(c)
 
 
-def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
     level1 = index.get(a)
     if level1 is None:
         return
@@ -46,6 +55,12 @@ def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
             del index[a]
 
 
+def _copy_index(index: _Index) -> _Index:
+    return {
+        a: {b: set(c) for b, c in level1.items()} for a, level1 in index.items()
+    }
+
+
 class Graph:
     """A mutable set of RDF triples with pattern-matching access.
 
@@ -53,19 +68,26 @@ class Graph:
         triples: optional initial triples.
         name: optional graph name (used by :class:`repro.rdf.dataset.Dataset`
             and in diagnostics).
+        dictionary: term dictionary to encode against; defaults to the
+            process-wide shared dictionary, so independently built graphs
+            agree on IDs and set algebra between them stays integer-level.
 
     The class supports the container protocol (``len``, ``in``, iteration)
     plus set-style algebra (``|``, ``&``, ``-``) which returns new graphs.
     """
 
-    __slots__ = ("_triples", "_spo", "_pos", "_osp", "name")
+    __slots__ = ("_dict", "_ids", "_spo", "_pos", "_osp", "name")
 
     def __init__(
         self,
         triples: Optional[Iterable[Triple]] = None,
         name: str = "",
+        dictionary: Optional[TermDictionary] = None,
     ) -> None:
-        self._triples: Set[Triple] = set()
+        self._dict: TermDictionary = (
+            dictionary if dictionary is not None else default_dictionary()
+        )
+        self._ids: Set[IDTriple] = set()
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
@@ -75,15 +97,40 @@ class Graph:
                 self.add(triple)
 
     # ------------------------------------------------------------------
+    # Dictionary access
+    # ------------------------------------------------------------------
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary this graph encodes against."""
+        return self._dict
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """The ID of ``term``, or ``None`` if it was never interned.
+
+        A ``None`` result means no triple of this graph (nor of any other
+        graph sharing the dictionary) can contain the term, which lets
+        the evaluator prune whole patterns before touching an index.
+        """
+        return self._dict.lookup(term)
+
+    def decode_id(self, tid: int) -> Term:
+        """The term with dictionary ID ``tid``."""
+        return self._dict.decode(tid)
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
     def add(self, triple: Triple) -> bool:
         """Add a triple; returns True if it was not already present."""
-        if triple in self._triples:
+        return self._add_ids(self._dict.encode_triple(triple))
+
+    def _add_ids(self, ids: IDTriple) -> bool:
+        if ids in self._ids:
             return False
-        self._triples.add(triple)
-        s, p, o = triple.subject, triple.predicate, triple.object
+        self._ids.add(ids)
+        s, p, o = ids
         _index_add(self._spo, s, p, o)
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
@@ -91,45 +138,67 @@ class Graph:
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns how many were new."""
+        if isinstance(triples, Graph) and triples._dict is self._dict:
+            return sum(1 for t in triples._ids if self._add_ids(t))
         return sum(1 for t in triples if self.add(t))
 
     def remove(self, triple: Triple) -> bool:
         """Remove a triple; returns True if it was present."""
-        if triple not in self._triples:
+        ids = self._lookup_ids(triple)
+        if ids is None or ids not in self._ids:
             return False
-        self._triples.discard(triple)
-        s, p, o = triple.subject, triple.predicate, triple.object
+        self._ids.discard(ids)
+        s, p, o = ids
         _index_remove(self._spo, s, p, o)
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
         return True
 
     def clear(self) -> None:
-        self._triples.clear()
+        self._ids.clear()
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+
+    def _lookup_ids(self, triple: Triple) -> Optional[IDTriple]:
+        """Encode a triple without interning; None if any term is unknown."""
+        lookup = self._dict.lookup
+        s = lookup(triple.subject)
+        if s is None:
+            return None
+        p = lookup(triple.predicate)
+        if p is None:
+            return None
+        o = lookup(triple.object)
+        if o is None:
+            return None
+        return (s, p, o)
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._triples)
+        return len(self._ids)
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple in self._triples
+        ids = self._lookup_ids(triple)
+        return ids is not None and ids in self._ids
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        decode = self._dict.decode_triple
+        for ids in self._ids:
+            yield decode(ids)
 
     def __bool__(self) -> bool:
-        return bool(self._triples)
+        return bool(self._ids)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._triples == other._triples
+        if other._dict is self._dict:
+            return self._ids == other._ids
+        return set(self) == set(other)
 
     def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
         raise TypeError("Graph is unhashable; use canonical_hash() instead")
@@ -142,6 +211,75 @@ class Graph:
     # Pattern access
     # ------------------------------------------------------------------
 
+    def triples_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> Iterator[IDTriple]:
+        """Iterate over ID-triples matching the given ground-ID positions.
+
+        ``None`` in a position is a wildcard.  The most selective index
+        available is used.  This is the integer-level access path the
+        query evaluator joins on.
+        """
+        if subject is not None and predicate is not None and object is not None:
+            candidate = (subject, predicate, object)
+            if candidate in self._ids:
+                yield candidate
+            return
+
+        if subject is not None:
+            by_pred = self._spo.get(subject)
+            if not by_pred:
+                return
+            if predicate is not None:
+                for obj in by_pred.get(predicate, ()):
+                    yield (subject, predicate, obj)
+            elif object is not None:
+                by_subj = self._osp.get(object)
+                if not by_subj:
+                    return
+                for pred in by_subj.get(subject, ()):
+                    yield (subject, pred, object)
+            else:
+                for pred, objs in by_pred.items():
+                    for obj in objs:
+                        yield (subject, pred, obj)
+            return
+
+        if predicate is not None:
+            by_obj = self._pos.get(predicate)
+            if not by_obj:
+                return
+            if object is not None:
+                for subj in by_obj.get(object, ()):
+                    yield (subj, predicate, object)
+            else:
+                for obj, subjs in by_obj.items():
+                    for subj in subjs:
+                        yield (subj, predicate, obj)
+            return
+
+        if object is not None:
+            by_subj = self._osp.get(object)
+            if not by_subj:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield (subj, pred, object)
+            return
+
+        yield from self._ids
+
+    def _resolve(self, term: Optional[Term]) -> Tuple[Optional[int], bool]:
+        """Map a term-level position to (ID, known): Variables and None are
+        wildcards; a ground term absent from the dictionary is unknown."""
+        if term is None or isinstance(term, Variable):
+            return None, True
+        tid = self._dict.lookup(term)
+        return tid, tid is not None
+
     def triples(
         self,
         subject: Optional[Term] = None,
@@ -153,61 +291,18 @@ class Graph:
         ``None`` (or a :class:`Variable`) in a position acts as a wildcard.
         The most selective index available is used.
         """
-        if isinstance(subject, Variable):
-            subject = None
-        if isinstance(predicate, Variable):
-            predicate = None
-        if isinstance(object, Variable):
-            object = None
-
-        if subject is not None and predicate is not None and object is not None:
-            candidate = Triple(subject, predicate, object)
-            if candidate in self._triples:
-                yield candidate
+        s, known = self._resolve(subject)
+        if not known:
             return
-
-        if subject is not None:
-            by_pred = self._spo.get(subject)
-            if not by_pred:
-                return
-            if predicate is not None:
-                for obj in by_pred.get(predicate, ()):
-                    yield Triple(subject, predicate, obj)
-            elif object is not None:
-                by_subj = self._osp.get(object)
-                if not by_subj:
-                    return
-                for pred in by_subj.get(subject, ()):
-                    yield Triple(subject, pred, object)
-            else:
-                for pred, objs in by_pred.items():
-                    for obj in objs:
-                        yield Triple(subject, pred, obj)
+        p, known = self._resolve(predicate)
+        if not known:
             return
-
-        if predicate is not None:
-            by_obj = self._pos.get(predicate)
-            if not by_obj:
-                return
-            if object is not None:
-                for subj in by_obj.get(object, ()):
-                    yield Triple(subj, predicate, object)
-            else:
-                for obj, subjs in by_obj.items():
-                    for subj in subjs:
-                        yield Triple(subj, predicate, obj)
+        o, known = self._resolve(object)
+        if not known:
             return
-
-        if object is not None:
-            by_subj = self._osp.get(object)
-            if not by_subj:
-                return
-            for subj, preds in by_subj.items():
-                for pred in preds:
-                    yield Triple(subj, pred, object)
-            return
-
-        yield from self._triples
+        decode = self._dict.decode_triple
+        for ids in self.triples_ids(s, p, o):
+            yield decode(ids)
 
     def match(self, pattern: TriplePattern) -> Iterator[Triple]:
         """Iterate over triples matching a :class:`TriplePattern`.
@@ -215,19 +310,37 @@ class Graph:
         Ground positions (IRIs, literals, blank nodes) constrain the lookup;
         variable positions are wildcards.  Repeated variables are checked
         (e.g. ``(?x, p, ?x)`` only matches triples with equal subject and
-        object).  A literal in the subject position matches nothing, since
-        triples cannot have literal subjects.
+        object) — at the integer level, before any decoding.  A literal in
+        the subject position matches nothing, since triples cannot have
+        literal subjects.
         """
-        subject = None if isinstance(pattern.subject, Variable) else pattern.subject
-        predicate = (
-            None if isinstance(pattern.predicate, Variable) else pattern.predicate
-        )
-        object = None if isinstance(pattern.object, Variable) else pattern.object
-        if isinstance(subject, Literal):
+        terms = (pattern.subject, pattern.predicate, pattern.object)
+        if isinstance(terms[0], Literal):
             return
-        for triple in self.triples(subject, predicate, object):
-            if pattern.matches(triple) is not None:
-                yield triple
+        lookup = self._dict.lookup
+        args: List[Optional[int]] = [None, None, None]
+        seen: Dict[Variable, int] = {}
+        constraints: List[Tuple[int, int]] = []
+        for pos, term in enumerate(terms):
+            if isinstance(term, Variable):
+                first = seen.get(term)
+                if first is None:
+                    seen[term] = pos
+                else:
+                    constraints.append((first, pos))
+            else:
+                tid = lookup(term)
+                if tid is None:
+                    return
+                args[pos] = tid
+        decode = self._dict.decode_triple
+        if constraints:
+            for ids in self.triples_ids(args[0], args[1], args[2]):
+                if all(ids[i] == ids[j] for i, j in constraints):
+                    yield decode(ids)
+        else:
+            for ids in self.triples_ids(args[0], args[1], args[2]):
+                yield decode(ids)
 
     def count(
         self,
@@ -238,43 +351,58 @@ class Graph:
         """Count matching triples without materialising them all.
 
         Counts for single-ground-position patterns come straight from the
-        indexes; other shapes fall back to iteration.
+        indexes; other shapes fall back to (integer-level) iteration.
         """
-        has_s = subject is not None and not isinstance(subject, Variable)
-        has_p = predicate is not None and not isinstance(predicate, Variable)
-        has_o = object is not None and not isinstance(object, Variable)
-        if not (has_s or has_p or has_o):
-            return len(self._triples)
-        if has_s and not has_p and not has_o:
-            by_pred = self._spo.get(subject, {})
+        s, known = self._resolve(subject)
+        if not known:
+            return 0
+        p, known = self._resolve(predicate)
+        if not known:
+            return 0
+        o, known = self._resolve(object)
+        if not known:
+            return 0
+        if s is None and p is None and o is None:
+            return len(self._ids)
+        if s is not None and p is None and o is None:
+            by_pred = self._spo.get(s, {})
             return sum(len(objs) for objs in by_pred.values())
-        if has_p and not has_s and not has_o:
-            by_obj = self._pos.get(predicate, {})
+        if p is not None and s is None and o is None:
+            by_obj = self._pos.get(p, {})
             return sum(len(subjs) for subjs in by_obj.values())
-        if has_o and not has_s and not has_p:
-            by_subj = self._osp.get(object, {})
+        if o is not None and s is None and p is None:
+            by_subj = self._osp.get(o, {})
             return sum(len(preds) for preds in by_subj.values())
-        return sum(1 for _ in self.triples(subject, predicate, object))
+        return sum(1 for _ in self.triples_ids(s, p, o))
 
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
 
     def subjects(self) -> Set[Term]:
-        return set(self._spo.keys())
+        decode = self._dict.decode
+        return {decode(i) for i in self._spo.keys()}
 
     def predicates(self) -> Set[Term]:
-        return set(self._pos.keys())
+        decode = self._dict.decode
+        return {decode(i) for i in self._pos.keys()}
 
     def objects(self) -> Set[Term]:
-        return set(self._osp.keys())
+        decode = self._dict.decode
+        return {decode(i) for i in self._osp.keys()}
+
+    def _term_ids(self) -> Set[int]:
+        out: Set[int] = set()
+        for s, p, o in self._ids:
+            out.add(s)
+            out.add(p)
+            out.add(o)
+        return out
 
     def terms(self) -> Set[Term]:
         """All terms occurring in any position."""
-        out: Set[Term] = set()
-        for triple in self._triples:
-            out.update(triple.terms())
-        return out
+        decode = self._dict.decode
+        return {decode(i) for i in self._term_ids()}
 
     def iris(self) -> Set[IRI]:
         """All IRIs occurring in the graph — the peer schema of Section 2.2."""
@@ -291,7 +419,18 @@ class Graph:
     # ------------------------------------------------------------------
 
     def copy(self, name: str = "") -> "Graph":
-        return Graph(self._triples, name=name or self.name)
+        out = Graph(name=name or self.name, dictionary=self._dict)
+        out._ids = set(self._ids)
+        out._spo = _copy_index(self._spo)
+        out._pos = _copy_index(self._pos)
+        out._osp = _copy_index(self._osp)
+        return out
+
+    def _from_ids(self, ids: Iterable[IDTriple], name: str = "") -> "Graph":
+        out = Graph(name=name, dictionary=self._dict)
+        for t in ids:
+            out._add_ids(t)
+        return out
 
     def __or__(self, other: "Graph") -> "Graph":
         out = self.copy()
@@ -299,13 +438,22 @@ class Graph:
         return out
 
     def __and__(self, other: "Graph") -> "Graph":
+        if other._dict is self._dict:
+            small, large = (
+                (self, other) if len(self) <= len(other) else (other, self)
+            )
+            return self._from_ids(small._ids & large._ids)
         small, large = (self, other) if len(self) <= len(other) else (other, self)
         return Graph(t for t in small if t in large)
 
     def __sub__(self, other: "Graph") -> "Graph":
+        if other._dict is self._dict:
+            return self._from_ids(self._ids - other._ids)
         return Graph(t for t in self if t not in other)
 
     def issubset(self, other: "Graph") -> bool:
+        if other._dict is self._dict:
+            return self._ids <= other._ids
         return all(t in other for t in self)
 
     # ------------------------------------------------------------------
@@ -314,40 +462,41 @@ class Graph:
 
     def predicate_histogram(self) -> Dict[Term, int]:
         """Triple count per predicate, for join-order selectivity."""
+        decode = self._dict.decode
         return {
-            pred: sum(len(subjs) for subjs in by_obj.values())
+            decode(pred): sum(len(subjs) for subjs in by_obj.values())
             for pred, by_obj in self._pos.items()
         }
 
     def sorted_triples(self) -> List[Triple]:
         """Triples in the deterministic library-wide order."""
-        return sorted(self._triples, key=Triple.sort_key)
+        return sorted(self, key=Triple.sort_key)
 
     # ------------------------------------------------------------------
     # Debug / verification helpers
     # ------------------------------------------------------------------
 
     def check_index_coherence(self) -> bool:
-        """Verify all three indexes agree with the triple set.
+        """Verify all three indexes agree with the ID-triple set.
 
         Used by property tests; O(n) in the graph size.
         """
         spo = {
-            Triple(s, p, o)
+            (s, p, o)
             for s, by_p in self._spo.items()
             for p, objs in by_p.items()
             for o in objs
         }
         pos = {
-            Triple(s, p, o)
+            (s, p, o)
             for p, by_o in self._pos.items()
             for o, subjs in by_o.items()
             for s in subjs
         }
         osp = {
-            Triple(s, p, o)
+            (s, p, o)
             for o, by_s in self._osp.items()
             for s, preds in by_s.items()
             for p in preds
         }
-        return spo == self._triples and pos == self._triples and osp == self._triples
+        return spo == self._ids and pos == self._ids and osp == self._ids

@@ -1,0 +1,128 @@
+"""Shared fixtures for the test suite.
+
+Ensures ``src/`` is importable even when the package is not installed,
+then exposes the small graphs, workloads and peer systems most test
+modules build on.
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest
+
+from repro.gpq.pattern import make_pattern
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Namespace
+from repro.rdf.terms import (
+    Literal,
+    Variable,
+    reset_blank_node_counter,
+)
+from repro.rdf.triples import Triple
+from repro.workload.generators import random_graph
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_blank_nodes():
+    """Fresh blank-node labels start at 0 in every test."""
+    reset_blank_node_counter()
+    yield
+
+
+@pytest.fixture
+def ex():
+    """The shared example namespace."""
+    return EX
+
+
+@pytest.fixture
+def film_graph():
+    """A hand-written graph mirroring the paper's film-domain examples."""
+    g = Graph(name="films")
+    spiderman = EX.term("Spiderman")
+    raimi = EX.term("Raimi")
+    directed = EX.term("directedBy")
+    year = EX.term("year")
+    title = EX.term("title")
+    g.add(Triple(spiderman, directed, raimi))
+    g.add(Triple(spiderman, year, Literal("2002")))
+    g.add(Triple(spiderman, title, Literal("Spider-Man", language="en")))
+    g.add(Triple(EX.term("DarkMan"), directed, raimi))
+    g.add(Triple(EX.term("DarkMan"), year, Literal("1990")))
+    return g
+
+
+@pytest.fixture
+def medium_random_graph():
+    """A seeded ~300-triple generator graph (no blanks)."""
+    return random_graph(triples=300, seed=5)
+
+
+@pytest.fixture
+def blanky_random_graph():
+    """A seeded generator graph with a 30% blank-node fraction."""
+    return random_graph(triples=200, seed=9, blank_fraction=0.3)
+
+
+@pytest.fixture
+def path_query_2(medium_random_graph):
+    """A 2-hop path query over the generator vocabulary."""
+    predicates = sorted(medium_random_graph.predicates())[:2]
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return GraphPatternQuery(
+        (x, z), make_pattern((x, predicates[0], y), (y, predicates[1], z))
+    )
+
+
+@pytest.fixture
+def three_peer_chain():
+    """A 3-peer chain RPS with hand-computable certain answers.
+
+    peer0 stores ``a knows0 b`` and ``b knows0 c``; assertions translate
+    ``knows0 -> knows1 -> knows2``; peer1 and peer2 each hold one local
+    fact; one equivalence identifies ``peer0:a`` with ``peer1:d``.
+    Tests assert the exact certain-answer sets derived in
+    ``tests/test_chase.py``.
+    """
+    from repro.peers.mappings import EquivalenceMapping, GraphMappingAssertion
+    from repro.peers.system import RPS
+
+    ns = [Namespace(f"http://peer{i}.example.org/") for i in range(3)]
+    knows = [n.term("knows") for n in ns]
+    a, b, c = (ns[0].term(x) for x in "abc")
+    d, e = ns[1].term("d"), ns[1].term("e")
+    f, g = ns[2].term("f"), ns[2].term("g")
+
+    graphs = {
+        "peer0": Graph([Triple(a, knows[0], b), Triple(b, knows[0], c)]),
+        "peer1": Graph([Triple(d, knows[1], e)]),
+        "peer2": Graph([Triple(f, knows[2], g)]),
+    }
+
+    def translation(i, j):
+        x, y = Variable("x"), Variable("y")
+        return GraphMappingAssertion(
+            GraphPatternQuery((x, y), make_pattern((x, knows[i], y))),
+            GraphPatternQuery((x, y), make_pattern((x, knows[j], y))),
+            source_peer=f"peer{i}",
+            target_peer=f"peer{j}",
+            label=f"peer{i}->peer{j}",
+        )
+
+    rps = RPS.from_graphs(
+        graphs,
+        assertions=[translation(0, 1), translation(1, 2)],
+        equivalences=[EquivalenceMapping(a, d)],
+    )
+    terms = {
+        "a": a, "b": b, "c": c, "d": d, "e": e, "f": f, "g": g,
+        "knows": knows,
+    }
+    return rps, terms

@@ -1,0 +1,63 @@
+"""Smoke tests for the benchmark harness (tiny scale, single repeat)."""
+
+import json
+
+import pytest
+
+from repro.bench import run_all
+from repro.bench.runner import format_summary
+
+EXPECTED_BENCHMARKS = {
+    "match/by_subject",
+    "match/by_predicate",
+    "match/by_object",
+    "match/subject_predicate",
+    "match/repeated_variable",
+    "join/path2",
+    "join/path3",
+    "join/star2",
+    "join/star3",
+    "chase/chain",
+    "chase/cycle",
+}
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_core.json"
+    report = run_all(scale=800, repeat=1, out=str(out), peers=3)
+    return report, out
+
+
+def test_report_written_and_parseable(report):
+    data, out = report
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["suite"] == "core"
+    assert on_disk["scale"] == 800
+    assert {row["name"] for row in on_disk["benchmarks"]} == EXPECTED_BENCHMARKS
+    assert on_disk == json.loads(json.dumps(data))
+
+
+def test_comparative_rows_have_baseline_and_speedup(report):
+    data, _ = report
+    for row in data["benchmarks"]:
+        assert row["seconds"] >= 0
+        if row["name"].startswith(("match/", "join/")):
+            assert row["baseline_seconds"] >= 0
+            assert row["speedup"] > 0
+        else:
+            assert "baseline_seconds" not in row
+
+
+def test_summary_mentions_every_benchmark(report):
+    data, _ = report
+    text = format_summary(data)
+    for name in EXPECTED_BENCHMARKS:
+        assert name in text
+
+
+def test_run_without_out_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run_all(scale=300, repeat=1, out=None, peers=3)
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,171 @@
+"""Tests for the TGD chase and certain-answer computation.
+
+Covers: restricted-chase termination and output on an acyclic dependency
+set, the non-termination guard, and the hand-computed certain answers of
+the 3-peer chain fixture (Algorithm 1 + ``Q_D`` semantics).
+"""
+
+import pytest
+
+from repro.errors import ChaseNonTerminationError
+from repro.gpq.pattern import make_pattern
+from repro.gpq.query import GraphPatternQuery
+from repro.peers.certain_answers import certain_answers, certain_answers_report, certain_ask
+from repro.peers.chase import chase_universal_solution
+from repro.rdf.terms import BlankNode, Variable
+from repro.tgd.atoms import Atom, Constant, Instance, LabeledNull, RelVar, reset_null_counter
+from repro.tgd.chase import chase, is_satisfied, violations
+from repro.tgd.dependencies import TGD
+
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_nulls():
+    reset_null_counter()
+    yield
+
+
+def rel_vars(*names):
+    return tuple(RelVar(n) for n in names)
+
+
+class TestRelationalChase:
+    def test_acyclic_tgds_terminate_with_expected_facts(self):
+        x, y, z = rel_vars("x", "y", "z")
+        tgds = [
+            TGD([Atom("r", x, y)], [Atom("s", y, z)], label="r-to-s"),
+            TGD([Atom("s", x, y)], [Atom("t", x, y)], label="s-to-t"),
+        ]
+        a, b = Constant("a"), Constant("b")
+        instance = Instance([Atom("r", a, b)])
+        result = chase(instance, tgds)
+        assert all(is_satisfied(tgd, result.instance) for tgd in tgds)
+        assert violations(tgds, result.instance) == []
+        # One null minted for z; s(b, null) and t(b, null) derived.
+        assert result.nulls_created == 1
+        assert result.facts_added == 2
+        null = next(iter(result.instance.nulls()))
+        assert Atom("s", b, null) in result.instance
+        assert Atom("t", b, null) in result.instance
+        # The original instance was not mutated (in_place defaults False).
+        assert len(instance) == 1
+
+    def test_full_tgd_transitive_closure(self):
+        x, y, z = rel_vars("x", "y", "z")
+        transitivity = TGD(
+            [Atom("edge", x, y), Atom("edge", y, z)], [Atom("edge", x, z)]
+        )
+        nodes = [Constant(c) for c in "abcd"]
+        instance = Instance(
+            Atom("edge", nodes[i], nodes[i + 1]) for i in range(3)
+        )
+        result = chase(instance, [transitivity], in_place=True)
+        assert result.instance is instance
+        # Closure of a 4-node path has 3+2+1 edges.
+        assert len(instance) == 6
+        assert result.nulls_created == 0
+        assert is_satisfied(transitivity, instance)
+
+    def test_non_terminating_chase_hits_step_budget(self):
+        x, y = rel_vars("x", "y")
+        # person(x) -> ∃y parent(x, y) ∧ person(y): each null spawns another.
+        grower = TGD(
+            [Atom("person", x)], [Atom("parent", x, y), Atom("person", y)]
+        )
+        instance = Instance([Atom("person", Constant("eve"))])
+        with pytest.raises(ChaseNonTerminationError):
+            chase(instance, [grower], max_steps=50)
+
+    def test_satisfied_tgd_never_fires(self):
+        x, y = rel_vars("x", "y")
+        tgd = TGD([Atom("r", x, y)], [Atom("s", x, y)])
+        instance = Instance(
+            [Atom("r", Constant("a"), Constant("b")),
+             Atom("s", Constant("a"), Constant("b"))]
+        )
+        result = chase(instance, [tgd])
+        assert result.fired == 0
+        assert result.facts_added == 0
+
+
+class TestThreePeerCertainAnswers:
+    """Hand-derived expectations for the conftest 3-peer chain.
+
+    Stored: a k0 b, b k0 c (peer0); d k1 e (peer1); f k2 g (peer2).
+    Assertions: k0 ⇝ k1, k1 ⇝ k2.  Equivalence: a ≡ d.
+    The chase closure therefore contains, at the k2 level:
+    translated peer0 facts (a k2 b, b k2 c), the translated peer1 fact
+    (d k2 e), peer2's own (f k2 g), plus the equivalence copies
+    (d k2 b) — d gets a's contexts — and (a k2 e) — a gets d's.
+    """
+
+    def expected_k2(self, t):
+        return {
+            (t["a"], t["b"]),
+            (t["b"], t["c"]),
+            (t["d"], t["e"]),
+            (t["f"], t["g"]),
+            (t["d"], t["b"]),
+            (t["a"], t["e"]),
+        }
+
+    def query_k2(self, t):
+        return GraphPatternQuery((X, Y), make_pattern((X, t["knows"][2], Y)))
+
+    def test_certain_answers_match_hand_derivation(self, three_peer_chain):
+        rps, t = three_peer_chain
+        assert certain_answers(rps, self.query_k2(t)) == self.expected_k2(t)
+
+    def test_universal_solution_statistics(self, three_peer_chain):
+        rps, t = three_peer_chain
+        report = certain_answers_report(rps, self.query_k2(t))
+        assert report.answers == self.expected_k2(t)
+        chase_stats = report.chase
+        assert chase_stats.stored_triples == 4
+        assert chase_stats.blank_nodes_created == 0  # no existentials here
+        assert chase_stats.rounds >= 2
+        assert len(report.universal_solution) > chase_stats.stored_triples
+
+    def test_solution_reuse_skips_rechase(self, three_peer_chain):
+        rps, t = three_peer_chain
+        solution = chase_universal_solution(rps).solution
+        answers = certain_answers(rps, self.query_k2(t), solution=solution)
+        assert answers == self.expected_k2(t)
+
+    def test_certain_ask(self, three_peer_chain):
+        rps, t = three_peer_chain
+        k2 = t["knows"][2]
+        assert certain_ask(
+            rps, GraphPatternQuery((), make_pattern((t["a"], k2, t["b"])))
+        )
+        assert not certain_ask(
+            rps, GraphPatternQuery((), make_pattern((t["c"], k2, t["a"])))
+        )
+
+    def test_existential_target_mints_dropped_blanks(self, three_peer_chain):
+        """An assertion with an existential target variable creates
+        labelled nulls that Q* keeps and Q (certain answers) drops."""
+        from repro.peers.mappings import GraphMappingAssertion
+        from repro.gpq.evaluation import evaluate_query, evaluate_query_star
+
+        rps, t = three_peer_chain
+        k2, k0 = t["knows"][2], t["knows"][0]
+        z = Variable("z")
+        # Everyone known at the k2 level must know someone at the k0 level.
+        rps.add_assertion(
+            GraphMappingAssertion(
+                GraphPatternQuery((Y,), make_pattern((X, k2, Y))),
+                GraphPatternQuery((Y,), make_pattern((Y, k0, z))),
+                label="k2-to-k0-existential",
+            )
+        )
+        solution = chase_universal_solution(rps).solution
+        assert solution.blank_nodes(), "chase should have minted nulls"
+        q = GraphPatternQuery((X, Y), make_pattern((X, k0, Y)))
+        star = evaluate_query_star(solution, q)
+        certain = evaluate_query(solution, q)
+        assert certain < star
+        assert all(
+            not isinstance(term, BlankNode) for row in certain for term in row
+        )

@@ -1,0 +1,111 @@
+"""Tests for the term dictionary and the Graph ID-level access path."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.dictionary import TermDictionary, default_dictionary
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Namespace
+from repro.rdf.terms import BlankNode, IRI, Literal, Variable
+from repro.rdf.triples import Triple
+
+EX = Namespace("http://example.org/")
+
+
+def test_encode_decode_round_trip():
+    d = TermDictionary()
+    terms = [
+        IRI("http://example.org/a"),
+        BlankNode("b0"),
+        Literal("plain"),
+        Literal("tagged", language="en"),
+        Literal("5", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")),
+    ]
+    ids = [d.encode(t) for t in terms]
+    assert ids == list(range(5))
+    assert [d.decode(i) for i in ids] == terms
+    assert len(d) == 5
+
+
+def test_encode_is_idempotent_and_lookup_is_side_effect_free():
+    d = TermDictionary()
+    a = EX.term("a")
+    tid = d.encode(a)
+    assert d.encode(IRI(str(a))) == tid
+    assert len(d) == 1
+    assert d.lookup(EX.term("not-interned")) is None
+    assert len(d) == 1  # lookup must never intern
+    assert a in d and EX.term("not-interned") not in d
+
+
+def test_equal_but_distinct_literals_get_distinct_ids():
+    d = TermDictionary()
+    plain = d.encode(Literal("x"))
+    tagged = d.encode(Literal("x", language="en"))
+    typed = d.encode(
+        Literal("x", datatype=IRI("http://www.w3.org/2001/XMLSchema#string"))
+    )
+    assert len({plain, tagged, typed}) == 3
+
+
+def test_variables_are_rejected():
+    d = TermDictionary()
+    with pytest.raises(TermError):
+        d.encode(Variable("x"))
+
+
+def test_decode_unknown_id_raises():
+    d = TermDictionary()
+    with pytest.raises(KeyError):
+        d.decode(42)
+    d.encode(EX.term("only"))
+    # Negative IDs must not wrap around to the end of the term list.
+    with pytest.raises(KeyError):
+        d.decode(-1)
+
+
+def test_chase_solution_uses_private_dictionary(three_peer_chain):
+    """Fresh chase blanks must not leak into the shared dictionary."""
+    from repro.peers.chase import chase_universal_solution
+
+    rps, _ = three_peer_chain
+    solution = chase_universal_solution(rps).solution
+    assert solution.dictionary is not default_dictionary()
+
+
+def test_triple_round_trip():
+    d = TermDictionary()
+    t = Triple(EX.term("s"), EX.term("p"), Literal("o"))
+    assert d.decode_triple(d.encode_triple(t)) == t
+
+
+def test_graphs_share_default_dictionary():
+    g1, g2 = Graph(), Graph()
+    assert g1.dictionary is g2.dictionary is default_dictionary()
+    t = Triple(EX.term("shared"), EX.term("p"), EX.term("x"))
+    g1.add(t)
+    assert g1.term_id(t.subject) == g2.term_id(t.subject)
+
+
+def test_graph_id_level_access_agrees_with_term_level():
+    g = Graph(
+        [
+            Triple(EX.term("a"), EX.term("p"), EX.term("b")),
+            Triple(EX.term("a"), EX.term("q"), EX.term("c")),
+        ]
+    )
+    a_id = g.term_id(EX.term("a"))
+    assert a_id is not None
+    rows = list(g.triples_ids(subject=a_id))
+    assert len(rows) == 2
+    decoded = {g.dictionary.decode_triple(row) for row in rows}
+    assert decoded == set(g.triples(subject=EX.term("a")))
+    assert g.decode_id(a_id) == EX.term("a")
+
+
+def test_private_dictionary_isolation():
+    private = TermDictionary()
+    g = Graph(dictionary=private)
+    g.add(Triple(EX.term("iso"), EX.term("p"), EX.term("x")))
+    assert private.lookup(EX.term("iso")) is not None
+    assert len(private) == 3
