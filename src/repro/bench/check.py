@@ -1,0 +1,204 @@
+"""Benchmark regression gate: compare a fresh smoke run to baselines.
+
+``python -m repro.bench --check`` re-runs every suite at the committed
+smoke parameters and compares the fresh records against the ``smoke``
+block of the committed report (``BENCH_core.json``).  Raw wall-clock
+seconds are *not* compared — CI runners and developer machines differ by
+far more than any real regression — instead the gate checks the two
+classes of quantity that survive a machine change:
+
+* **deterministic metrics** — result cardinalities, chase rounds and
+  solution sizes, federation message counts and transfer volumes.  These
+  are seeded and must match the committed values exactly; any drift is a
+  behaviour change, not noise.
+* **machine-normalised speedups** — each comparative benchmark times the
+  optimised implementation *and* the frozen seed implementation in the
+  same process, so their ratio cancels the machine.  Ratios are
+  aggregated per suite (geometric mean over e.g. all ``sparql/*``
+  rows), because individual smoke-scale rows run in fractions of a
+  millisecond and jitter; the gate fails when a suite's aggregate
+  speedup falls below the committed aggregate divided by the tolerance
+  (default 2x), i.e. on a >2x relative slowdown of any suite.
+
+The gate also re-asserts the federation invariant (bound joins ship
+strictly fewer messages than naive shipping) on the fresh records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bench.runner import build_report
+
+__all__ = ["CheckOutcome", "check_against", "DEFAULT_TOLERANCE"]
+
+#: A fresh speedup may be up to this factor below the committed one.
+DEFAULT_TOLERANCE = 2.0
+
+#: Integer meta fields that are deterministic given the seeded workloads
+#: and must match the committed baseline exactly.
+GATED_META = (
+    "result",
+    "results",
+    "rounds",
+    "solution_triples",
+    "messages",
+    "solutions_transferred",
+    "triples_transferred",
+)
+
+
+@dataclass
+class CheckOutcome:
+    """Result of one regression check.
+
+    Attributes:
+        ok: True when no comparison failed.
+        failures: human-readable description of every failed comparison.
+        checked: number of benchmark records compared.
+        fresh_report: the freshly produced smoke report (for artifacts).
+    """
+
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    checked: int = 0
+    fresh_report: Optional[Dict[str, Any]] = None
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        lines = [
+            f"bench check: {status} "
+            f"({self.checked} records, {len(self.failures)} failures)"
+        ]
+        lines.extend(f"  - {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def check_against(
+    committed: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    fresh: Optional[Dict[str, Any]] = None,
+) -> CheckOutcome:
+    """Compare a fresh smoke run against a committed report.
+
+    Args:
+        committed: the parsed committed report; its ``smoke`` block holds
+            the baselines (regenerate with ``python -m repro.bench``).
+        tolerance: allowed relative speedup degradation (>1).
+        fresh: pre-computed fresh report (tests inject small ones); when
+            ``None`` the suites run at the committed smoke parameters.
+
+    Returns:
+        A :class:`CheckOutcome`; ``ok`` is False on any missing record,
+        deterministic-metric drift, or out-of-band slowdown.
+    """
+    baseline = committed.get("smoke")
+    if baseline is None:
+        return CheckOutcome(
+            ok=False,
+            failures=[
+                "committed report has no 'smoke' block; regenerate it with "
+                "'python -m repro.bench'"
+            ],
+        )
+    if fresh is None:
+        try:
+            fresh = build_report(
+                scale=baseline.get("scale", 3000),
+                repeat=baseline.get("repeat", 1),
+                peers=baseline.get("peers", 3),
+            )
+        except AssertionError as exc:
+            # The suites hard-assert behaviour invariants (result
+            # equality, bound < naive messages); surface those through
+            # the gate's reporting path instead of a raw traceback.
+            return CheckOutcome(
+                ok=False,
+                failures=[f"benchmark suite self-check failed: {exc}"],
+            )
+
+    failures: List[str] = []
+    fresh_rows = {row["name"]: row for row in fresh["benchmarks"]}
+    committed_rows = [dict(row) for row in baseline["benchmarks"]]
+
+    for row in committed_rows:
+        name = row["name"]
+        current = fresh_rows.get(name)
+        if current is None:
+            failures.append(f"{name}: benchmark disappeared from the suite")
+            continue
+        committed_meta = row.get("meta", {})
+        current_meta = current.get("meta", {})
+        for key in GATED_META:
+            if key in committed_meta:
+                if current_meta.get(key) != committed_meta[key]:
+                    failures.append(
+                        f"{name}: {key} changed "
+                        f"{committed_meta[key]!r} -> {current_meta.get(key)!r}"
+                    )
+        if row.get("speedup") is not None and current.get("speedup") is None:
+            failures.append(f"{name}: speedup measurement disappeared")
+
+    committed_suites = _suite_speedups(committed_rows)
+    fresh_suites = _suite_speedups(fresh_rows.values())
+    for suite, committed_speedup in sorted(committed_suites.items()):
+        current_speedup = fresh_suites.get(suite)
+        if current_speedup is None:
+            continue  # disappearance already reported per-row above
+        if current_speedup < committed_speedup / tolerance:
+            failures.append(
+                f"suite {suite}: speedup {current_speedup:.2f}x fell more "
+                f"than {tolerance:g}x below committed "
+                f"{committed_speedup:.2f}x"
+            )
+
+    failures.extend(_federation_invariant(fresh_rows))
+    return CheckOutcome(
+        ok=not failures,
+        failures=failures,
+        checked=len(committed_rows),
+        fresh_report=fresh,
+    )
+
+
+def _suite_speedups(rows) -> Dict[str, float]:
+    """Geometric-mean speedup per suite (rows without speedups ignored)."""
+    grouped: Dict[str, List[float]] = {}
+    for row in rows:
+        speedup = row.get("speedup")
+        if speedup is not None and speedup > 0:
+            suite = row["name"].split("/", 1)[0]
+            grouped.setdefault(suite, []).append(speedup)
+    return {
+        suite: math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        for suite, speedups in grouped.items()
+    }
+
+
+def _federation_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Bound joins must ship strictly fewer messages than naive shipping."""
+    failures = []
+    scales = {
+        name.rsplit("@", 1)[1]
+        for name in fresh_rows
+        if name.startswith("federation/")
+    }
+    for scale in sorted(scales, key=lambda s: int(s)):
+        naive = fresh_rows.get(f"federation/naive@{scale}")
+        bound = fresh_rows.get(f"federation/bound@{scale}")
+        if naive is None or bound is None:
+            continue
+        naive_messages = naive.get("meta", {}).get("messages")
+        bound_messages = bound.get("meta", {}).get("messages")
+        if (
+            naive_messages is not None
+            and bound_messages is not None
+            and bound_messages >= naive_messages
+        ):
+            failures.append(
+                f"federation@{scale}: bound joins shipped {bound_messages} "
+                f"messages, not fewer than naive's {naive_messages}"
+            )
+    return failures

@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Three suites:
+Five suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -8,11 +8,21 @@ Three suites:
   certain-answer computation), new ID-level join vs the seed join;
 * ``chase/*`` — Algorithm-1 universal-solution construction over chain
   and cycle topologies (absolute timings; the chase has no frozen
-  baseline, its speed rides on the store underneath).
+  baseline, its speed rides on the store underneath);
+* ``sparql/*`` — full SPARQL queries (BGP, UNION, FILTER shapes)
+  through the ID-native physical planner vs the naive term-level
+  algebra evaluator kept as reference;
+* ``federation/*`` — distributed execution of a cross-peer path query
+  under each federation strategy, recording message counts, transfer
+  volumes and simulated wire time at several data scales.
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
 correctness regression.  Timings are best-of-``repeat`` wall-clock.
+
+The report may carry a ``smoke`` block: a second, small-scale run whose
+deterministic metrics and machine-normalised speedups are the committed
+baselines for the CI regression gate (:mod:`repro.bench.check`).
 """
 
 from __future__ import annotations
@@ -22,23 +32,41 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bench.baseline import BaselineGraph, baseline_evaluate_query
+from repro.federation.executor import STRATEGIES, FederatedExecutor
 from repro.gpq.evaluation import evaluate_query_star
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
-from repro.rdf.terms import Variable
+from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.peers.chase import chase_universal_solution
+from repro.sparql.algebra import evaluate_algebra, translate_group
+from repro.sparql.ast import SelectQuery
+from repro.sparql.parser import parse_query
+from repro.sparql.plan import select_rows
+from repro.workload.federation import federated_path_query, federated_rps
 from repro.workload.generators import GeneratorConfig, random_entity_graph
 from repro.workload.queries import path_query, star_query
 from repro.workload.topologies import chain_rps, cycle_rps
 
-__all__ = ["BenchRecord", "run_all", "write_report"]
+__all__ = ["BenchRecord", "build_report", "run_all", "write_report"]
 
 DEFAULT_SCALE = 100_000
 DEFAULT_OUT = "BENCH_core.json"
+
+#: Parameters of the small-scale run whose records are the committed
+#: regression baselines (matches the CI smoke configuration).
+SMOKE_SCALE = 3_000
+SMOKE_REPEAT = 3
+SMOKE_PEERS = 3
+
+#: Data scales (``facts`` per peer) of the federation suite.  These are
+#: independent of ``--scale``: the federation workload measures message
+#: economics, not raw store throughput, and keeping them fixed makes the
+#: suite's deterministic metrics comparable between full and smoke runs.
+FEDERATION_SCALES = (20, 60, 120)
 
 
 @dataclass
@@ -247,28 +275,142 @@ def bench_chase(repeat: int, peers: int = 6) -> List[BenchRecord]:
     return records
 
 
+def bench_sparql(graph: Graph, repeat: int) -> List[BenchRecord]:
+    """Time full SPARQL queries: ID-native plans vs the reference
+    term-level algebra evaluator.
+
+    Result sets are verified equal once (outside the timed region); the
+    timed closures return row counts so the record metadata stays
+    JSON-encodable.
+    """
+    predicates = sorted(graph.predicates())
+    if not predicates:
+        return []
+    # Degenerate workloads may have fewer than three predicates; reuse.
+    p0, p1, p2 = (p.n3() for p in (predicates * 3)[:3])
+    queries: List[Tuple[str, str]] = [
+        (
+            "sparql/bgp_path2",
+            f"SELECT ?v0 ?v2 WHERE {{ ?v0 {p0} ?v1 . ?v1 {p1} ?v2 }}",
+        ),
+        (
+            "sparql/bgp_star2",
+            f"SELECT ?l1 ?l2 WHERE {{ ?c {p0} ?l1 . ?c {p1} ?l2 }}",
+        ),
+        (
+            "sparql/union",
+            f"SELECT ?s ?o WHERE {{ {{ ?s {p0} ?o }} UNION {{ ?s {p1} ?o }} }}",
+        ),
+        (
+            "sparql/filter",
+            f"SELECT ?s ?o WHERE {{ ?s {p0} ?o . FILTER(?s != ?o) }}",
+        ),
+        (
+            "sparql/union_join",
+            f"SELECT ?s WHERE {{ {{ ?s {p0} ?o }} UNION {{ ?s {p1} ?q }}"
+            f" . ?s {p2} ?w }}",
+        ),
+    ]
+    records = []
+    for name, text in queries:
+        ast = parse_query(text)
+        assert isinstance(ast, SelectQuery)
+        node = translate_group(ast.where)
+        variables = ast.projected()
+
+        def plan_rows() -> FrozenSet[Tuple[Optional[Term], ...]]:
+            return frozenset(select_rows(graph, node, variables))
+
+        def reference_rows() -> FrozenSet[Tuple[Optional[Term], ...]]:
+            omega = evaluate_algebra(graph, node)
+            return frozenset(
+                tuple(mu.get(v) for v in variables) for mu in omega
+            )
+
+        expected = reference_rows()
+        if plan_rows() != expected:
+            raise AssertionError(
+                f"benchmark {name!r}: plan executor disagrees with the "
+                f"reference evaluator"
+            )
+        records.append(
+            _compare(
+                name,
+                lambda: len(plan_rows()),
+                lambda: len(reference_rows()),
+                repeat,
+                {"variables": len(variables)},
+            )
+        )
+    return records
+
+
+def bench_federation(repeat: int) -> List[BenchRecord]:
+    """Time and account federated strategies on 3-peer workloads.
+
+    For every data scale the three strategies must return exactly the
+    answer set of the single-graph evaluator over the union database,
+    and the bound-join strategy must use strictly fewer messages than
+    naive per-pattern shipping — both are hard assertions, so a
+    regression can never hide behind a timing.
+    """
+    records = []
+    query = federated_path_query(hops=2)
+    for facts in FEDERATION_SCALES:
+        system = federated_rps(
+            peers=3, entities=max(10, facts // 3), facts=facts, seed=7
+        )
+        expected = evaluate_query_star(system.stored_database(), query)
+        messages: Dict[str, int] = {}
+        for strategy in STRATEGIES:
+
+            def run(strategy: str = strategy):
+                return FederatedExecutor(system).execute(query, strategy)
+
+            seconds, result = _best_time(run, repeat)
+            if result.rows != expected:
+                raise AssertionError(
+                    f"federation strategy {strategy!r} at facts={facts}: "
+                    f"{len(result.rows)} answers != single-graph "
+                    f"{len(expected)}"
+                )
+            stats = result.stats
+            messages[strategy] = stats.messages
+            records.append(
+                BenchRecord(
+                    name=f"federation/{strategy}@{facts}",
+                    seconds=seconds,
+                    meta={
+                        "facts": facts,
+                        "peers": 3,
+                        "messages": stats.messages,
+                        "solutions_transferred": stats.solutions_transferred,
+                        "triples_transferred": stats.triples_transferred,
+                        "simulated_seconds": stats.simulated_seconds,
+                        "results": len(result.rows),
+                    },
+                )
+            )
+        if messages["bound"] >= messages["naive"]:
+            raise AssertionError(
+                f"bound-join strategy must ship strictly fewer messages than "
+                f"naive at facts={facts}: bound={messages['bound']} "
+                f"naive={messages['naive']}"
+            )
+    return records
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
 
 
-def run_all(
+def build_report(
     scale: int = DEFAULT_SCALE,
     repeat: int = 3,
-    out: Optional[str] = DEFAULT_OUT,
     peers: int = 6,
 ) -> Dict[str, Any]:
-    """Run every suite and (optionally) write the JSON report.
-
-    Args:
-        scale: triple count of the pattern/join workload graph.
-        repeat: timing repetitions (best-of).
-        out: report path, or ``None`` to skip writing.
-        peers: peer count for the chase suite.
-
-    Returns:
-        The report dict (also written to ``out`` when given).
-    """
+    """Run every suite once and return the report dict."""
     build_start = time.perf_counter()
     graph = _workload_graph(scale)
     build_new = time.perf_counter() - build_start
@@ -280,11 +422,14 @@ def run_all(
     records.extend(bench_pattern_match(graph, baseline, repeat))
     records.extend(bench_gpq_join(graph, baseline, repeat))
     records.extend(bench_chase(repeat, peers=peers))
+    records.extend(bench_sparql(graph, repeat))
+    records.extend(bench_federation(repeat))
 
-    report = {
+    return {
         "suite": "core",
         "scale": scale,
         "repeat": repeat,
+        "peers": peers,
         "graph_triples": len(graph),
         "build_seconds": {"encoded": build_new, "baseline": build_base},
         "python": sys.version.split()[0],
@@ -292,6 +437,34 @@ def run_all(
         "created_unix": time.time(),
         "benchmarks": [r.as_dict() for r in records],
     }
+
+
+def run_all(
+    scale: int = DEFAULT_SCALE,
+    repeat: int = 3,
+    out: Optional[str] = DEFAULT_OUT,
+    peers: int = 6,
+    smoke: bool = False,
+) -> Dict[str, Any]:
+    """Run every suite and (optionally) write the JSON report.
+
+    Args:
+        scale: triple count of the pattern/join workload graph.
+        repeat: timing repetitions (best-of).
+        out: report path, or ``None`` to skip writing.
+        peers: peer count for the chase suite.
+        smoke: additionally run the suites at the fixed smoke scale and
+            attach that report under the ``smoke`` key — the committed
+            baselines the CI regression gate compares against.
+
+    Returns:
+        The report dict (also written to ``out`` when given).
+    """
+    report = build_report(scale=scale, repeat=repeat, peers=peers)
+    if smoke:
+        report["smoke"] = build_report(
+            scale=SMOKE_SCALE, repeat=SMOKE_REPEAT, peers=SMOKE_PEERS
+        )
     if out:
         write_report(report, out)
     return report
@@ -311,10 +484,17 @@ def format_summary(report: Dict[str, Any]) -> str:
     ]
     for row in report["benchmarks"]:
         base = row.get("baseline_seconds")
-        extra = (
-            f"  baseline={base:.4f}s  speedup={row['speedup']:.2f}x"
-            if base is not None
-            else ""
-        )
+        meta = row.get("meta", {})
+        if base is not None:
+            extra = f"  baseline={base:.4f}s  speedup={row['speedup']:.2f}x"
+        elif "messages" in meta:
+            extra = (
+                f"  messages={meta['messages']}"
+                f"  solutions={meta['solutions_transferred']}"
+                f"  triples={meta['triples_transferred']}"
+                f"  wire={meta['simulated_seconds']:.4f}s"
+            )
+        else:
+            extra = ""
         lines.append(f"{row['name']:<26} {row['seconds']:.4f}s{extra}")
     return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Federated query execution over the peers of an RPS (§5 item 4).
+
+The paper's prototype sketch federates conjunctive SPARQL sub-queries
+over peer access points.  This package provides the simulated version:
+
+* :mod:`repro.federation.network` — the parametric message/transfer
+  cost model and its accumulated statistics;
+* :mod:`repro.federation.endpoint` — a peer's graph wrapped as a
+  simulated SPARQL access point answering (possibly bound) triple
+  patterns at the dictionary-ID level;
+* :mod:`repro.federation.executor` — the distributed executor with
+  three strategies: ``naive`` per-pattern shipping, FedX-style
+  ``bound`` joins with solution batching, and the ``collect``
+  data-dump baseline.
+"""
+
+from repro.federation.endpoint import PeerEndpoint
+from repro.federation.executor import (
+    STRATEGIES,
+    FederatedExecutor,
+    FederationResult,
+    execute_federated,
+)
+from repro.federation.network import NetworkModel, NetworkStats
+
+__all__ = [
+    "STRATEGIES",
+    "FederatedExecutor",
+    "FederationResult",
+    "NetworkModel",
+    "NetworkStats",
+    "PeerEndpoint",
+    "execute_federated",
+]

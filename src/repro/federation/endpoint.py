@@ -1,0 +1,82 @@
+"""Simulated SPARQL access points over peer graphs.
+
+A :class:`PeerEndpoint` stands in for one peer's remote SPARQL endpoint.
+It answers triple patterns — optionally *bound* by a batch of partial
+solutions, the wire format of FedX-style bound joins — directly at the
+dictionary-ID level, so the federated executor can join peer answers on
+integers exactly like the local engine does.  The endpoint itself does
+no network accounting; the executor charges every call against its
+:class:`~repro.federation.network.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Variable
+from repro.rdf.triples import TriplePattern
+
+__all__ = ["PeerEndpoint"]
+
+_IDBinding = Dict[Variable, int]
+
+
+class PeerEndpoint:
+    """One peer's graph exposed as a simulated access point.
+
+    Args:
+        name: the peer name (used as the endpoint label in statistics).
+        graph: the peer's stored database.
+    """
+
+    __slots__ = ("name", "graph")
+
+    def __init__(self, name: str, graph: Graph) -> None:
+        self.name = name
+        self.graph = graph
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def pattern_solutions(self, tp: TriplePattern) -> List[_IDBinding]:
+        """All solutions of one unbound triple pattern (one round trip)."""
+        slots = compile_conjunct(self.graph, tp)
+        if slots is None:
+            return []
+        return list(extend_id_bindings(self.graph, slots, {}))
+
+    def bound_solutions(
+        self, tp: TriplePattern, batch: Iterable[_IDBinding]
+    ) -> List[_IDBinding]:
+        """Solutions of a pattern bound by a batch of partial solutions.
+
+        Models one FedX bound-join request: the batch travels in a single
+        message (a UNION of instantiated patterns on a real endpoint) and
+        every returned solution extends one input binding.
+        """
+        slots = compile_conjunct(self.graph, tp)
+        if slots is None:
+            return []
+        out: List[_IDBinding] = []
+        for partial in batch:
+            out.extend(extend_id_bindings(self.graph, slots, partial))
+        return out
+
+    def can_answer(self, tp: TriplePattern, schema) -> bool:
+        """Schema-based relevance: does the peer's schema cover every
+        ground IRI of the pattern?
+
+        In an RPS the peer schemas are part of the system triple
+        ``P = (S, G, E)`` — global knowledge — so source selection reads
+        them locally and costs no messages.  A pattern with no ground
+        IRI is potentially answerable by every peer.
+        """
+        for term in (tp.subject, tp.predicate, tp.object):
+            if isinstance(term, IRI) and term not in schema:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"PeerEndpoint({self.name!r}, {len(self.graph)} triples)"

@@ -1,0 +1,339 @@
+"""Distributed conjunctive-query execution over an RPS.
+
+Implements the execution-strategy half of the paper's prototype sketch:
+a conjunctive query (a :class:`~repro.gpq.query.GraphPatternQuery`, or
+SPARQL text whose WHERE clause is a pure BGP) is answered from the
+*stored databases* of the peers, with every simulated network exchange
+charged to a :class:`~repro.federation.network.NetworkModel`.
+
+Three strategies, chosen per call:
+
+``naive``
+    Per-pattern shipping: every triple pattern is sent, unbound, to
+    every peer; all matching solutions travel back and the join runs
+    entirely at the caller.  Messages are ``patterns x peers`` and the
+    transfer volume is the sum of all per-pattern match counts.
+
+``bound``
+    FedX-style bound joins.  Source selection is schema-based and free
+    (peer schemas are part of the RPS triple, i.e. global knowledge),
+    patterns are ordered by a (relevant-sources, free-variables)
+    heuristic, and after the first pattern each subsequent one is sent
+    *bound* by batches of the current partial solutions — one message
+    per batch per relevant peer.  Empty intermediate results
+    short-circuit the remaining patterns.
+
+``collect``
+    The centralised baseline: dump every peer's database (one transfer
+    each), union locally, evaluate locally.  Few messages, maximal
+    triple transfer.
+
+All strategies compute the same answer set — ``Q*_D`` over the union of
+the peer databases — which the benchmark suite and tests assert against
+the single-graph evaluator.  Joining happens on dictionary IDs, which
+requires all peer graphs to share one term dictionary (the library
+default); a mixed system raises :class:`~repro.errors.FederationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import FederationError
+from repro.federation.endpoint import PeerEndpoint
+from repro.federation.network import NetworkModel, NetworkStats
+from repro.gpq.evaluation import evaluate_query_star
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triples import TriplePattern
+from repro.peers.system import RPS
+from repro.sparql.bridge import sparql_to_gpq
+
+__all__ = [
+    "STRATEGIES",
+    "FederatedExecutor",
+    "FederationResult",
+    "execute_federated",
+]
+
+_IDBinding = Dict[Variable, int]
+
+#: Strategy names accepted by :meth:`FederatedExecutor.execute`.
+STRATEGIES: Tuple[str, ...] = ("naive", "bound", "collect")
+
+#: Default bound-join batch size (FedX ships 15-20 bindings per request;
+#: a larger block keeps message counts low on the bench workloads while
+#: still exercising multi-batch paths at scale).
+DEFAULT_BATCH_SIZE = 64
+
+
+@dataclass
+class FederationResult:
+    """Outcome of one federated execution.
+
+    Attributes:
+        strategy: which strategy produced it.
+        rows: the answer set under the blank-keeping ``Q*`` semantics.
+        stats: accumulated network statistics for this execution only.
+    """
+
+    strategy: str
+    rows: Set[Tuple[Term, ...]]
+    stats: NetworkStats
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class FederatedExecutor:
+    """Runs conjunctive queries over the peers of one RPS.
+
+    Args:
+        system: the peer system; each peer's graph becomes an endpoint.
+        network: the cost model (defaults to WAN-ish parameters).
+        batch_size: bound-join batch size (bindings per message).
+
+    Raises:
+        FederationError: if the peer graphs do not share one term
+            dictionary (ID-level joins would be meaningless), or the
+            system has no peers.
+    """
+
+    def __init__(
+        self,
+        system: RPS,
+        network: Optional[NetworkModel] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if not system.peers:
+            raise FederationError("cannot federate over an empty peer system")
+        if batch_size < 1:
+            raise FederationError(f"batch_size must be >= 1, got {batch_size}")
+        self.system = system
+        self.network = network if network is not None else NetworkModel()
+        self.batch_size = batch_size
+        names = system.peer_names()
+        self.endpoints: List[PeerEndpoint] = [
+            PeerEndpoint(name, system.peers[name].graph) for name in names
+        ]
+        dictionaries = {id(ep.graph.dictionary) for ep in self.endpoints}
+        if len(dictionaries) > 1:
+            raise FederationError(
+                "federated execution joins on term-dictionary IDs; all peer "
+                "graphs must share one dictionary"
+            )
+        self.dictionary = self.endpoints[0].graph.dictionary
+
+    # -- public API -----------------------------------------------------
+
+    def execute(
+        self,
+        query: Union[str, GraphPatternQuery],
+        strategy: str = "bound",
+        nsm: Optional[NamespaceManager] = None,
+    ) -> FederationResult:
+        """Run one conjunctive query under the given strategy."""
+        gpq = sparql_to_gpq(query, nsm) if isinstance(query, str) else query
+        conjuncts = gpq.pattern.conjuncts()
+        stats = NetworkStats()
+        if strategy == "naive":
+            bindings = self._run_naive(conjuncts, stats)
+        elif strategy == "bound":
+            bindings = self._run_bound(conjuncts, stats)
+        elif strategy == "collect":
+            rows = self._run_collect(gpq, stats)
+            return FederationResult("collect", rows, stats)
+        else:
+            raise FederationError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        decode = self.dictionary.decode
+        rows = {
+            tuple(decode(binding[v]) for v in gpq.head) for binding in bindings
+        }
+        return FederationResult(strategy, rows, stats)
+
+    def run_all_strategies(
+        self,
+        query: Union[str, GraphPatternQuery],
+        nsm: Optional[NamespaceManager] = None,
+    ) -> Dict[str, FederationResult]:
+        """Run every strategy and assert they agree on the answer set."""
+        results = {
+            strategy: self.execute(query, strategy, nsm)
+            for strategy in STRATEGIES
+        }
+        reference = results[STRATEGIES[0]].rows
+        for strategy, result in results.items():
+            if result.rows != reference:
+                raise FederationError(
+                    f"strategy {strategy!r} disagrees: "
+                    f"{len(result.rows)} vs {len(reference)} answers"
+                )
+        return results
+
+    # -- naive per-pattern shipping -------------------------------------
+
+    def _run_naive(
+        self, conjuncts: Sequence[TriplePattern], stats: NetworkStats
+    ) -> List[_IDBinding]:
+        per_pattern: List[List[_IDBinding]] = []
+        for tp in conjuncts:
+            matches: List[_IDBinding] = []
+            for endpoint in self.endpoints:
+                solutions = endpoint.pattern_solutions(tp)
+                self.network.charge_query(stats, endpoint.name, len(solutions))
+                matches.extend(solutions)
+            per_pattern.append(_dedupe(matches))
+        bindings: List[_IDBinding] = [{}]
+        for matches in per_pattern:
+            bindings = _hash_join(bindings, matches)
+            if not bindings:
+                # The join is already empty, but shipping has happened:
+                # naive sends every pattern regardless of partial results.
+                return []
+        return bindings
+
+    # -- FedX-style bound joins -----------------------------------------
+
+    def _relevant(self, tp: TriplePattern) -> List[PeerEndpoint]:
+        out = [
+            ep
+            for ep in self.endpoints
+            if ep.can_answer(tp, self.system.peers[ep.name].schema)
+        ]
+        return out
+
+    def _order_conjuncts(
+        self, conjuncts: Sequence[TriplePattern]
+    ) -> List[TriplePattern]:
+        """Greedy order: fewest free variables, then fewest sources."""
+        remaining = list(enumerate(conjuncts))
+        ordered: List[TriplePattern] = []
+        bound: Set[Variable] = set()
+        while remaining:
+            def cost(pair: Tuple[int, TriplePattern]) -> Tuple[int, int, int]:
+                index, tp = pair
+                free = sum(
+                    1
+                    for term in tp
+                    if isinstance(term, Variable) and term not in bound
+                )
+                return (free, len(self._relevant(tp)), index)
+
+            best = min(remaining, key=cost)
+            remaining.remove(best)
+            ordered.append(best[1])
+            bound.update(best[1].variables())
+        return ordered
+
+    def _run_bound(
+        self, conjuncts: Sequence[TriplePattern], stats: NetworkStats
+    ) -> List[_IDBinding]:
+        bindings: List[_IDBinding] = [{}]
+        for position, tp in enumerate(self._order_conjuncts(conjuncts)):
+            relevant = self._relevant(tp)
+            results: List[_IDBinding] = []
+            if position == 0:
+                for endpoint in relevant:
+                    solutions = endpoint.pattern_solutions(tp)
+                    self.network.charge_query(
+                        stats, endpoint.name, len(solutions)
+                    )
+                    results.extend(solutions)
+            else:
+                ordered = _sorted_bindings(bindings)
+                for batch in _batches(ordered, self.batch_size):
+                    for endpoint in relevant:
+                        solutions = endpoint.bound_solutions(tp, batch)
+                        self.network.charge_query(
+                            stats, endpoint.name, len(solutions)
+                        )
+                        results.extend(solutions)
+            bindings = _dedupe(results)
+            if not bindings:
+                return []
+        return bindings
+
+    # -- centralised collect baseline -----------------------------------
+
+    def _run_collect(
+        self, gpq: GraphPatternQuery, stats: NetworkStats
+    ) -> Set[Tuple[Term, ...]]:
+        union = Graph(name="collected", dictionary=self.dictionary)
+        for endpoint in self.endpoints:
+            self.network.charge_dump(stats, endpoint.name, len(endpoint.graph))
+            union.add_all(endpoint.graph)
+        return evaluate_query_star(union, gpq)
+
+
+def execute_federated(
+    system: RPS,
+    query: Union[str, GraphPatternQuery],
+    strategy: str = "bound",
+    network: Optional[NetworkModel] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    nsm: Optional[NamespaceManager] = None,
+) -> FederationResult:
+    """One-shot convenience wrapper around :class:`FederatedExecutor`."""
+    executor = FederatedExecutor(system, network, batch_size)
+    return executor.execute(query, strategy, nsm)
+
+
+# ---------------------------------------------------------------------------
+# ID-binding plumbing
+# ---------------------------------------------------------------------------
+
+
+def _canonical(binding: _IDBinding) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted((v.name, tid) for v, tid in binding.items()))
+
+
+def _dedupe(bindings: List[_IDBinding]) -> List[_IDBinding]:
+    seen: Set[Tuple[Tuple[str, int], ...]] = set()
+    out: List[_IDBinding] = []
+    for binding in bindings:
+        key = _canonical(binding)
+        if key not in seen:
+            seen.add(key)
+            out.append(binding)
+    return out
+
+
+def _sorted_bindings(bindings: List[_IDBinding]) -> List[_IDBinding]:
+    """Deterministic batch order, so message accounting is reproducible."""
+    return sorted(bindings, key=_canonical)
+
+
+def _batches(bindings: List[_IDBinding], size: int) -> List[List[_IDBinding]]:
+    return [bindings[i : i + size] for i in range(0, len(bindings), size)]
+
+
+def _hash_join(
+    left: List[_IDBinding], right: List[_IDBinding]
+) -> List[_IDBinding]:
+    """Join two homogeneous binding lists on their shared variables.
+
+    Both sides come from conjunct evaluation, so every binding on a side
+    has the same domain; the join keys on the domain intersection.
+    """
+    if not left or not right:
+        return []
+    shared = sorted(
+        set(left[0].keys()) & set(right[0].keys()), key=lambda v: v.name
+    )
+    if not shared:
+        return [{**lhs, **rhs} for lhs in left for rhs in right]
+    buckets: Dict[Tuple[int, ...], List[_IDBinding]] = {}
+    for binding in right:
+        key = tuple(binding[v] for v in shared)
+        buckets.setdefault(key, []).append(binding)
+    out: List[_IDBinding] = []
+    for binding in left:
+        key = tuple(binding[v] for v in shared)
+        for match in buckets.get(key, ()):
+            out.append({**binding, **match})
+    return out

@@ -13,7 +13,7 @@ without real sockets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 __all__ = ["NetworkModel", "NetworkStats"]
 

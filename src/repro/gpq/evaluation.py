@@ -39,6 +39,8 @@ __all__ = [
     "evaluate_query_star",
     "ask",
     "match_pattern_bindings",
+    "compile_conjunct",
+    "extend_id_bindings",
 ]
 
 #: A compiled conjunct position: an integer ID or a still-free Variable.
@@ -83,7 +85,7 @@ def _order_conjuncts(
     return ordered
 
 
-def _compile_conjunct(
+def compile_conjunct(
     graph: Graph, tp: TriplePattern
 ) -> Optional[Tuple[_Slot, _Slot, _Slot]]:
     """Encode a conjunct's ground positions into dictionary IDs.
@@ -106,7 +108,7 @@ def _compile_conjunct(
     return (slots[0], slots[1], slots[2])
 
 
-def _extend_bindings(
+def extend_id_bindings(
     graph: Graph,
     slots: Tuple[_Slot, _Slot, _Slot],
     partial: _IDBinding,
@@ -157,13 +159,13 @@ def _evaluate_ids(
     """The join core: all ID-level answers of a conjunct list."""
     frontier: List[_IDBinding] = [{}]
     for tp in conjuncts:
-        slots = _compile_conjunct(graph, tp)
+        slots = compile_conjunct(graph, tp)
         if slots is None:
             return []
         next_frontier: List[_IDBinding] = []
         extend = next_frontier.extend
         for partial in frontier:
-            extend(_extend_bindings(graph, slots, partial))
+            extend(extend_id_bindings(graph, slots, partial))
         if not next_frontier:
             return []
         frontier = next_frontier
@@ -262,7 +264,7 @@ def ask(graph: Graph, query: GraphPatternQuery, optimize: bool = True) -> bool:
     conjuncts = _order_conjuncts(graph, query.pattern.conjuncts(), optimize)
     compiled = []
     for tp in conjuncts:
-        slots = _compile_conjunct(graph, tp)
+        slots = compile_conjunct(graph, tp)
         if slots is None:
             return False
         compiled.append(slots)
@@ -277,7 +279,7 @@ def _ask_rec(
 ) -> bool:
     if index == len(compiled):
         return True
-    for extended in _extend_bindings(graph, compiled[index], partial):
+    for extended in extend_id_bindings(graph, compiled[index], partial):
         if _ask_rec(graph, compiled, index + 1, extended):
             return True
     return False

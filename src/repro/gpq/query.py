@@ -10,7 +10,7 @@ equivalence mappings.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.errors import QueryError
 from repro.rdf.terms import Term, Variable

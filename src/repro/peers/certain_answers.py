@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set, Tuple, Union
 
-from repro.errors import SparqlEvaluationError
 from repro.gpq.evaluation import ask as gpq_ask, evaluate_query
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph

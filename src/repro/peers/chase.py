@@ -30,7 +30,7 @@ Two evaluation policies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ChaseNonTerminationError
 from repro.gpq.evaluation import evaluate_query

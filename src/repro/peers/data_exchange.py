@@ -23,19 +23,13 @@ have that D ⊨ ∀x rt(x)").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import TGDError
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
-from repro.rdf.terms import (
-    BlankNode,
-    IRI,
-    Literal,
-    Term,
-    Variable,
-)
+from repro.rdf.terms import BlankNode, Term, Variable
 from repro.rdf.triples import Triple, TriplePattern
 from repro.tgd.atoms import Atom, Constant, Instance, LabeledNull, RelTerm, RelVar
 from repro.tgd.chase import ChaseResult, chase

@@ -13,7 +13,7 @@ Section 2.2 defines two mapping kinds:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.errors import MappingError
 from repro.gpq.query import GraphPatternQuery

@@ -7,11 +7,11 @@ need not be disjoint — two Linked Data sources may share IRIs.
 
 from __future__ import annotations
 
-from typing import AbstractSet, FrozenSet, Iterable, Iterator, Optional, Union
+from typing import FrozenSet, Iterable, Iterator
 
 from repro.errors import PeerSystemError
 from repro.rdf.graph import Graph
-from repro.rdf.terms import IRI, Literal, Term, Variable
+from repro.rdf.terms import IRI, Term
 
 __all__ = ["PeerSchema"]
 

@@ -11,7 +11,7 @@ and the property tests are verified against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.gpq.evaluation import evaluate_query, evaluate_query_star
 from repro.gpq.query import obj_query, pred_query, subj_query

@@ -9,10 +9,9 @@ mapping topology.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.errors import MappingError, PeerSystemError
-from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI
 from repro.peers.mappings import (

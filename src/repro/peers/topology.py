@@ -11,7 +11,7 @@ that the scalability experiments sweep over.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List
 
 import networkx as nx
 

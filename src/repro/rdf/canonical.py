@@ -18,7 +18,7 @@ the chase is confluent up to isomorphism.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.terms import BlankNode, Term

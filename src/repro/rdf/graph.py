@@ -342,6 +342,40 @@ class Graph:
             for ids in self.triples_ids(args[0], args[1], args[2]):
                 yield decode(ids)
 
+    def count_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> int:
+        """Count ID-triples matching the given ground-ID positions.
+
+        Every shape is answered from the indexes without materialising
+        triples: single-position counts sum one index level, two-position
+        counts are a set length, and the fully ground case is a membership
+        probe.  This is the cardinality oracle the SPARQL planner orders
+        joins with, so it must stay O(index fan-out) or better.
+        """
+        s, p, o = subject, predicate, object
+        if s is None and p is None and o is None:
+            return len(self._ids)
+        if s is not None:
+            if p is not None and o is not None:
+                return 1 if (s, p, o) in self._ids else 0
+            if p is not None:
+                return len(self._spo.get(s, {}).get(p, ()))
+            if o is not None:
+                return len(self._osp.get(o, {}).get(s, ()))
+            by_pred = self._spo.get(s, {})
+            return sum(len(objs) for objs in by_pred.values())
+        if p is not None:
+            if o is not None:
+                return len(self._pos.get(p, {}).get(o, ()))
+            by_obj = self._pos.get(p, {})
+            return sum(len(subjs) for subjs in by_obj.values())
+        by_subj = self._osp.get(o, {})
+        return sum(len(preds) for preds in by_subj.values())
+
     def count(
         self,
         subject: Optional[Term] = None,
@@ -350,8 +384,8 @@ class Graph:
     ) -> int:
         """Count matching triples without materialising them all.
 
-        Counts for single-ground-position patterns come straight from the
-        indexes; other shapes fall back to (integer-level) iteration.
+        Resolves the term-level positions to IDs and delegates to
+        :meth:`count_ids`.
         """
         s, known = self._resolve(subject)
         if not known:
@@ -362,18 +396,7 @@ class Graph:
         o, known = self._resolve(object)
         if not known:
             return 0
-        if s is None and p is None and o is None:
-            return len(self._ids)
-        if s is not None and p is None and o is None:
-            by_pred = self._spo.get(s, {})
-            return sum(len(objs) for objs in by_pred.values())
-        if p is not None and s is None and o is None:
-            by_obj = self._pos.get(p, {})
-            return sum(len(subjs) for subjs in by_obj.values())
-        if o is not None and s is None and p is None:
-            by_subj = self._osp.get(o, {})
-            return sum(len(preds) for preds in by_subj.values())
-        return sum(1 for _ in self.triples_ids(s, p, o))
+        return self.count_ids(s, p, o)
 
     # ------------------------------------------------------------------
     # Derived views

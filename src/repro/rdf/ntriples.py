@@ -8,7 +8,7 @@ Comments (``#``) and blank lines are skipped.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.errors import ParseError, TermError
 from repro.rdf.graph import Graph

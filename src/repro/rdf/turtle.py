@@ -17,7 +17,7 @@ the paper's data model never needs them.
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from repro.errors import ParseError, TermError
 from repro.rdf.graph import Graph

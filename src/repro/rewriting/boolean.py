@@ -19,13 +19,13 @@ The pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Union
 
 from repro.errors import RewritingError
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import NamespaceManager
-from repro.rdf.terms import BlankNode, IRI, Literal, Term, Variable
+from repro.rdf.terms import IRI, Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.sparql.bridge import sparql_to_gpq
 from repro.tgd.atoms import Atom, Constant, RelVar

@@ -21,17 +21,15 @@ the bounded-rewriting machinery used to demonstrate the gap:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import Namespace
-from repro.rdf.terms import IRI, Term, Variable
+from repro.rdf.terms import Variable
 from repro.rdf.triples import Triple
-from repro.tgd.atoms import Atom, Constant, Instance, RelVar
-from repro.tgd.cq import ConjunctiveQuery
+from repro.tgd.atoms import Atom, Constant, Instance
 from repro.tgd.rewrite import RewriteResult, rewrite_ucq
 from repro.peers.data_exchange import TT, gpq_to_cq, rewriting_tgds
 from repro.peers.mappings import GraphMappingAssertion

@@ -23,16 +23,16 @@ Both agree with the chase on every FO-rewritable system
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple, Union
 
 from repro.errors import RewritingError
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import NamespaceManager
-from repro.rdf.terms import BlankNode, IRI, Literal, Term, Variable
+from repro.rdf.terms import BlankNode, Term
 from repro.sparql.bridge import sparql_to_gpq
-from repro.tgd.atoms import Atom, Constant, Instance, RelTerm, RelVar
+from repro.tgd.atoms import Atom, Constant, Instance, RelVar
 from repro.tgd.classes import classify
 from repro.tgd.cq import ConjunctiveQuery
 from repro.tgd.homomorphism import find_homomorphisms

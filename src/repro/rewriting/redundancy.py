@@ -10,7 +10,7 @@ term order, which reproduces the paper's choices exactly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from repro.rdf.terms import IRI, Term
 from repro.peers.system import RPS

@@ -2,9 +2,15 @@
 
 The algebra has five operators — ``BGP``, ``Join``, ``Union``, ``Filter``
 and ``Project`` (plus the ``Distinct``/``Slice``/``OrderBy`` solution
-modifiers applied at result construction).  Evaluation produces sets of
-:class:`~repro.gpq.bindings.SolutionMapping`, reusing the paper-faithful
-join semantics from :mod:`repro.gpq`.
+modifiers applied at result construction).
+
+:func:`evaluate_algebra` is the *reference* evaluator: it materialises
+sets of :class:`~repro.gpq.bindings.SolutionMapping` at every node,
+reusing the paper-faithful join semantics from :mod:`repro.gpq`.  The
+production path is the ID-native streaming executor in
+:mod:`repro.sparql.plan`, which must produce exactly the same solution
+sets (asserted by the test suite and the ``sparql`` benchmark suite);
+this module stays deliberately naive so it can serve as the oracle.
 """
 
 from __future__ import annotations

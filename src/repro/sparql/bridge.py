@@ -20,7 +20,7 @@ from repro.errors import UnsupportedSparqlError
 from repro.gpq.pattern import GraphPattern
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.namespaces import NamespaceManager
-from repro.rdf.terms import IRI, Term, Variable
+from repro.rdf.terms import IRI, Term
 from repro.sparql.ast import (
     AskQuery,
     GroupPattern,

@@ -1,9 +1,15 @@
-"""Top-level SPARQL execution: parse, translate, evaluate, modify.
+"""Top-level SPARQL execution: parse, translate, plan, evaluate, modify.
 
 :func:`execute` is the single entry point used throughout the library —
 it accepts a query string or a pre-parsed AST and returns a
 :class:`~repro.sparql.results.SelectResult` or
 :class:`~repro.sparql.results.AskResult`.
+
+Evaluation goes through the ID-native physical plans of
+:mod:`repro.sparql.plan`: joins run over dictionary IDs with cost-based
+ordering, and only the distinct projected rows are decoded back into
+terms.  The term-level evaluator in :mod:`repro.sparql.algebra` remains
+available as the reference oracle for tests.
 """
 
 from __future__ import annotations
@@ -14,9 +20,10 @@ from repro.errors import SparqlEvaluationError
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import BlankNode
-from repro.sparql.algebra import evaluate_algebra, translate_group
+from repro.sparql.algebra import translate_group
 from repro.sparql.ast import AskQuery, Query, SelectQuery
 from repro.sparql.parser import parse_query
+from repro.sparql.plan import evaluate_plan, select_rows
 from repro.sparql.results import AskResult, SelectResult
 
 __all__ = ["execute", "select", "ask_text"]
@@ -47,8 +54,7 @@ def execute(
         return _execute_select(graph, ast, include_blanks)
     if isinstance(ast, AskQuery):
         node = translate_group(ast.where)
-        omega = evaluate_algebra(graph, node)
-        return AskResult(bool(omega))
+        return AskResult(any(True for _ in evaluate_plan(graph, node)))
     raise SparqlEvaluationError(f"unsupported query type {type(ast).__name__}")
 
 
@@ -56,18 +62,17 @@ def _execute_select(
     graph: Graph, ast: SelectQuery, include_blanks: bool
 ) -> SelectResult:
     node = translate_group(ast.where)
-    omega = evaluate_algebra(graph, node)
     variables = ast.projected()
-    rows = [tuple(mu.get(v) for v in variables) for mu in omega]
+    rows = select_rows(graph, node, variables)
     if not include_blanks:
-        rows = [
+        rows = {
             row
             for row in rows
             if not any(isinstance(cell, BlankNode) for cell in row)
-        ]
+        }
     # Set semantics first (the paper evaluates under set semantics), then
     # solution modifiers.
-    unique_rows = sorted(set(rows), key=_row_sort_key)
+    unique_rows = sorted(rows, key=_row_sort_key)
     if ast.order:
         for condition in reversed(ast.order):
             try:

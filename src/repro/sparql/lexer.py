@@ -10,7 +10,7 @@ literals (with language tags and datatypes), numbers and booleans.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple
+from typing import List, NamedTuple
 
 from repro.errors import SparqlSyntaxError
 

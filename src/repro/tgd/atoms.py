@@ -17,9 +17,17 @@ homomorphism search.
 
 from __future__ import annotations
 
-import itertools
 import threading
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import TGDError
 

@@ -17,16 +17,12 @@ TGDs admit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ChaseNonTerminationError
-from repro.tgd.atoms import Atom, Instance, LabeledNull, RelTerm, RelVar, fresh_null
+from repro.tgd.atoms import Instance, RelTerm, RelVar, fresh_null
 from repro.tgd.dependencies import TGD
-from repro.tgd.homomorphism import (
-    extend_homomorphism,
-    find_homomorphisms,
-    find_one_homomorphism,
-)
+from repro.tgd.homomorphism import extend_homomorphism, find_homomorphisms
 
 __all__ = ["ChaseResult", "chase", "is_satisfied", "violations"]
 

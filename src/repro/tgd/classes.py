@@ -10,7 +10,7 @@ rewriting engine can decide when Proposition 2 applies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple
 
 import networkx as nx
 

@@ -8,7 +8,7 @@ Section 4 needs.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 from repro.errors import TGDError
 from repro.tgd.atoms import Atom, Constant, Instance, LabeledNull, RelTerm, RelVar

@@ -15,7 +15,7 @@ this form (Section 3).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Sequence
 
 from repro.errors import TGDError
 from repro.tgd.atoms import Atom, Constant, RelTerm, RelVar

@@ -10,9 +10,9 @@ enumeration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.tgd.atoms import Atom, Constant, Instance, LabeledNull, RelTerm, RelVar
+from repro.tgd.atoms import Atom, Instance, RelTerm, RelVar
 
 __all__ = [
     "find_homomorphisms",

@@ -19,9 +19,9 @@ while graph mapping assertions in general are not (Section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.tgd.atoms import Atom, RelVar
+from repro.tgd.atoms import RelVar
 from repro.tgd.dependencies import TGD
 
 __all__ = ["MarkingResult", "mark_variables", "is_sticky", "sticky_witnesses"]

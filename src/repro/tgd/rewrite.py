@@ -35,8 +35,8 @@ non-FO-rewritability for general RPS mappings.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import RewritingError
 from repro.tgd.atoms import Atom, Constant, RelTerm, RelVar

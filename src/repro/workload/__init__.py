@@ -31,6 +31,11 @@ from repro.workload.people_domain import (
     friend_of_friend_assertion,
     people_rps,
 )
+from repro.workload.federation import (
+    SHARED,
+    federated_path_query,
+    federated_rps,
+)
 from repro.workload.queries import path_query, random_queries, star_query
 from repro.workload.topologies import (
     TOPOLOGY_BUILDERS,
@@ -49,6 +54,7 @@ __all__ = [
     "GeneratorConfig",
     "PAPER_EXPECTED_ANSWERS",
     "PAPER_EXPECTED_NONREDUNDANT",
+    "SHARED",
     "SOCIAL",
     "TOPOLOGY_BUILDERS",
     "VCARD",
@@ -57,6 +63,8 @@ __all__ = [
     "cycle_rps",
     "example2_assertion",
     "example2_rps",
+    "federated_path_query",
+    "federated_rps",
     "figure1_graphs",
     "figure1_namespaces",
     "friend_of_friend_assertion",

@@ -1,0 +1,81 @@
+"""Federation workloads: peers over a shared entity space.
+
+The topology workloads in :mod:`repro.workload.topologies` give every
+peer a private entity namespace, so a conjunctive query joining across
+peer vocabularies is empty by construction.  Federated execution needs
+the opposite: peers that *store facts about the same entities* in their
+own predicate vocabularies, so cross-peer joins carry data.  This module
+builds such systems, plus the cross-vocabulary path queries the
+federation benchmarks and tests run over them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.gpq.pattern import make_pattern
+from repro.gpq.query import GraphPatternQuery
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Namespace
+from repro.rdf.terms import Literal, Variable
+from repro.rdf.triples import Triple
+from repro.peers.system import RPS
+from repro.workload.topologies import peer_namespace
+
+__all__ = ["SHARED", "federated_rps", "federated_path_query"]
+
+#: The entity namespace every federation peer describes.
+SHARED = Namespace("http://shared.example.org/")
+
+
+def federated_rps(
+    peers: int = 3,
+    entities: int = 30,
+    facts: int = 60,
+    seed: int = 0,
+) -> RPS:
+    """An RPS whose peers describe one shared entity set.
+
+    Peer *k* stores ``facts`` random ``peerk:knows`` edges between the
+    shared entities plus one ``peerk:age`` attribute per entity it
+    mentions.  Predicates are peer-private, so schema-based source
+    selection routes each triple pattern to exactly one peer, while the
+    shared subjects/objects make cross-peer joins non-trivial.
+    """
+    rng = random.Random(seed)
+    entity_iris = [SHARED.term(f"e{i}") for i in range(entities)]
+    graphs: Dict[str, Graph] = {}
+    for k in range(peers):
+        ns = peer_namespace(k)
+        knows, age = ns.knows, ns.age
+        graph = Graph(name=f"peer{k}")
+        mentioned = set()
+        for _ in range(facts):
+            a, b = rng.choice(entity_iris), rng.choice(entity_iris)
+            graph.add(Triple(a, knows, b))
+            mentioned.update((a, b))
+        for iri in sorted(mentioned, key=lambda t: t.sort_key()):
+            graph.add(Triple(iri, age, Literal(str(rng.randint(10, 80)))))
+        graphs[f"peer{k}"] = graph
+    return RPS.from_graphs(graphs)
+
+
+def federated_path_query(
+    hops: int = 2, project_all: bool = False
+) -> GraphPatternQuery:
+    """A path query whose i-th hop uses peer i's ``knows`` predicate.
+
+    ``(x0, peer0:knows, x1)(x1, peer1:knows, x2)…`` — each conjunct is
+    answerable by exactly one peer, and consecutive conjuncts join on a
+    shared variable, the canonical bound-join workload.
+    """
+    if hops < 1:
+        raise ValueError("path query needs at least one hop")
+    variables: List[Variable] = [Variable(f"x{i}") for i in range(hops + 1)]
+    patterns = [
+        (variables[i], peer_namespace(i).knows, variables[i + 1])
+        for i in range(hops)
+    ]
+    head = tuple(variables) if project_all else (variables[0], variables[-1])
+    return GraphPatternQuery(head, make_pattern(*patterns), name="fedpath")

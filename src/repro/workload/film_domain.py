@@ -22,8 +22,7 @@ at arbitrary size for the Theorem-1 data-complexity experiments.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
@@ -34,7 +33,7 @@ from repro.rdf.namespaces import (
     NamespaceManager,
     OWL_SAME_AS,
 )
-from repro.rdf.terms import BlankNode, IRI, Literal, Variable
+from repro.rdf.terms import BlankNode, Literal, Variable
 from repro.rdf.triples import Triple
 from repro.peers.mappings import GraphMappingAssertion
 from repro.peers.system import RPS

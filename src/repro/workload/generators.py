@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import Namespace
-from repro.rdf.terms import BlankNode, IRI, Literal
+from repro.rdf.terms import BlankNode, Literal
 from repro.rdf.triples import Triple
 
 __all__ = ["GeneratorConfig", "random_graph", "random_entity_graph"]

@@ -11,7 +11,7 @@ induces a non-linear TGD; useful for testing the Proposition-2 boundary.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import List
 
 from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery

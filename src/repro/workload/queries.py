@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
-from repro.gpq.pattern import GraphPattern, make_pattern
+from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.terms import IRI, Term, Variable
 

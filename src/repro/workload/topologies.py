@@ -14,7 +14,7 @@ must terminate regardless of topology (Theorem 1).
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 
@@ -22,11 +22,9 @@ from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import Namespace
-from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.terms import Literal, Variable
 from repro.rdf.triples import Triple
 from repro.peers.mappings import EquivalenceMapping, GraphMappingAssertion
-from repro.peers.peer import Peer
-from repro.peers.schema import PeerSchema
 from repro.peers.system import RPS
 
 __all__ = [

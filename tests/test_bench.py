@@ -1,10 +1,11 @@
 """Smoke tests for the benchmark harness (tiny scale, single repeat)."""
 
+import copy
 import json
 
 import pytest
 
-from repro.bench import run_all
+from repro.bench import check_against, run_all
 from repro.bench.runner import format_summary
 
 EXPECTED_BENCHMARKS = {
@@ -19,6 +20,20 @@ EXPECTED_BENCHMARKS = {
     "join/star3",
     "chase/chain",
     "chase/cycle",
+    "sparql/bgp_path2",
+    "sparql/bgp_star2",
+    "sparql/union",
+    "sparql/filter",
+    "sparql/union_join",
+    "federation/naive@20",
+    "federation/bound@20",
+    "federation/collect@20",
+    "federation/naive@60",
+    "federation/bound@60",
+    "federation/collect@60",
+    "federation/naive@120",
+    "federation/bound@120",
+    "federation/collect@120",
 }
 
 
@@ -43,11 +58,33 @@ def test_comparative_rows_have_baseline_and_speedup(report):
     data, _ = report
     for row in data["benchmarks"]:
         assert row["seconds"] >= 0
-        if row["name"].startswith(("match/", "join/")):
+        if row["name"].startswith(("match/", "join/", "sparql/")):
             assert row["baseline_seconds"] >= 0
             assert row["speedup"] > 0
         else:
             assert "baseline_seconds" not in row
+
+
+def test_federation_rows_account_messages(report):
+    data, _ = report
+    rows = {
+        row["name"]: row["meta"]
+        for row in data["benchmarks"]
+        if row["name"].startswith("federation/")
+    }
+    for facts in (20, 60, 120):
+        naive = rows[f"federation/naive@{facts}"]
+        bound = rows[f"federation/bound@{facts}"]
+        collect = rows[f"federation/collect@{facts}"]
+        # The acceptance invariant: bound joins ship strictly fewer
+        # messages than naive per-pattern shipping.
+        assert bound["messages"] < naive["messages"]
+        # All strategies agree on the answer set size.
+        assert naive["results"] == bound["results"] == collect["results"]
+        # Only the collect baseline dumps triples.
+        assert collect["triples_transferred"] > 0
+        assert naive["triples_transferred"] == 0
+        assert naive["simulated_seconds"] > 0
 
 
 def test_summary_mentions_every_benchmark(report):
@@ -61,3 +98,91 @@ def test_run_without_out_writes_nothing(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
     run_all(scale=300, repeat=1, out=None, peers=3)
     assert list(tmp_path.iterdir()) == []
+
+
+# ---------------------------------------------------------------------------
+# Regression gate (--check)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def committed(report):
+    """A committed-style report whose smoke block is the tiny run itself."""
+    data, _ = report
+    full = copy.deepcopy(data)
+    full["smoke"] = copy.deepcopy(data)
+    return full
+
+
+def test_check_passes_against_itself(report, committed):
+    data, _ = report
+    outcome = check_against(committed, fresh=copy.deepcopy(data))
+    assert outcome.ok, outcome.summary()
+    assert outcome.checked == len(EXPECTED_BENCHMARKS)
+    assert "OK" in outcome.summary()
+
+
+def test_check_fails_without_smoke_block(report):
+    data, _ = report
+    outcome = check_against({"benchmarks": []}, fresh=copy.deepcopy(data))
+    assert not outcome.ok
+    assert "smoke" in outcome.failures[0]
+
+
+def test_check_fails_on_missing_benchmark(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    fresh["benchmarks"] = [
+        row for row in fresh["benchmarks"] if row["name"] != "join/path2"
+    ]
+    outcome = check_against(committed, fresh=fresh)
+    assert not outcome.ok
+    assert any("join/path2" in failure for failure in outcome.failures)
+
+
+def test_check_fails_on_speedup_regression(report, committed):
+    data, _ = report
+    doctored = copy.deepcopy(committed)
+    for row in doctored["smoke"]["benchmarks"]:
+        if row.get("speedup") is not None:
+            row["speedup"] = row["speedup"] * 100.0
+    outcome = check_against(doctored, fresh=copy.deepcopy(data))
+    assert not outcome.ok
+    assert any("fell more than" in failure for failure in outcome.failures)
+
+
+def test_check_tolerance_band_absorbs_small_drift(report, committed):
+    data, _ = report
+    doctored = copy.deepcopy(committed)
+    for row in doctored["smoke"]["benchmarks"]:
+        if row.get("speedup") is not None:
+            row["speedup"] = row["speedup"] * 1.5  # within the 2x band
+    outcome = check_against(doctored, fresh=copy.deepcopy(data))
+    assert outcome.ok, outcome.summary()
+
+
+def test_check_fails_on_deterministic_metric_drift(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    for row in fresh["benchmarks"]:
+        if row["name"] == "federation/bound@60":
+            row["meta"]["messages"] += 5
+    outcome = check_against(committed, fresh=fresh)
+    assert not outcome.ok
+    assert any("messages changed" in failure for failure in outcome.failures)
+
+
+def test_check_fails_when_bound_loses_message_advantage(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    for row in fresh["benchmarks"]:
+        if row["name"].startswith("federation/bound@"):
+            row["meta"]["messages"] = 10_000
+    # Doctor the committed metas identically so only the invariant trips.
+    doctored = copy.deepcopy(committed)
+    for row in doctored["smoke"]["benchmarks"]:
+        if row["name"].startswith("federation/bound@"):
+            row["meta"]["messages"] = 10_000
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any("not fewer than naive" in failure for failure in outcome.failures)

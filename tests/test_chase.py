@@ -13,7 +13,13 @@ from repro.gpq.query import GraphPatternQuery
 from repro.peers.certain_answers import certain_answers, certain_answers_report, certain_ask
 from repro.peers.chase import chase_universal_solution
 from repro.rdf.terms import BlankNode, Variable
-from repro.tgd.atoms import Atom, Constant, Instance, LabeledNull, RelVar, reset_null_counter
+from repro.tgd.atoms import (
+    Atom,
+    Constant,
+    Instance,
+    RelVar,
+    reset_null_counter,
+)
 from repro.tgd.chase import chase, is_satisfied, violations
 from repro.tgd.dependencies import TGD
 

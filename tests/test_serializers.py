@@ -17,7 +17,6 @@ from repro.rdf.ntriples import (
 )
 from repro.rdf.terms import (
     BlankNode,
-    IRI,
     Literal,
     escape_literal,
     unescape_literal,

@@ -1,0 +1,192 @@
+"""Parser and lexer coverage: accepted forms and precise error cases."""
+
+import pytest
+
+from repro.errors import (
+    SparqlSyntaxError,
+    UnsupportedSparqlError,
+)
+from repro.rdf.namespaces import NamespaceManager, RDF_TYPE
+from repro.rdf.terms import IRI, Literal, Variable, XSD_INTEGER
+from repro.sparql.ast import (
+    AskQuery,
+    BooleanExpr,
+    Comparison,
+    SelectQuery,
+    UnionPattern,
+)
+from repro.sparql.lexer import tokenize
+from repro.sparql.parser import parse_query
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+def test_tokenize_positions_and_kinds():
+    tokens = tokenize('SELECT ?x WHERE { ?x <http://e.org/p> "v" }')
+    kinds = [t.kind for t in tokens]
+    assert kinds == [
+        "keyword", "var", "keyword", "punct", "var", "iri", "string",
+        "punct", "eof",
+    ]
+    assert tokens[0].line == 1 and tokens[0].column == 1
+
+
+def test_tokenize_tracks_line_numbers():
+    tokens = tokenize("SELECT ?x\nWHERE\n{ }")
+    where = next(t for t in tokens if t.value == "WHERE")
+    assert where.line == 2
+
+
+def test_tokenize_rejects_stray_character():
+    with pytest.raises(SparqlSyntaxError) as excinfo:
+        tokenize("SELECT ?x WHERE { ?x @@ ?y }")
+    assert excinfo.value.line == 1
+
+
+def test_tokenize_rejects_unknown_identifier():
+    with pytest.raises(SparqlSyntaxError, match="unexpected identifier"):
+        tokenize("SELECT ?x FROM { }")
+
+
+def test_keywords_are_case_insensitive():
+    ast = parse_query("select ?x where { ?x <http://e.org/p> ?y }")
+    assert isinstance(ast, SelectQuery)
+
+
+# ---------------------------------------------------------------------------
+# Parser: accepted structure
+# ---------------------------------------------------------------------------
+
+
+def test_parse_prefixed_names_and_a_keyword():
+    ast = parse_query(
+        "PREFIX ex: <http://e.org/> SELECT ?x WHERE { ?x a ex:Film }"
+    )
+    tp = ast.where.elements[0]
+    assert tp.predicate == RDF_TYPE
+    assert tp.object == IRI("http://e.org/Film")
+
+
+def test_parse_predicate_object_lists():
+    ast = parse_query(
+        "SELECT * WHERE { ?x <http://e.org/p> ?y ; <http://e.org/q> ?z , ?w }"
+    )
+    assert len(ast.where.elements) == 3
+    subjects = {tp.subject for tp in ast.where.elements}
+    assert subjects == {Variable("x")}
+
+
+def test_parse_union_and_filter_structure():
+    ast = parse_query(
+        "SELECT ?s WHERE { { ?s <http://e.org/p> ?o } UNION "
+        "{ ?s <http://e.org/q> ?o } FILTER(?s != ?o && ?o != <http://e.org/z>) }"
+    )
+    union, filter_expr = ast.where.elements
+    assert isinstance(union, UnionPattern) and len(union.alternatives) == 2
+    assert isinstance(filter_expr, BooleanExpr) and filter_expr.op == "&&"
+    assert isinstance(filter_expr.left, Comparison)
+
+
+def test_parse_typed_and_tagged_literals():
+    ast = parse_query(
+        'SELECT ?x WHERE { ?x <http://e.org/p> "5"^^'
+        "<http://www.w3.org/2001/XMLSchema#integer> . "
+        '?x <http://e.org/q> "hi"@en }'
+    )
+    first, second = ast.where.elements
+    assert first.object == Literal("5", datatype=XSD_INTEGER)
+    assert second.object == Literal("hi", language="en")
+
+
+def test_parse_modifiers():
+    ast = parse_query(
+        "SELECT DISTINCT ?x WHERE { ?x <http://e.org/p> ?y } "
+        "ORDER BY DESC(?x) LIMIT 5 OFFSET 2"
+    )
+    assert ast.distinct
+    assert ast.order[0].descending
+    assert (ast.limit, ast.offset) == (5, 2)
+
+
+def test_parse_ask():
+    ast = parse_query("ASK { ?x <http://e.org/p> ?y }")
+    assert isinstance(ast, AskQuery)
+
+
+def test_parser_does_not_mutate_callers_namespace_manager():
+    nsm = NamespaceManager()
+    parse_query(
+        "PREFIX ex: <http://e.org/> SELECT ?x WHERE { ?x ex:p ?y }", nsm
+    )
+    with pytest.raises(Exception):
+        nsm.expand("ex:p")
+
+
+# ---------------------------------------------------------------------------
+# Parser: error cases
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,match",
+    [
+        ("WHERE { ?x <http://e.org/p> ?y }", "expected SELECT or ASK"),
+        ("SELECT WHERE { ?x <http://e.org/p> ?y }", "SELECT needs variables"),
+        ("SELECT ?x { ?x <http://e.org/p> ?y } SELECT", "trailing input"),
+        ("SELECT ?x WHERE { ?x <http://e.org/p> ?y", "unterminated group"),
+        ("SELECT ?x WHERE { ?x <http://e.org/p> }", "object position"),
+        ("SELECT ?x WHERE { <http://e.org/p> ?y }", "object position"),
+        ("SELECT ?x WHERE { ?x ?p ?y } ORDER BY", "ORDER BY needs"),
+        ("SELECT ?x WHERE { ?x ?p ?y } LIMIT ?x", "expected integer"),
+        ("SELECT ?x WHERE { FILTER(?x) }", "expected '=' or '!='"),
+        ("PREFIX ex <http://e.org/> SELECT ?x WHERE { }", "unexpected identifier"),
+        ("PREFIX ex: SELECT ?x WHERE { }", "namespace IRI"),
+        ("CONSTRUCT { ?x <http://e.org/p> ?y }", "expected SELECT or ASK"),
+    ],
+)
+def test_syntax_errors(text, match):
+    with pytest.raises(SparqlSyntaxError, match=match):
+        parse_query(text)
+
+
+def test_syntax_error_carries_position():
+    with pytest.raises(SparqlSyntaxError) as excinfo:
+        parse_query("SELECT ?x WHERE { ?x <http://e.org/p> }")
+    assert excinfo.value.line == 1
+    assert excinfo.value.column > 1
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "SELECT ?x WHERE { OPTIONAL { ?x <http://e.org/p> ?y } }",
+        "SELECT ?x WHERE { GRAPH <http://e.org/g> { ?x <http://e.org/p> ?y } }",
+        "SELECT ?x WHERE { BIND(?x) }",
+        "BASE <http://e.org/> SELECT ?x WHERE { }",
+    ],
+)
+def test_unsupported_features_raise_unsupported(text):
+    with pytest.raises(UnsupportedSparqlError):
+        parse_query(text)
+
+
+def test_literal_subject_parses_but_matches_nothing():
+    # RDF forbids literal subjects, so the pattern is satisfiable by no
+    # triple; the engine prunes it rather than the parser rejecting it.
+    from repro.rdf.graph import Graph
+    from repro.rdf.terms import IRI
+    from repro.rdf.triples import Triple
+    from repro.sparql.engine import select
+
+    g = Graph([Triple(IRI("http://e.org/s"), IRI("http://e.org/p"),
+                      Literal("lit"))])
+    result = select(g, 'SELECT ?x WHERE { "lit" <http://e.org/p> ?x }')
+    assert len(result) == 0
+
+
+def test_unknown_prefix_is_an_error():
+    with pytest.raises(Exception):
+        parse_query("SELECT ?x WHERE { ?x ex:p ?y }")
