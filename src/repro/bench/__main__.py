@@ -5,9 +5,12 @@ Two modes:
 * default — run every suite at ``--scale`` plus the fixed smoke scale
   and write both into one report (the smoke block is the committed
   regression baseline);
-* ``--check`` — re-run the suites at the committed smoke parameters and
-  fail (exit 1) on deterministic-metric drift or >``--tolerance``x
-  speedup regressions against ``--against``.  Used as the CI gate.
+* ``--check`` — re-run the suites at the committed smoke parameters
+  (``--runs`` times; speedups compare by per-suite median, so one noisy
+  timing cannot fail CI) and fail (exit 1) on deterministic-metric
+  drift, behaviour-invariant violations (bound < naive messages,
+  adaptive never Pareto-dominated) or >``--tolerance``x median speedup
+  regressions against ``--against``.  Used as the CI gate.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import argparse
 import json
 import os
 
-from repro.bench.check import DEFAULT_TOLERANCE, check_against
+from repro.bench.check import DEFAULT_RUNS, DEFAULT_TOLERANCE, check_against
 from repro.bench.runner import (
     DEFAULT_OUT,
     DEFAULT_SCALE,
@@ -78,6 +81,13 @@ def main(argv=None) -> int:
         help="allowed relative speedup degradation in --check mode "
         f"(default {DEFAULT_TOLERANCE:g}x)",
     )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="fresh smoke runs in --check mode; the gate compares the "
+        f"median per-suite speedup across them (default {DEFAULT_RUNS})",
+    )
     args = parser.parse_args(argv)
 
     if args.tolerance < 1:
@@ -89,6 +99,9 @@ def main(argv=None) -> int:
         out_dir = os.path.dirname(os.path.abspath(args.out)) or "."
         if not os.path.isdir(out_dir):
             parser.error(f"--out directory does not exist: {out_dir}")
+
+    if not args.check and args.runs is not None:
+        parser.error("--runs only applies in --check mode")
 
     if args.check:
         ignored = [
@@ -106,12 +119,18 @@ def main(argv=None) -> int:
                 f"{', '.join(ignored)} cannot be combined with --check; "
                 "the gate always runs at the committed smoke parameters"
             )
+        if args.runs is not None and args.runs < 1:
+            parser.error(f"--runs must be >= 1 (got {args.runs})")
         try:
             with open(args.against, "r", encoding="utf-8") as handle:
                 committed = json.load(handle)
         except (OSError, ValueError) as exc:
             parser.error(f"cannot read committed report {args.against}: {exc}")
-        outcome = check_against(committed, tolerance=args.tolerance)
+        outcome = check_against(
+            committed,
+            tolerance=args.tolerance,
+            runs=args.runs if args.runs is not None else DEFAULT_RUNS,
+        )
         if args.out and outcome.fresh_report is not None:
             write_report(outcome.fresh_report, args.out)
         print(outcome.summary())

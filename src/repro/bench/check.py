@@ -16,26 +16,41 @@ classes of quantity that survive a machine change:
   same process, so their ratio cancels the machine.  Ratios are
   aggregated per suite (geometric mean over e.g. all ``sparql/*``
   rows), because individual smoke-scale rows run in fractions of a
-  millisecond and jitter; the gate fails when a suite's aggregate
-  speedup falls below the committed aggregate divided by the tolerance
-  (default 2x), i.e. on a >2x relative slowdown of any suite.
+  millisecond and jitter.  To keep a single noisy timing from failing
+  CI, the smoke suites run ``runs`` times (default 3) and the gate
+  compares the *median* per-suite aggregate; it fails when that median
+  falls below the committed aggregate divided by the tolerance
+  (default 2x), i.e. on a reproducible >2x relative slowdown of a
+  suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts the federation invariant (bound joins ship
-strictly fewer messages than naive shipping) on the fresh records.
+The gate also re-asserts two behaviour invariants on the fresh records:
+bound joins ship strictly fewer messages than naive shipping, and the
+adaptive plan is never Pareto-dominated by a fixed strategy (worse on
+messages *and* transfer simultaneously) on any adaptive-suite workload.
 """
 
 from __future__ import annotations
 
 import math
+import statistics
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.bench.runner import build_report
 
-__all__ = ["CheckOutcome", "check_against", "DEFAULT_TOLERANCE"]
+__all__ = [
+    "CheckOutcome",
+    "check_against",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_RUNS",
+]
 
 #: A fresh speedup may be up to this factor below the committed one.
 DEFAULT_TOLERANCE = 2.0
+
+#: Fresh smoke runs per check; the speedup comparison uses their median
+#: so one noisy timing cannot fail the gate.
+DEFAULT_RUNS = 3
 
 #: Integer meta fields that are deterministic given the seeded workloads
 #: and must match the committed baseline exactly.
@@ -79,20 +94,27 @@ class CheckOutcome:
 def check_against(
     committed: Dict[str, Any],
     tolerance: float = DEFAULT_TOLERANCE,
-    fresh: Optional[Dict[str, Any]] = None,
+    fresh: Union[Dict[str, Any], Sequence[Dict[str, Any]], None] = None,
+    runs: int = DEFAULT_RUNS,
 ) -> CheckOutcome:
-    """Compare a fresh smoke run against a committed report.
+    """Compare fresh smoke runs against a committed report.
 
     Args:
         committed: the parsed committed report; its ``smoke`` block holds
             the baselines (regenerate with ``python -m repro.bench``).
         tolerance: allowed relative speedup degradation (>1).
-        fresh: pre-computed fresh report (tests inject small ones); when
-            ``None`` the suites run at the committed smoke parameters.
+        fresh: pre-computed fresh report or list of reports (tests
+            inject small ones); when ``None`` the suites run ``runs``
+            times at the committed smoke parameters.
+        runs: fresh runs to aggregate when ``fresh`` is ``None``; the
+            speedup gate compares the per-suite *median* across runs.
 
     Returns:
         A :class:`CheckOutcome`; ``ok`` is False on any missing record,
-        deterministic-metric drift, or out-of-band slowdown.
+        deterministic-metric drift, invariant violation, or
+        reproducible out-of-band slowdown.  Deterministic metrics and
+        the behaviour invariants are checked on the first run (they are
+        seeded, so every run agrees); only timings are aggregated.
     """
     baseline = committed.get("smoke")
     if baseline is None:
@@ -105,19 +127,33 @@ def check_against(
         )
     if fresh is None:
         try:
-            fresh = build_report(
-                scale=baseline.get("scale", 3000),
-                repeat=baseline.get("repeat", 1),
-                peers=baseline.get("peers", 3),
-            )
+            reports = [
+                build_report(
+                    scale=baseline.get("scale", 3000),
+                    repeat=baseline.get("repeat", 1),
+                    peers=baseline.get("peers", 3),
+                )
+                for _ in range(max(1, runs))
+            ]
         except AssertionError as exc:
             # The suites hard-assert behaviour invariants (result
-            # equality, bound < naive messages); surface those through
-            # the gate's reporting path instead of a raw traceback.
+            # equality, bound < naive messages, adaptive never
+            # dominated); surface those through the gate's reporting
+            # path instead of a raw traceback.
             return CheckOutcome(
                 ok=False,
                 failures=[f"benchmark suite self-check failed: {exc}"],
             )
+    elif isinstance(fresh, dict):
+        reports = [fresh]
+    else:
+        reports = list(fresh)
+        if not reports:
+            return CheckOutcome(
+                ok=False,
+                failures=["no fresh reports supplied to compare against"],
+            )
+    fresh = reports[0]
 
     failures: List[str] = []
     fresh_rows = {row["name"]: row for row in fresh["benchmarks"]}
@@ -142,19 +178,23 @@ def check_against(
             failures.append(f"{name}: speedup measurement disappeared")
 
     committed_suites = _suite_speedups(committed_rows)
-    fresh_suites = _suite_speedups(fresh_rows.values())
+    per_run = [_suite_speedups(report["benchmarks"]) for report in reports]
     for suite, committed_speedup in sorted(committed_suites.items()):
-        current_speedup = fresh_suites.get(suite)
-        if current_speedup is None:
+        observed = [
+            run[suite] for run in per_run if run.get(suite) is not None
+        ]
+        if not observed:
             continue  # disappearance already reported per-row above
+        current_speedup = statistics.median(observed)
         if current_speedup < committed_speedup / tolerance:
             failures.append(
-                f"suite {suite}: speedup {current_speedup:.2f}x fell more "
-                f"than {tolerance:g}x below committed "
-                f"{committed_speedup:.2f}x"
+                f"suite {suite}: median speedup over {len(observed)} "
+                f"run(s) {current_speedup:.2f}x fell more than "
+                f"{tolerance:g}x below committed {committed_speedup:.2f}x"
             )
 
     failures.extend(_federation_invariant(fresh_rows))
+    failures.extend(_adaptive_invariant(fresh_rows))
     return CheckOutcome(
         ok=not failures,
         failures=failures,
@@ -175,6 +215,43 @@ def _suite_speedups(rows) -> Dict[str, float]:
         suite: math.exp(sum(math.log(s) for s in speedups) / len(speedups))
         for suite, speedups in grouped.items()
     }
+
+
+def _adaptive_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """The adaptive plan must not be Pareto-dominated by a fixed strategy.
+
+    For every adaptive-suite workload: no fixed strategy may beat the
+    adaptive plan on messages *and* transfer units simultaneously.
+    """
+    failures = []
+    workloads = {
+        name[len("adaptive/") :].rsplit(":", 1)[0]
+        for name in fresh_rows
+        if name.startswith("adaptive/") and ":" in name
+    }
+    for workload in sorted(workloads):
+        chosen = fresh_rows.get(f"adaptive/{workload}:adaptive")
+        if chosen is None:
+            continue
+        chosen_meta = chosen.get("meta", {})
+        for strategy in ("naive", "bound", "collect"):
+            other = fresh_rows.get(f"adaptive/{workload}:{strategy}")
+            if other is None:
+                continue
+            other_meta = other.get("meta", {})
+            messages = chosen_meta.get("messages")
+            transfer = chosen_meta.get("transfer_units")
+            other_messages = other_meta.get("messages")
+            other_transfer = other_meta.get("transfer_units")
+            if None in (messages, transfer, other_messages, other_transfer):
+                continue
+            if messages > other_messages and transfer > other_transfer:
+                failures.append(
+                    f"adaptive@{workload}: dominated by {strategy} "
+                    f"(messages {messages} > {other_messages}, transfer "
+                    f"{transfer} > {other_transfer})"
+                )
+    return failures
 
 
 def _federation_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:

@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Five suites:
+Six suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -14,7 +14,13 @@ Five suites:
   algebra evaluator kept as reference;
 * ``federation/*`` — distributed execution of a cross-peer path query
   under each federation strategy, recording message counts, transfer
-  volumes and simulated wire time at several data scales.
+  volumes and simulated wire time at several data scales;
+* ``adaptive/*`` — the cost-model-driven adaptive strategy against
+  every fixed baseline on federated workloads (paths, selective
+  anchors, FILTER/UNION pushdown, a larger 5-peer system), hard
+  asserting answer-set equality with the single-graph planner and that
+  the adaptive plan is never worse than a fixed strategy on messages
+  *and* transfer simultaneously.
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
@@ -35,18 +41,29 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bench.baseline import BaselineGraph, baseline_evaluate_query
-from repro.federation.executor import STRATEGIES, FederatedExecutor
+from repro.federation.executor import (
+    ADAPTIVE,
+    FIXED_STRATEGIES,
+    STRATEGIES,
+    FederatedExecutor,
+)
 from repro.gpq.evaluation import evaluate_query_star
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.peers.chase import chase_universal_solution
+from repro.peers.system import RPS
 from repro.sparql.algebra import evaluate_algebra, translate_group
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import select_rows
-from repro.workload.federation import federated_path_query, federated_rps
+from repro.workload.federation import (
+    federated_path_query,
+    federated_rps,
+    federated_selective_query,
+    federated_union_filter_sparql,
+)
 from repro.workload.generators import GeneratorConfig, random_entity_graph
 from repro.workload.queries import path_query, star_query
 from repro.workload.topologies import chain_rps, cycle_rps
@@ -348,11 +365,11 @@ def bench_sparql(graph: Graph, repeat: int) -> List[BenchRecord]:
 def bench_federation(repeat: int) -> List[BenchRecord]:
     """Time and account federated strategies on 3-peer workloads.
 
-    For every data scale the three strategies must return exactly the
-    answer set of the single-graph evaluator over the union database,
-    and the bound-join strategy must use strictly fewer messages than
-    naive per-pattern shipping — both are hard assertions, so a
-    regression can never hide behind a timing.
+    For every data scale all four strategies (adaptive plus the fixed
+    baselines) must return exactly the answer set of the single-graph
+    evaluator over the union database, and the bound-join strategy must
+    use strictly fewer messages than naive per-pattern shipping — both
+    are hard assertions, so a regression can never hide behind a timing.
     """
     records = []
     query = federated_path_query(hops=2)
@@ -400,6 +417,87 @@ def bench_federation(repeat: int) -> List[BenchRecord]:
     return records
 
 
+def _single_graph_rows(system: RPS, query) -> Any:
+    """Reference answer set: the query over the union of peer databases.
+
+    GPQs go through the ``Q*`` evaluator, SPARQL text through the
+    ID-native planner — the same oracles the federated tests assert
+    against.
+    """
+    union = system.stored_database()
+    if isinstance(query, GraphPatternQuery):
+        return evaluate_query_star(union, query)
+    ast = parse_query(query)
+    head = ast.projected() if isinstance(ast, SelectQuery) else ()
+    return select_rows(union, translate_group(ast.where), head)
+
+
+def bench_adaptive(repeat: int) -> List[BenchRecord]:
+    """Adaptive strategy vs every fixed baseline, per workload.
+
+    Two hard assertions per workload (so the regression gate can never
+    pass on wrong plans): every strategy returns exactly the
+    single-graph answer set, and the adaptive plan is not
+    Pareto-dominated by any fixed strategy — never strictly worse on
+    messages *and* transfer units simultaneously.
+    """
+    three = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    five = federated_rps(peers=5, entities=40, facts=150, seed=11)
+    workloads: List[Tuple[str, RPS, Any]] = [
+        ("path2@3p", three, federated_path_query(hops=2)),
+        ("selective@3p", three, federated_selective_query(entity=3, hops=2)),
+        ("union_filter@3p", three, federated_union_filter_sparql()),
+        ("path3@5p", five, federated_path_query(hops=3)),
+    ]
+    records = []
+    for label, system, query in workloads:
+        executor = FederatedExecutor(system)
+        expected = _single_graph_rows(system, query)
+        outcomes: Dict[str, Any] = {}
+        for strategy in STRATEGIES:
+
+            def run(strategy: str = strategy):
+                return executor.execute(query, strategy)
+
+            seconds, result = _best_time(run, repeat)
+            if result.rows != expected:
+                raise AssertionError(
+                    f"adaptive suite {label!r}, strategy {strategy!r}: "
+                    f"{len(result.rows)} answers != single-graph "
+                    f"{len(expected)}"
+                )
+            outcomes[strategy] = result
+            stats = result.stats
+            records.append(
+                BenchRecord(
+                    name=f"adaptive/{label}:{strategy}",
+                    seconds=seconds,
+                    meta={
+                        "messages": stats.messages,
+                        "solutions_transferred": stats.solutions_transferred,
+                        "triples_transferred": stats.triples_transferred,
+                        "transfer_units": stats.transfer_units,
+                        "simulated_seconds": stats.simulated_seconds,
+                        "results": len(result.rows),
+                    },
+                )
+            )
+        chosen = outcomes[ADAPTIVE].stats
+        for strategy in FIXED_STRATEGIES:
+            other = outcomes[strategy].stats
+            if (
+                chosen.messages > other.messages
+                and chosen.transfer_units > other.transfer_units
+            ):
+                raise AssertionError(
+                    f"adaptive plan on {label!r} is dominated by "
+                    f"{strategy!r}: messages {chosen.messages} > "
+                    f"{other.messages} and transfer {chosen.transfer_units} "
+                    f"> {other.transfer_units}"
+                )
+    return records
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -424,6 +522,7 @@ def build_report(
     records.extend(bench_chase(repeat, peers=peers))
     records.extend(bench_sparql(graph, repeat))
     records.extend(bench_federation(repeat))
+    records.extend(bench_adaptive(repeat))
 
     return {
         "suite": "core",

@@ -8,14 +8,22 @@ over peer access points.  This package provides the simulated version:
 * :mod:`repro.federation.endpoint` — a peer's graph wrapped as a
   simulated SPARQL access point answering (possibly bound) triple
   patterns at the dictionary-ID level;
-* :mod:`repro.federation.executor` — the distributed executor with
-  three strategies: ``naive`` per-pattern shipping, FedX-style
-  ``bound`` joins with solution batching, and the ``collect``
-  data-dump baseline.
+* :mod:`repro.federation.cost` — the per-conjunct cost model behind the
+  adaptive strategy: prices *ship* / *bound* / *pull* alternatives from
+  endpoint cardinality statistics and the live intermediate binding
+  count;
+* :mod:`repro.federation.executor` — the distributed executor: the
+  cost-model-driven ``adaptive`` strategy (with FILTER/UNION pushdown
+  into per-endpoint sub-queries) plus three fixed baselines — ``naive``
+  per-pattern shipping, FedX-style ``bound`` joins with solution
+  batching, and the ``collect`` data-dump baseline.
 """
 
+from repro.federation.cost import CostModel, Decision, EndpointStats
 from repro.federation.endpoint import PeerEndpoint
 from repro.federation.executor import (
+    ADAPTIVE,
+    FIXED_STRATEGIES,
     STRATEGIES,
     FederatedExecutor,
     FederationResult,
@@ -24,7 +32,12 @@ from repro.federation.executor import (
 from repro.federation.network import NetworkModel, NetworkStats
 
 __all__ = [
+    "ADAPTIVE",
+    "FIXED_STRATEGIES",
     "STRATEGIES",
+    "CostModel",
+    "Decision",
+    "EndpointStats",
     "FederatedExecutor",
     "FederationResult",
     "NetworkModel",

@@ -1,0 +1,340 @@
+"""Cost model for adaptive federated query execution.
+
+The PR-2 benchmarks showed no fixed strategy wins everywhere: bound
+joins minimise messages only while intermediate binding sets stay small,
+naive shipping minimises transfer when source selection leaves one peer
+per pattern, and the collect baseline trades maximal bytes for minimal
+messages.  This module is the per-conjunct decision procedure that
+replaces the global strategy flag: given the endpoints relevant to a
+conjunct, their published cardinalities
+(:meth:`~repro.federation.endpoint.PeerEndpoint.count_pattern`, backed
+by :meth:`repro.rdf.graph.Graph.count_ids`) and the *actual* size of the
+current intermediate binding set (the executor's cardinality feedback),
+it prices three physical alternatives with the network model's own
+parameters and picks the cheapest:
+
+``ship``
+    Send the conjunct unbound to every relevant endpoint with matches;
+    join the returned solutions locally.  One message per endpoint,
+    transfer is the exact match count.
+
+``bound``
+    FedX-style bound join: ship the current bindings in batches and let
+    endpoints return only extensions.  Messages grow with the binding
+    count, transfer shrinks with join selectivity.
+
+``pull``
+    Transfer the conjunct's *source relation* (all triples with its
+    predicate) once per endpoint into a local cache and answer this —
+    and every later conjunct over the same relation — locally for free.
+    One message per uncached endpoint, transfer in triples.
+
+Estimated costs are converted to simulated seconds via the
+:class:`~repro.federation.network.NetworkModel`, so the decision
+optimises exactly the quantity the benchmarks report; ties break on
+messages, then transfer.  Every decision carries its rejected
+alternatives for ``explain``-style traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.federation.network import NetworkModel
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+
+__all__ = ["CostModel", "Decision", "EndpointStats", "Estimate"]
+
+#: Selectivity credit per pattern position occupied by an already-bound
+#: variable when estimating bound-join output (mirrors the single-graph
+#: planner's ``_BOUND_SELECTIVITY``).
+BOUND_SELECTIVITY = 8.0
+
+#: Estimated fraction of solutions surviving one pushed-down FILTER
+#: (mirrors the single-graph planner's halving in ``FilterScan``).
+#: Ship/bound sub-queries benefit; a pulled relation travels unfiltered.
+FILTER_SELECTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class EndpointStats:
+    """Published statistics of one relevant endpoint for one conjunct.
+
+    Attributes:
+        name: the endpoint (peer) name.
+        pattern_count: exact matches of the unbound conjunct there.
+        relation_count: size of the conjunct's source relation there.
+        cached: True when the executor already pulled that relation.
+    """
+
+    name: str
+    pattern_count: int
+    relation_count: int
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Priced outcome of one physical alternative for one conjunct.
+
+    Attributes:
+        action: ``"ship"``, ``"bound"``, ``"pull"`` or ``"local"``.
+        messages: estimated round trips.
+        solutions: estimated solution mappings transferred.
+        triples: estimated triples transferred (pull only).
+        seconds: the network model's simulated seconds for the above.
+        feasible: False when the alternative cannot run here (e.g. a
+            bound join with no prior bindings).
+    """
+
+    action: str
+    messages: int
+    solutions: float
+    triples: int
+    seconds: float
+    feasible: bool = True
+
+    def sort_key(self) -> Tuple[float, int, float, str]:
+        return (
+            self.seconds,
+            self.messages,
+            self.solutions + self.triples,
+            self.action,
+        )
+
+
+@dataclass
+class Decision:
+    """The chosen alternative for one conjunct, with its audit trail.
+
+    Attributes:
+        pattern: the conjunct decided on.
+        chosen: the winning estimate.
+        alternatives: every feasible estimate considered (winner
+            included), for ``explain`` traces.
+        endpoints: names of the endpoints the action will contact.
+        bindings: size of the intermediate binding set at decision time
+            (the cardinality feedback input).
+        branch: index of the conjunctive branch this conjunct belongs to.
+    """
+
+    pattern: TriplePattern
+    chosen: Estimate
+    alternatives: List[Estimate] = field(default_factory=list)
+    endpoints: Tuple[str, ...] = ()
+    bindings: int = 0
+    branch: int = 0
+
+    @property
+    def action(self) -> str:
+        return self.chosen.action
+
+    def describe(self) -> str:
+        """One-line trace entry: action, targets, estimates, rejects."""
+        targets = ",".join(self.endpoints) or "-"
+        parts = [
+            f"{self.action:<5} {self.pattern.n3()} -> {targets}",
+            f"[n={self.bindings} est msgs={self.chosen.messages} "
+            f"sols={self.chosen.solutions:.0f} "
+            f"triples={self.chosen.triples} "
+            f"{self.chosen.seconds * 1000:.1f}ms]",
+        ]
+        rejected = [
+            f"{e.action}={e.seconds * 1000:.1f}ms"
+            for e in self.alternatives
+            if e.action != self.action
+        ]
+        if rejected:
+            parts.append("(rejected " + ", ".join(rejected) + ")")
+        return " ".join(parts)
+
+
+class CostModel:
+    """Prices the physical alternatives of one conjunct.
+
+    Args:
+        network: the network model whose latency/transfer parameters
+            convert message and volume estimates into simulated seconds.
+        batch_size: bound-join batch size (bindings per message).
+        bound_selectivity: per-bound-position discount applied when
+            estimating bound-join output size.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        batch_size: int,
+        bound_selectivity: float = BOUND_SELECTIVITY,
+    ) -> None:
+        self.network = network
+        self.batch_size = batch_size
+        self.bound_selectivity = bound_selectivity
+
+    # -- pricing --------------------------------------------------------
+
+    def _seconds(
+        self, messages: int, solutions: float, triples: int
+    ) -> float:
+        net = self.network
+        return (
+            messages * net.latency_seconds
+            + solutions * net.per_solution_seconds
+            + triples * net.per_triple_seconds
+        )
+
+    def estimate_ship(
+        self, stats: Sequence[EndpointStats], pushed_filters: int = 0
+    ) -> Estimate:
+        active = [s for s in stats if s.pattern_count > 0]
+        messages = len(active)
+        solutions = float(sum(s.pattern_count for s in active))
+        solutions *= FILTER_SELECTIVITY**pushed_filters
+        return Estimate(
+            "ship",
+            messages,
+            solutions,
+            0,
+            self._seconds(messages, solutions, 0),
+        )
+
+    def estimate_bound(
+        self,
+        stats: Sequence[EndpointStats],
+        bindings: int,
+        bound_positions: int,
+        pushed_filters: int = 0,
+    ) -> Estimate:
+        """Price a bound join of ``bindings`` rows against the conjunct.
+
+        ``bound_positions`` counts pattern positions holding an
+        already-bound variable; each divides the per-binding match
+        estimate by the selectivity credit.  Infeasible without prior
+        bindings or without a join variable (it would degenerate into
+        shipping the cross product).
+        """
+        active = [s for s in stats if s.pattern_count > 0]
+        if bindings < 1 or bound_positions < 1:
+            return Estimate("bound", 0, 0.0, 0, math.inf, feasible=False)
+        batches = math.ceil(bindings / self.batch_size)
+        messages = batches * len(active)
+        discount = self.bound_selectivity**bound_positions
+        solutions = 0.0
+        for s in active:
+            per_binding = s.pattern_count / discount
+            solutions += min(
+                bindings * per_binding, float(bindings * s.pattern_count)
+            )
+        solutions *= FILTER_SELECTIVITY**pushed_filters
+        return Estimate(
+            "bound",
+            messages,
+            solutions,
+            0,
+            self._seconds(messages, solutions, 0),
+        )
+
+    def estimate_pull(self, stats: Sequence[EndpointStats]) -> Estimate:
+        """Price pulling the conjunct's source relation.
+
+        Already-cached endpoints cost nothing; when every relevant
+        endpoint is cached the action degenerates to ``local`` (answer
+        from the cache, zero network).
+        """
+        uncached = [s for s in stats if not s.cached and s.relation_count > 0]
+        if not uncached:
+            return Estimate("local", 0, 0.0, 0, 0.0)
+        messages = len(uncached)
+        triples = sum(s.relation_count for s in uncached)
+        return Estimate(
+            "pull",
+            messages,
+            0.0,
+            triples,
+            self._seconds(messages, 0.0, triples),
+        )
+
+    # -- the decision ---------------------------------------------------
+
+    def decide(
+        self,
+        pattern: TriplePattern,
+        stats: Sequence[EndpointStats],
+        bindings: int,
+        bound_positions: int,
+        branch: int = 0,
+        ship_filters: int = 0,
+        bound_filters: int = 0,
+    ) -> Decision:
+        """Choose the cheapest feasible alternative for one conjunct.
+
+        ``ship_filters`` / ``bound_filters`` count the FILTER
+        expressions that would be pushed into the respective sub-query
+        (ship sees only the pattern's variables; bound also sees every
+        already-bound one) — each discounts the transfer estimate by
+        :data:`FILTER_SELECTIVITY`.
+        """
+        estimates = [
+            self.estimate_ship(stats, ship_filters),
+            self.estimate_bound(
+                stats, bindings, bound_positions, bound_filters
+            ),
+            self.estimate_pull(stats),
+        ]
+        feasible = [e for e in estimates if e.feasible]
+        chosen = min(feasible, key=Estimate.sort_key)
+        if chosen.action in ("ship", "bound"):
+            endpoints = tuple(s.name for s in stats if s.pattern_count > 0)
+        elif chosen.action == "pull":
+            endpoints = tuple(
+                s.name for s in stats if not s.cached and s.relation_count > 0
+            )
+        else:  # local
+            endpoints = ()
+        return Decision(
+            pattern=pattern,
+            chosen=chosen,
+            alternatives=feasible,
+            endpoints=endpoints,
+            bindings=bindings,
+            branch=branch,
+        )
+
+    # -- conjunct ordering ----------------------------------------------
+
+    def order_estimate(
+        self,
+        stats: Sequence[EndpointStats],
+        bound_vars: frozenset,
+        pattern: TriplePattern,
+    ) -> Tuple[float, int]:
+        """(estimated result size, free-variable count) for ordering.
+
+        The exact unbound match count, discounted per pattern position
+        whose variable is already bound — the same shape as the
+        single-graph planner's conjunct ordering, but summed over the
+        relevant endpoints.
+        """
+        total = float(sum(s.pattern_count for s in stats))
+        discount = 1.0
+        free = 0
+        for term in pattern:
+            if isinstance(term, Variable):
+                if term in bound_vars:
+                    discount *= self.bound_selectivity
+                else:
+                    free += 1
+        return (total / discount, free)
+
+
+def bound_variable_positions(
+    pattern: TriplePattern, bound_vars: frozenset
+) -> int:
+    """Pattern positions occupied by an already-bound variable."""
+    return sum(
+        1
+        for term in pattern
+        if isinstance(term, Variable) and term in bound_vars
+    )

@@ -4,16 +4,27 @@ A :class:`PeerEndpoint` stands in for one peer's remote SPARQL endpoint.
 It answers triple patterns — optionally *bound* by a batch of partial
 solutions, the wire format of FedX-style bound joins — directly at the
 dictionary-ID level, so the federated executor can join peer answers on
-integers exactly like the local engine does.  The endpoint itself does
-no network accounting; the executor charges every call against its
+integers exactly like the local engine does.  Sub-queries may carry a
+compiled FILTER predicate (``accept``): the endpoint applies it to every
+candidate solution *before* it travels, which is how FILTER pushdown
+saves transfer volume.  The endpoint itself does no network accounting;
+the executor charges every call against its
 :class:`~repro.federation.network.NetworkModel`.
+
+Endpoints also publish cardinality statistics
+(:meth:`PeerEndpoint.count_pattern`, :meth:`PeerEndpoint.count_relation`)
+backed by :meth:`repro.rdf.graph.Graph.count_ids`.  Like the peer
+schemas, these are treated as global knowledge of the RPS triple —
+VoID-style statistics refreshed out of band — so reading them costs the
+cost model no messages.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
+from repro.rdf.dictionary import IDTriple
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI, Variable
 from repro.rdf.triples import TriplePattern
@@ -21,6 +32,7 @@ from repro.rdf.triples import TriplePattern
 __all__ = ["PeerEndpoint"]
 
 _IDBinding = Dict[Variable, int]
+_Accept = Optional[Callable[[_IDBinding], bool]]
 
 
 class PeerEndpoint:
@@ -40,29 +52,92 @@ class PeerEndpoint:
     def __len__(self) -> int:
         return len(self.graph)
 
-    def pattern_solutions(self, tp: TriplePattern) -> List[_IDBinding]:
-        """All solutions of one unbound triple pattern (one round trip)."""
+    def pattern_solutions(
+        self, tp: TriplePattern, accept: _Accept = None
+    ) -> List[_IDBinding]:
+        """All solutions of one unbound triple pattern (one round trip).
+
+        ``accept`` is a compiled FILTER predicate pushed down into the
+        sub-query; rejected solutions never leave the endpoint.
+        """
         slots = compile_conjunct(self.graph, tp)
         if slots is None:
             return []
-        return list(extend_id_bindings(self.graph, slots, {}))
+        solutions = extend_id_bindings(self.graph, slots, {})
+        if accept is None:
+            return list(solutions)
+        return [mu for mu in solutions if accept(mu)]
 
     def bound_solutions(
-        self, tp: TriplePattern, batch: Iterable[_IDBinding]
+        self,
+        tp: TriplePattern,
+        batch: Iterable[_IDBinding],
+        accept: _Accept = None,
     ) -> List[_IDBinding]:
         """Solutions of a pattern bound by a batch of partial solutions.
 
         Models one FedX bound-join request: the batch travels in a single
         message (a UNION of instantiated patterns on a real endpoint) and
-        every returned solution extends one input binding.
+        every returned solution extends one input binding.  ``accept``
+        plays the same pushed-down-FILTER role as in
+        :meth:`pattern_solutions`; it sees the *extended* rows, so
+        filters over already-bound variables are decidable here.
         """
         slots = compile_conjunct(self.graph, tp)
         if slots is None:
             return []
         out: List[_IDBinding] = []
         for partial in batch:
-            out.extend(extend_id_bindings(self.graph, slots, partial))
+            extended = extend_id_bindings(self.graph, slots, partial)
+            if accept is None:
+                out.extend(extended)
+            else:
+                out.extend(mu for mu in extended if accept(mu))
         return out
+
+    # -- published statistics (free to read, like the peer schemas) -----
+
+    def count_pattern(self, tp: TriplePattern) -> int:
+        """Exact match count of an unbound pattern at this endpoint.
+
+        Backed by :meth:`repro.rdf.graph.Graph.count_ids`; the federated
+        cost model reads this per conjunct to estimate transfer volumes.
+        """
+        return self.graph.count_pattern(tp)
+
+    def count_relation(self, tp: TriplePattern) -> int:
+        """Size of the pattern's source relation at this endpoint.
+
+        The source relation is every triple sharing the pattern's
+        predicate (the whole database when the predicate is a variable)
+        — what a *pull* decision would transfer.
+        """
+        predicate = tp.predicate
+        if isinstance(predicate, Variable):
+            return len(self.graph)
+        pid = self.graph.term_id(predicate)
+        if pid is None:
+            return 0
+        return self.graph.count_ids(None, pid, None)
+
+    def relation_key(self, tp: TriplePattern) -> Optional[int]:
+        """Cache key of the pattern's source relation: the predicate's
+        dictionary ID, or ``None`` for a variable predicate (full dump).
+        """
+        predicate = tp.predicate
+        if isinstance(predicate, Variable):
+            return None
+        return self.graph.term_id(predicate)
+
+    def relation_ids(self, tp: TriplePattern) -> List[IDTriple]:
+        """The pattern's source relation as ID triples (one transfer)."""
+        predicate = tp.predicate
+        if isinstance(predicate, Variable):
+            return list(self.graph.triples_ids())
+        pid = self.graph.term_id(predicate)
+        if pid is None:
+            return []
+        return list(self.graph.triples_ids(None, pid, None))
 
     def can_answer(self, tp: TriplePattern, schema) -> bool:
         """Schema-based relevance: does the peer's schema cover every

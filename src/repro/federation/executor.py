@@ -1,58 +1,90 @@
-"""Distributed conjunctive-query execution over an RPS.
+"""Distributed SPARQL execution over an RPS.
 
 Implements the execution-strategy half of the paper's prototype sketch:
-a conjunctive query (a :class:`~repro.gpq.query.GraphPatternQuery`, or
-SPARQL text whose WHERE clause is a pure BGP) is answered from the
-*stored databases* of the peers, with every simulated network exchange
-charged to a :class:`~repro.federation.network.NetworkModel`.
+a query — a :class:`~repro.gpq.query.GraphPatternQuery`, or SPARQL text
+in the BGP + UNION + FILTER fragment — is answered from the *stored
+databases* of the peers, with every simulated network exchange charged
+to a :class:`~repro.federation.network.NetworkModel`.
 
-Three strategies, chosen per call:
+Queries are normalised (:func:`repro.sparql.bridge.sparql_to_branches`)
+into a union of conjunctive branches.  UNION branches become independent
+per-endpoint sub-query pipelines; FILTER expressions are compiled once
+through the single-graph planner's machinery
+(:func:`repro.sparql.plan.compile_filter`) and pushed into the deepest
+sub-query where they are decidable, so rejected rows never travel.
+
+Four strategies, chosen per call:
+
+``adaptive`` (default)
+    Per-conjunct decisions from the cost model
+    (:class:`~repro.federation.cost.CostModel`): each conjunct is
+    *shipped* unbound, *bound-joined* against the current bindings, or
+    its source relation is *pulled* into a local cache, whichever the
+    endpoint cardinalities and the actual intermediate binding count
+    (cardinality feedback) price cheapest.  Conjunct order is chosen
+    dynamically the same way.
 
 ``naive``
     Per-pattern shipping: every triple pattern is sent, unbound, to
     every peer; all matching solutions travel back and the join runs
-    entirely at the caller.  Messages are ``patterns x peers`` and the
-    transfer volume is the sum of all per-pattern match counts.
+    entirely at the caller.
 
 ``bound``
-    FedX-style bound joins.  Source selection is schema-based and free
-    (peer schemas are part of the RPS triple, i.e. global knowledge),
-    patterns are ordered by a (relevant-sources, free-variables)
+    FedX-style bound joins.  Source selection is schema-based and free,
+    patterns are ordered by a (free-variables, relevant-sources)
     heuristic, and after the first pattern each subsequent one is sent
-    *bound* by batches of the current partial solutions — one message
-    per batch per relevant peer.  Empty intermediate results
-    short-circuit the remaining patterns.
+    *bound* by batches of the current partial solutions.
 
 ``collect``
     The centralised baseline: dump every peer's database (one transfer
-    each), union locally, evaluate locally.  Few messages, maximal
-    triple transfer.
+    each), union locally, evaluate locally.
 
-All strategies compute the same answer set — ``Q*_D`` over the union of
-the peer databases — which the benchmark suite and tests assert against
-the single-graph evaluator.  Joining happens on dictionary IDs, which
-requires all peer graphs to share one term dictionary (the library
-default); a mixed system raises :class:`~repro.errors.FederationError`.
+All strategies compute the same answer set — the projection of the
+query over the union of the peer databases, equal to the single-graph
+planner's — which the benchmark suite and tests assert.  Joining
+happens on dictionary IDs, which requires all peer graphs to share one
+term dictionary (the library default); a mixed system raises
+:class:`~repro.errors.FederationError`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import FederationError
+from repro.federation.cost import (
+    CostModel,
+    Decision,
+    EndpointStats,
+    bound_variable_positions,
+)
 from repro.federation.endpoint import PeerEndpoint
 from repro.federation.network import NetworkModel, NetworkStats
-from repro.gpq.evaluation import evaluate_query_star
+from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.peers.system import RPS
-from repro.sparql.bridge import sparql_to_gpq
+from repro.sparql.ast import AskQuery, FilterExpr, SelectQuery
+from repro.sparql.bridge import ConjunctiveBranch, sparql_to_branches
+from repro.sparql.plan import compile_filter
 
 __all__ = [
+    "ADAPTIVE",
+    "FIXED_STRATEGIES",
     "STRATEGIES",
     "FederatedExecutor",
     "FederationResult",
@@ -60,14 +92,30 @@ __all__ = [
 ]
 
 _IDBinding = Dict[Variable, int]
+_Query = Union[str, GraphPatternQuery, SelectQuery, AskQuery]
+
+#: The adaptive (cost-model-driven) strategy name.
+ADAPTIVE = "adaptive"
+
+#: The three fixed baselines kept for comparison.
+FIXED_STRATEGIES: Tuple[str, ...] = ("naive", "bound", "collect")
 
 #: Strategy names accepted by :meth:`FederatedExecutor.execute`.
-STRATEGIES: Tuple[str, ...] = ("naive", "bound", "collect")
+STRATEGIES: Tuple[str, ...] = (ADAPTIVE,) + FIXED_STRATEGIES
 
 #: Default bound-join batch size (FedX ships 15-20 bindings per request;
 #: a larger block keeps message counts low on the bench workloads while
 #: still exercising multi-batch paths at scale).
 DEFAULT_BATCH_SIZE = 64
+
+
+@dataclass(frozen=True)
+class _CompiledFilter:
+    """A branch filter compiled to an ID-level predicate."""
+
+    expr: FilterExpr
+    variables: FrozenSet[Variable]
+    accept: Callable[[_IDBinding], bool]
 
 
 @dataclass
@@ -76,20 +124,51 @@ class FederationResult:
 
     Attributes:
         strategy: which strategy produced it.
-        rows: the answer set under the blank-keeping ``Q*`` semantics.
+        rows: the answer set (projected rows; a cell is ``None`` when a
+            UNION branch leaves the head variable unbound).
         stats: accumulated network statistics for this execution only.
+        decisions: the cost model's per-conjunct decisions (adaptive
+            strategy only) — the ``explain`` trace material.
     """
 
     strategy: str
-    rows: Set[Tuple[Term, ...]]
+    rows: Set[Tuple[Optional[Term], ...]]
     stats: NetworkStats
+    decisions: Tuple[Decision, ...] = ()
 
     def __len__(self) -> int:
         return len(self.rows)
 
 
+class _RelationCache:
+    """Source relations pulled so far, shared across one execution.
+
+    A pull lands ID triples in one local graph; ``(endpoint, relation)``
+    keys remember what has been paid for, so repeated conjuncts over the
+    same relation (and later branches of a UNION) answer locally for
+    free.  A full dump (``None`` key) subsumes every relation of that
+    endpoint.
+    """
+
+    def __init__(self, dictionary) -> None:
+        self.graph = Graph(name="pulled", dictionary=dictionary)
+        self._pulled: Dict[str, Set[Optional[int]]] = {}
+
+    def has(self, endpoint: str, key: Optional[int]) -> bool:
+        keys = self._pulled.get(endpoint)
+        if not keys:
+            return False
+        return key in keys or None in keys
+
+    def add(self, endpoint: str, key: Optional[int], ids, dictionary) -> None:
+        # The source dictionary travels with the IDs so a foreign-
+        # dictionary endpoint fails loudly instead of caching garbage.
+        self._pulled.setdefault(endpoint, set()).add(key)
+        self.graph.add_id_triples(ids, dictionary)
+
+
 class FederatedExecutor:
-    """Runs conjunctive queries over the peers of one RPS.
+    """Runs queries over the peers of one RPS.
 
     Args:
         system: the peer system; each peer's graph becomes an endpoint.
@@ -126,42 +205,51 @@ class FederatedExecutor:
                 "graphs must share one dictionary"
             )
         self.dictionary = self.endpoints[0].graph.dictionary
+        self.cost_model = CostModel(self.network, batch_size)
 
     # -- public API -----------------------------------------------------
 
     def execute(
         self,
-        query: Union[str, GraphPatternQuery],
-        strategy: str = "bound",
+        query: _Query,
+        strategy: str = ADAPTIVE,
         nsm: Optional[NamespaceManager] = None,
     ) -> FederationResult:
-        """Run one conjunctive query under the given strategy."""
-        gpq = sparql_to_gpq(query, nsm) if isinstance(query, str) else query
-        conjuncts = gpq.pattern.conjuncts()
-        stats = NetworkStats()
-        if strategy == "naive":
-            bindings = self._run_naive(conjuncts, stats)
-        elif strategy == "bound":
-            bindings = self._run_bound(conjuncts, stats)
-        elif strategy == "collect":
-            rows = self._run_collect(gpq, stats)
-            return FederationResult("collect", rows, stats)
-        else:
+        """Run one query under the given strategy."""
+        if strategy not in STRATEGIES:
             raise FederationError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
+        head, branches = self._normalize(query, nsm)
+        stats = NetworkStats()
+        decisions: List[Decision] = []
+        id_rows: Set[Tuple[Optional[int], ...]] = set()
+        if strategy == "collect":
+            union = self._collect_union(stats)
+            for branch in branches:
+                bindings = self._evaluate_branch_local(union, branch)
+                id_rows |= _project(bindings, head)
+        else:
+            cache = _RelationCache(self.dictionary)
+            for index, branch in enumerate(branches):
+                bindings = self._run_branch(
+                    branch, strategy, stats, cache, decisions, index
+                )
+                id_rows |= _project(bindings, head)
         decode = self.dictionary.decode
         rows = {
-            tuple(decode(binding[v]) for v in gpq.head) for binding in bindings
+            tuple(None if tid is None else decode(tid) for tid in row)
+            for row in id_rows
         }
-        return FederationResult(strategy, rows, stats)
+        return FederationResult(strategy, rows, stats, tuple(decisions))
 
     def run_all_strategies(
         self,
-        query: Union[str, GraphPatternQuery],
+        query: _Query,
         nsm: Optional[NamespaceManager] = None,
     ) -> Dict[str, FederationResult]:
-        """Run every strategy and assert they agree on the answer set."""
+        """Run the adaptive strategy and every fixed baseline, asserting
+        they agree on the answer set."""
         results = {
             strategy: self.execute(query, strategy, nsm)
             for strategy in STRATEGIES
@@ -175,42 +263,297 @@ class FederatedExecutor:
                 )
         return results
 
-    # -- naive per-pattern shipping -------------------------------------
+    def explain(
+        self, query: _Query, nsm: Optional[NamespaceManager] = None
+    ) -> str:
+        """Human-readable trace of the adaptive plan's decisions.
 
-    def _run_naive(
-        self, conjuncts: Sequence[TriplePattern], stats: NetworkStats
+        Executes the query adaptively and renders one line per conjunct:
+        the chosen action, its target endpoints, the cost model's
+        estimates and the rejected alternatives.
+        """
+        result = self.execute(query, ADAPTIVE, nsm)
+        stats = result.stats
+        lines = [
+            f"adaptive: {len(result.rows)} rows, "
+            f"messages={stats.messages} "
+            f"solutions={stats.solutions_transferred} "
+            f"triples={stats.triples_transferred} "
+            f"wire={stats.simulated_seconds:.3f}s"
+        ]
+        for decision in result.decisions:
+            lines.append(f"  [branch {decision.branch}] {decision.describe()}")
+        return "\n".join(lines)
+
+    # -- query normalisation --------------------------------------------
+
+    def _normalize(
+        self, query: _Query, nsm: Optional[NamespaceManager]
+    ) -> Tuple[Tuple[Variable, ...], List[ConjunctiveBranch]]:
+        if isinstance(query, GraphPatternQuery):
+            return query.head, [ConjunctiveBranch(tuple(query.conjuncts()))]
+        return sparql_to_branches(query, nsm)
+
+    def _compile_filters(
+        self, filters: Sequence[FilterExpr]
+    ) -> List[_CompiledFilter]:
+        sentinels: Dict[Term, int] = {}
+        graph = self.endpoints[0].graph  # dictionary access only
+        return [
+            _CompiledFilter(
+                expr,
+                frozenset(expr.variables()),
+                compile_filter(graph, expr, sentinels),
+            )
+            for expr in filters
+        ]
+
+    # -- branch pipelines -----------------------------------------------
+
+    def _run_branch(
+        self,
+        branch: ConjunctiveBranch,
+        strategy: str,
+        stats: NetworkStats,
+        cache: _RelationCache,
+        decisions: List[Decision],
+        branch_index: int,
     ) -> List[_IDBinding]:
+        filters = self._compile_filters(branch.filters)
+        if not branch.patterns:
+            return _apply_filters([{}], filters)
+        patterns = list(branch.patterns)
+        if strategy == "naive":
+            return self._branch_naive(patterns, filters, stats)
+        if strategy == "bound":
+            return self._branch_bound(patterns, filters, stats)
+        return self._branch_adaptive(
+            patterns, filters, stats, cache, decisions, branch_index
+        )
+
+    def _branch_naive(
+        self,
+        patterns: List[TriplePattern],
+        filters: List[_CompiledFilter],
+        stats: NetworkStats,
+    ) -> List[_IDBinding]:
+        remaining = list(filters)
         per_pattern: List[List[_IDBinding]] = []
-        for tp in conjuncts:
+        for tp in patterns:
+            push, remaining = _split_filters(remaining, tp.variables())
+            accept = _compose(push)
             matches: List[_IDBinding] = []
             for endpoint in self.endpoints:
-                solutions = endpoint.pattern_solutions(tp)
+                solutions = endpoint.pattern_solutions(tp, accept)
                 self.network.charge_query(stats, endpoint.name, len(solutions))
                 matches.extend(solutions)
             per_pattern.append(_dedupe(matches))
         bindings: List[_IDBinding] = [{}]
-        for matches in per_pattern:
+        bound: Set[Variable] = set()
+        for tp, matches in zip(patterns, per_pattern):
             bindings = _hash_join(bindings, matches)
+            bound.update(tp.variables())
+            ready, remaining = _split_filters(remaining, bound)
+            bindings = _apply_filters(bindings, ready)
             if not bindings:
                 # The join is already empty, but shipping has happened:
                 # naive sends every pattern regardless of partial results.
                 return []
-        return bindings
+        return _apply_filters(bindings, remaining)
 
-    # -- FedX-style bound joins -----------------------------------------
+    def _branch_bound(
+        self,
+        patterns: List[TriplePattern],
+        filters: List[_CompiledFilter],
+        stats: NetworkStats,
+    ) -> List[_IDBinding]:
+        remaining = list(filters)
+        bindings: List[_IDBinding] = [{}]
+        bound: Set[Variable] = set()
+        for position, tp in enumerate(self._order_conjuncts(patterns)):
+            relevant = self._relevant(tp)
+            # At position 0 ``bound`` is empty, so the sub-query scope is
+            # just the pattern's own variables; later it includes every
+            # coordinator-bound variable the batch carries along.
+            scope = bound | tp.variables()
+            push, remaining = _split_filters(remaining, scope)
+            accept = _compose(push)
+            results: List[_IDBinding] = []
+            if position == 0:
+                for endpoint in relevant:
+                    solutions = endpoint.pattern_solutions(tp, accept)
+                    self.network.charge_query(
+                        stats, endpoint.name, len(solutions)
+                    )
+                    results.extend(solutions)
+            else:
+                ordered = _sorted_bindings(bindings)
+                for batch in _batches(ordered, self.batch_size):
+                    for endpoint in relevant:
+                        solutions = endpoint.bound_solutions(tp, batch, accept)
+                        self.network.charge_query(
+                            stats, endpoint.name, len(solutions)
+                        )
+                        results.extend(solutions)
+            bindings = _dedupe(results)
+            bound.update(tp.variables())
+            ready, remaining = _split_filters(remaining, bound)
+            bindings = _apply_filters(bindings, ready)
+            if not bindings:
+                return []
+        return _apply_filters(bindings, remaining)
+
+    # -- the adaptive pipeline ------------------------------------------
+
+    def _branch_adaptive(
+        self,
+        patterns: List[TriplePattern],
+        filters: List[_CompiledFilter],
+        stats: NetworkStats,
+        cache: _RelationCache,
+        decisions: List[Decision],
+        branch_index: int,
+    ) -> List[_IDBinding]:
+        remaining_filters = list(filters)
+        remaining = list(enumerate(patterns))
+        relevant: Dict[int, List[PeerEndpoint]] = {
+            i: self._relevant(tp) for i, tp in remaining
+        }
+        counts: Dict[int, List[Tuple[PeerEndpoint, int, int]]] = {
+            i: [
+                (ep, ep.count_pattern(tp), ep.count_relation(tp))
+                for ep in relevant[i]
+            ]
+            for i, tp in remaining
+        }
+        bindings: List[_IDBinding] = [{}]
+        bound: FrozenSet[Variable] = frozenset()
+        # Memoised per conjunct: endpoint counts are static for the whole
+        # execution and only the `cached` flags can change — and only
+        # after a pull, which invalidates the memo wholesale.  Keeps the
+        # dynamic ordering's min() key O(1) per (round, conjunct).
+        stats_memo: Dict[int, List[EndpointStats]] = {}
+
+        def endpoint_stats(i: int, tp: TriplePattern) -> List[EndpointStats]:
+            memoised = stats_memo.get(i)
+            if memoised is None:
+                memoised = [
+                    EndpointStats(
+                        ep.name,
+                        pattern_count,
+                        relation_count,
+                        cache.has(ep.name, ep.relation_key(tp)),
+                    )
+                    for ep, pattern_count, relation_count in counts[i]
+                ]
+                stats_memo[i] = memoised
+            return memoised
+
+        while remaining:
+            def order_key(pair: Tuple[int, TriplePattern]):
+                i, tp = pair
+                estimate, free = self.cost_model.order_estimate(
+                    endpoint_stats(i, tp), bound, tp
+                )
+                return (estimate, free, i)
+
+            best = min(remaining, key=order_key)
+            remaining.remove(best)
+            index, tp = best
+            stats_now = endpoint_stats(index, tp)
+            bound_after_vars = bound | tp.variables()
+            ship_filters = sum(
+                1 for f in remaining_filters if f.variables <= tp.variables()
+            )
+            bound_filters = sum(
+                1 for f in remaining_filters if f.variables <= bound_after_vars
+            )
+            decision = self.cost_model.decide(
+                tp,
+                stats_now,
+                len(bindings),
+                bound_variable_positions(tp, bound),
+                branch_index,
+                ship_filters=ship_filters,
+                bound_filters=bound_filters,
+            )
+            decisions.append(decision)
+            bound_after = bound_after_vars
+            active = [(ep, pc) for ep, pc, _ in counts[index] if pc > 0]
+            if decision.action == "ship":
+                push, remaining_filters = _split_filters(
+                    remaining_filters, tp.variables()
+                )
+                accept = _compose(push)
+                matches: List[_IDBinding] = []
+                for endpoint, _ in active:
+                    solutions = endpoint.pattern_solutions(tp, accept)
+                    self.network.charge_query(
+                        stats, endpoint.name, len(solutions)
+                    )
+                    matches.extend(solutions)
+                bindings = _hash_join(bindings, _dedupe(matches))
+            elif decision.action == "bound":
+                push, remaining_filters = _split_filters(
+                    remaining_filters, bound_after
+                )
+                accept = _compose(push)
+                results: List[_IDBinding] = []
+                ordered = _sorted_bindings(bindings)
+                for batch in _batches(ordered, self.batch_size):
+                    for endpoint, _ in active:
+                        solutions = endpoint.bound_solutions(tp, batch, accept)
+                        self.network.charge_query(
+                            stats, endpoint.name, len(solutions)
+                        )
+                        results.extend(solutions)
+                bindings = _dedupe(results)
+            else:  # pull / local: answer from the relation cache
+                if decision.action == "pull":
+                    for endpoint in relevant[index]:
+                        key = endpoint.relation_key(tp)
+                        if cache.has(endpoint.name, key):
+                            continue
+                        ids = endpoint.relation_ids(tp)
+                        if not ids:
+                            continue
+                        self.network.charge_dump(
+                            stats, endpoint.name, len(ids)
+                        )
+                        cache.add(
+                            endpoint.name,
+                            key,
+                            ids,
+                            endpoint.graph.dictionary,
+                        )
+                    stats_memo.clear()  # cached flags changed
+                bindings = self._extend_local(cache.graph, tp, bindings)
+            bound = bound_after
+            ready, remaining_filters = _split_filters(remaining_filters, bound)
+            bindings = _apply_filters(bindings, ready)
+            if not bindings:
+                return []
+        return _apply_filters(bindings, remaining_filters)
+
+    # -- fixed-strategy helpers -----------------------------------------
 
     def _relevant(self, tp: TriplePattern) -> List[PeerEndpoint]:
-        out = [
+        return [
             ep
             for ep in self.endpoints
             if ep.can_answer(tp, self.system.peers[ep.name].schema)
         ]
-        return out
 
     def _order_conjuncts(
         self, conjuncts: Sequence[TriplePattern]
     ) -> List[TriplePattern]:
-        """Greedy order: fewest free variables, then fewest sources."""
+        """Greedy order: fewest free variables, then fewest sources.
+
+        Relevance (a schema check against every endpoint) is computed
+        once per conjunct up front, not re-derived inside the ``min``
+        key on every round.
+        """
+        source_counts = [len(self._relevant(tp)) for tp in conjuncts]
         remaining = list(enumerate(conjuncts))
         ordered: List[TriplePattern] = []
         bound: Set[Variable] = set()
@@ -222,7 +565,7 @@ class FederatedExecutor:
                     for term in tp
                     if isinstance(term, Variable) and term not in bound
                 )
-                return (free, len(self._relevant(tp)), index)
+                return (free, source_counts[index], index)
 
             best = min(remaining, key=cost)
             remaining.remove(best)
@@ -230,50 +573,47 @@ class FederatedExecutor:
             bound.update(best[1].variables())
         return ordered
 
-    def _run_bound(
-        self, conjuncts: Sequence[TriplePattern], stats: NetworkStats
-    ) -> List[_IDBinding]:
-        bindings: List[_IDBinding] = [{}]
-        for position, tp in enumerate(self._order_conjuncts(conjuncts)):
-            relevant = self._relevant(tp)
-            results: List[_IDBinding] = []
-            if position == 0:
-                for endpoint in relevant:
-                    solutions = endpoint.pattern_solutions(tp)
-                    self.network.charge_query(
-                        stats, endpoint.name, len(solutions)
-                    )
-                    results.extend(solutions)
-            else:
-                ordered = _sorted_bindings(bindings)
-                for batch in _batches(ordered, self.batch_size):
-                    for endpoint in relevant:
-                        solutions = endpoint.bound_solutions(tp, batch)
-                        self.network.charge_query(
-                            stats, endpoint.name, len(solutions)
-                        )
-                        results.extend(solutions)
-            bindings = _dedupe(results)
-            if not bindings:
-                return []
-        return bindings
-
     # -- centralised collect baseline -----------------------------------
 
-    def _run_collect(
-        self, gpq: GraphPatternQuery, stats: NetworkStats
-    ) -> Set[Tuple[Term, ...]]:
+    def _collect_union(self, stats: NetworkStats) -> Graph:
         union = Graph(name="collected", dictionary=self.dictionary)
         for endpoint in self.endpoints:
             self.network.charge_dump(stats, endpoint.name, len(endpoint.graph))
             union.add_all(endpoint.graph)
-        return evaluate_query_star(union, gpq)
+        return union
+
+    def _evaluate_branch_local(
+        self, graph: Graph, branch: ConjunctiveBranch
+    ) -> List[_IDBinding]:
+        filters = self._compile_filters(branch.filters)
+        bindings: List[_IDBinding] = [{}]
+        bound: Set[Variable] = set()
+        for tp in branch.patterns:
+            bindings = self._extend_local(graph, tp, bindings)
+            bound.update(tp.variables())
+            ready, filters = _split_filters(filters, bound)
+            bindings = _apply_filters(bindings, ready)
+            if not bindings:
+                return []
+        return _apply_filters(bindings, filters)
+
+    @staticmethod
+    def _extend_local(
+        graph: Graph, tp: TriplePattern, bindings: List[_IDBinding]
+    ) -> List[_IDBinding]:
+        slots = compile_conjunct(graph, tp)
+        if slots is None:
+            return []
+        out: List[_IDBinding] = []
+        for partial in bindings:
+            out.extend(extend_id_bindings(graph, slots, partial))
+        return _dedupe(out)
 
 
 def execute_federated(
     system: RPS,
-    query: Union[str, GraphPatternQuery],
-    strategy: str = "bound",
+    query: _Query,
+    strategy: str = ADAPTIVE,
     network: Optional[NetworkModel] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     nsm: Optional[NamespaceManager] = None,
@@ -312,28 +652,84 @@ def _batches(bindings: List[_IDBinding], size: int) -> List[List[_IDBinding]]:
     return [bindings[i : i + size] for i in range(0, len(bindings), size)]
 
 
+def _project(
+    bindings: List[_IDBinding], head: Tuple[Variable, ...]
+) -> Set[Tuple[Optional[int], ...]]:
+    """Project bindings onto the head; unbound cells become ``None``."""
+    return {tuple(b.get(v) for v in head) for b in bindings}
+
+
+def _split_filters(
+    filters: List[_CompiledFilter], bound: Set[Variable]
+) -> Tuple[List[_CompiledFilter], List[_CompiledFilter]]:
+    """Partition filters into (decidable under ``bound``, the rest)."""
+    ready: List[_CompiledFilter] = []
+    rest: List[_CompiledFilter] = []
+    for f in filters:
+        (ready if f.variables <= bound else rest).append(f)
+    return ready, rest
+
+
+def _apply_filters(
+    bindings: List[_IDBinding], filters: Sequence[_CompiledFilter]
+) -> List[_IDBinding]:
+    if not filters:
+        return bindings
+    return [b for b in bindings if all(f.accept(b) for f in filters)]
+
+
+def _compose(
+    filters: Sequence[_CompiledFilter],
+) -> Optional[Callable[[_IDBinding], bool]]:
+    """AND-compose compiled filters into one endpoint-side predicate."""
+    if not filters:
+        return None
+    if len(filters) == 1:
+        return filters[0].accept
+    accepts = [f.accept for f in filters]
+    return lambda binding: all(accept(binding) for accept in accepts)
+
+
+def _group_by_domain(
+    bindings: List[_IDBinding],
+) -> Dict[FrozenSet[Variable], List[_IDBinding]]:
+    groups: Dict[FrozenSet[Variable], List[_IDBinding]] = {}
+    for binding in bindings:
+        groups.setdefault(frozenset(binding), []).append(binding)
+    return groups
+
+
 def _hash_join(
     left: List[_IDBinding], right: List[_IDBinding]
 ) -> List[_IDBinding]:
-    """Join two homogeneous binding lists on their shared variables.
+    """Join two binding lists on their per-pair shared variables.
 
-    Both sides come from conjunct evaluation, so every binding on a side
-    has the same domain; the join keys on the domain intersection.
+    Under FILTER/UNION pushdown a side may mix binding *domains*
+    (endpoints can return partially-bound rows), so each side is grouped
+    by domain and every domain pair joins on its own shared-variable
+    set.  The previous implementation read the shared variables off the
+    first row of each side, which silently degenerated to a cross
+    product for heterogeneous inputs.  Domain pairs with no shared
+    variables are a genuine cross product (disconnected patterns).
     """
     if not left or not right:
         return []
-    shared = sorted(
-        set(left[0].keys()) & set(right[0].keys()), key=lambda v: v.name
-    )
-    if not shared:
-        return [{**lhs, **rhs} for lhs in left for rhs in right]
-    buckets: Dict[Tuple[int, ...], List[_IDBinding]] = {}
-    for binding in right:
-        key = tuple(binding[v] for v in shared)
-        buckets.setdefault(key, []).append(binding)
     out: List[_IDBinding] = []
-    for binding in left:
-        key = tuple(binding[v] for v in shared)
-        for match in buckets.get(key, ()):
-            out.append({**binding, **match})
+    right_groups = _group_by_domain(right)
+    for left_domain, left_rows in _group_by_domain(left).items():
+        for right_domain, right_rows in right_groups.items():
+            shared = sorted(left_domain & right_domain, key=lambda v: v.name)
+            if not shared:
+                out.extend(
+                    {**lhs, **rhs} for lhs in left_rows for rhs in right_rows
+                )
+                continue
+            buckets: Dict[Tuple[int, ...], List[_IDBinding]] = {}
+            for binding in right_rows:
+                key = tuple(binding[v] for v in shared)
+                buckets.setdefault(key, []).append(binding)
+            for binding in left_rows:
+                key = tuple(binding[v] for v in shared)
+                for match in buckets.get(key, ()):
+                    out.append({**binding, **match})
     return out

@@ -36,6 +36,16 @@ class NetworkStats:
     simulated_seconds: float = 0.0
     per_endpoint_messages: Dict[str, int] = field(default_factory=dict)
 
+    @property
+    def transfer_units(self) -> int:
+        """Total payload items shipped (solution mappings + triples).
+
+        The byte-volume proxy the adaptive benchmarks compare across
+        strategies: a solution mapping and a triple are both one unit
+        (each is a handful of terms on the wire).
+        """
+        return self.solutions_transferred + self.triples_transferred
+
     def merge(self, other: "NetworkStats") -> None:
         self.messages += other.messages
         self.solutions_transferred += other.solutions_transferred

@@ -376,6 +376,63 @@ class Graph:
         by_subj = self._osp.get(o, {})
         return sum(len(preds) for preds in by_subj.values())
 
+    def count_pattern(self, pattern: TriplePattern) -> int:
+        """Exact match count of a triple pattern.
+
+        Ground positions resolve through the dictionary and the count
+        comes straight from :meth:`count_ids` — O(index fan-out), no
+        triple materialisation.  Repeated variables (e.g. ``(?x, p,
+        ?x)``) force a scan over the candidate index range, since the
+        equality constraint is not index-expressible.  A literal subject
+        or an uninterned ground term counts zero.  This is the
+        per-endpoint cardinality oracle of the federated cost model.
+        """
+        terms = (pattern.subject, pattern.predicate, pattern.object)
+        if isinstance(terms[0], Literal):
+            return 0
+        args: List[Optional[int]] = [None, None, None]
+        seen: Dict[Variable, int] = {}
+        constraints: List[Tuple[int, int]] = []
+        for pos, term in enumerate(terms):
+            if isinstance(term, Variable):
+                first = seen.get(term)
+                if first is None:
+                    seen[term] = pos
+                else:
+                    constraints.append((first, pos))
+            else:
+                tid = self._dict.lookup(term)
+                if tid is None:
+                    return 0
+                args[pos] = tid
+        if not constraints:
+            return self.count_ids(args[0], args[1], args[2])
+        return sum(
+            1
+            for ids in self.triples_ids(args[0], args[1], args[2])
+            if all(ids[i] == ids[j] for i, j in constraints)
+        )
+
+    def add_id_triples(
+        self, ids: Iterable[IDTriple], dictionary: TermDictionary
+    ) -> int:
+        """Bulk-add already-encoded ID triples; returns how many were new.
+
+        The caller must pass the dictionary the IDs were encoded against
+        so a cross-dictionary mix-up fails loudly instead of silently
+        storing garbage.  Used by the federated executor to land pulled
+        peer relations in its local cache graph without decoding.
+
+        Raises:
+            ValueError: if ``dictionary`` is not this graph's dictionary.
+        """
+        if dictionary is not self._dict:
+            raise ValueError(
+                "add_id_triples requires the graph's own dictionary; "
+                "IDs from a foreign dictionary are meaningless here"
+            )
+        return sum(1 for t in ids if self._add_ids(t))
+
     def count(
         self,
         subject: Optional[Term] = None,

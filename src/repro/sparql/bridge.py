@@ -9,20 +9,39 @@ vice versa".  This module is that translation:
   a :class:`~repro.gpq.query.GraphPatternQuery`;
 * :func:`gpq_to_sparql` — render a graph pattern query as SPARQL text;
 * :func:`sparql_union_to_gpqs` — a UNION of BGPs becomes a list of graph
-  pattern queries (used by the rewriting output, which produces UCQs).
+  pattern queries (used by the rewriting output, which produces UCQs);
+* :func:`sparql_to_branches` — the general form: any SELECT/ASK in the
+  supported fragment (BGP + UNION + FILTER, arbitrarily nested) becomes
+  a projection head plus a *union of conjunctive branches*, each branch
+  a BGP with its FILTER constraints.  This is the shape the federated
+  executor runs: UNION branches become independent per-endpoint
+  sub-queries and branch filters are pushed into them.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple, Union
 
 from repro.errors import UnsupportedSparqlError
 from repro.gpq.pattern import GraphPattern
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.namespaces import NamespaceManager
-from repro.rdf.terms import IRI, Term
+from repro.rdf.terms import IRI, Term, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.algebra import (
+    AlgebraNode,
+    Bgp,
+    Filter,
+    Join,
+    translate_group,
+)
+from repro.sparql.algebra import Union as AlgebraUnion
 from repro.sparql.ast import (
     AskQuery,
+    BooleanExpr,
+    Comparison,
+    FilterExpr,
     GroupPattern,
     Query,
     SelectQuery,
@@ -30,7 +49,18 @@ from repro.sparql.ast import (
 )
 from repro.sparql.parser import parse_query
 
-__all__ = ["sparql_to_gpq", "gpq_to_sparql", "sparql_union_to_gpqs"]
+__all__ = [
+    "ConjunctiveBranch",
+    "sparql_to_gpq",
+    "gpq_to_sparql",
+    "sparql_union_to_gpqs",
+    "sparql_to_branches",
+]
+
+#: Normalisation cap: a query whose disjunctive normal form exceeds this
+#: many branches is rejected rather than silently exploding (each UNION
+#: under a join multiplies branch counts).
+MAX_BRANCHES = 64
 
 
 def _flatten_bgp(group: GroupPattern) -> List:
@@ -119,6 +149,148 @@ def gpq_to_sparql(
     lines.extend(body_lines)
     lines.append("}")
     return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ConjunctiveBranch:
+    """One disjunct of a normalised WHERE clause.
+
+    Attributes:
+        patterns: the branch's BGP (conjunction of triple patterns).
+        filters: FILTER expressions scoped to this branch.  A filter
+            mentioning a variable the branch never binds keeps SPARQL's
+            error semantics: the comparison evaluates to false.
+    """
+
+    patterns: Tuple[TriplePattern, ...]
+    filters: Tuple[FilterExpr, ...] = ()
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: set = set()
+        for tp in self.patterns:
+            out.update(tp.variables())
+        return frozenset(out)
+
+
+def _specialize(expr: FilterExpr, scope: FrozenSet[Variable]):
+    """Specialise a filter to the variables its group can ever bind.
+
+    SPARQL filters scope to their group: a comparison over a variable
+    the group never binds evaluates under an unbound variable and
+    error-collapses to false — even if an *enclosing* group later binds
+    the variable through a join.  This rewrite bakes that in before the
+    filter leaves its group during normalisation: out-of-scope
+    comparisons become constant false and the boolean structure is
+    simplified.  Returns ``False`` when the whole filter is statically
+    false (the branch is empty), else a (possibly smaller) expression.
+    """
+    if isinstance(expr, Comparison):
+        for side in (expr.left, expr.right):
+            if isinstance(side, Variable) and side not in scope:
+                return False
+        return expr
+    assert isinstance(expr, BooleanExpr)
+    left = _specialize(expr.left, scope)
+    right = _specialize(expr.right, scope)
+    if expr.op == "&&":
+        if left is False or right is False:
+            return False
+    else:  # "||"
+        if left is False:
+            return right
+        if right is False:
+            return left
+    if left is expr.left and right is expr.right:
+        return expr
+    return BooleanExpr(expr.op, left, right)
+
+
+def _dnf(node: AlgebraNode) -> List[ConjunctiveBranch]:
+    """Distribute joins and filters over unions: the DNF of the algebra.
+
+    Exact under set semantics — ``(A UNION B) JOIN C`` equals
+    ``(A JOIN C) UNION (B JOIN C)`` and filters distribute over both —
+    which the pushdown test suite asserts against the single-graph
+    planner on randomized workloads.  Filters are specialised to their
+    group's variable scope before they attach to a branch (see
+    :func:`_specialize`), so group-scoped unbound-variable semantics
+    survive the flattening.
+    """
+    if isinstance(node, Bgp):
+        return [ConjunctiveBranch(node.patterns)]
+    if isinstance(node, Join):
+        left = _dnf(node.left)
+        right = _dnf(node.right)
+        if len(left) * len(right) > MAX_BRANCHES:
+            raise UnsupportedSparqlError(
+                f"query normalises to more than {MAX_BRANCHES} conjunctive "
+                "branches"
+            )
+        return [
+            ConjunctiveBranch(
+                lhs.patterns + rhs.patterns, lhs.filters + rhs.filters
+            )
+            for lhs in left
+            for rhs in right
+        ]
+    if isinstance(node, AlgebraUnion):
+        return _dnf(node.left) + _dnf(node.right)
+    if isinstance(node, Filter):
+        out = []
+        for branch in _dnf(node.child):
+            expr = _specialize(node.expr, branch.variables())
+            if expr is False:
+                continue  # statically false: the branch yields nothing
+            out.append(
+                ConjunctiveBranch(branch.patterns, branch.filters + (expr,))
+            )
+        return out
+    raise UnsupportedSparqlError(f"cannot normalise {type(node).__name__}")
+
+
+def sparql_to_branches(
+    query: Union[str, Query], nsm: Optional[NamespaceManager] = None
+) -> Tuple[Tuple[Variable, ...], List[ConjunctiveBranch]]:
+    """Normalise a SELECT/ASK query into ``(head, conjunctive branches)``.
+
+    The union of the branches (each a BGP plus its filters, projected on
+    ``head``) has exactly the query's answer set; a branch that does not
+    bind a head variable leaves its cell unbound (``None`` in projected
+    rows), matching the single-graph planner.
+
+    Raises:
+        UnsupportedSparqlError: for non-SELECT/ASK queries, solution
+            modifiers (ORDER BY/LIMIT/OFFSET), or queries whose DNF
+            exceeds :data:`MAX_BRANCHES`.
+    """
+    ast = parse_query(query, nsm) if isinstance(query, str) else query
+    if isinstance(ast, SelectQuery):
+        if ast.order or ast.limit is not None or ast.offset is not None:
+            raise UnsupportedSparqlError(
+                "ORDER BY/LIMIT/OFFSET are not supported in federated "
+                "execution"
+            )
+        head = ast.projected()
+        where = ast.where
+    elif isinstance(ast, AskQuery):
+        head = ()
+        where = ast.where
+    else:
+        raise UnsupportedSparqlError(f"cannot translate {type(ast).__name__}")
+    branches = _dnf(translate_group(where))
+    if len(branches) > MAX_BRANCHES:
+        raise UnsupportedSparqlError(
+            f"query normalises to more than {MAX_BRANCHES} conjunctive "
+            "branches"
+        )
+    # Drop exact duplicates (a UNION of identical groups is legal SPARQL).
+    seen = set()
+    unique: List[ConjunctiveBranch] = []
+    for branch in branches:
+        if branch not in seen:
+            seen.add(branch)
+            unique.append(branch)
+    return head, unique
 
 
 def sparql_union_to_gpqs(

@@ -65,6 +65,7 @@ __all__ = [
     "FilterScan",
     "EmptyScan",
     "SingletonScan",
+    "compile_filter",
     "build_plan",
     "explain_plan",
     "evaluate_plan",
@@ -431,6 +432,25 @@ def _compile_filter(
         return (bound == ground_id) is equals
 
     return compare_ground
+
+
+def compile_filter(
+    graph: Graph,
+    expr: FilterExpr,
+    sentinels: Optional[Dict[Term, int]] = None,
+) -> Callable[[_IDBinding], bool]:
+    """Public entry to the FILTER compiler.
+
+    ``graph`` only supplies the term dictionary (ground terms resolve to
+    IDs through it), so any graph sharing the dictionary of the bindings
+    the predicate will see works — the federated executor compiles
+    filters once against a peer graph and pushes them into per-endpoint
+    sub-queries.  ``sentinels`` may be shared across several filters of
+    one query so uninterned constants keep stable sentinel IDs.
+    """
+    return _compile_filter(
+        graph, expr, sentinels if sentinels is not None else {}
+    )
 
 
 # ---------------------------------------------------------------------------

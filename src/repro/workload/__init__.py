@@ -35,6 +35,8 @@ from repro.workload.federation import (
     SHARED,
     federated_path_query,
     federated_rps,
+    federated_selective_query,
+    federated_union_filter_sparql,
 )
 from repro.workload.queries import path_query, random_queries, star_query
 from repro.workload.topologies import (
@@ -65,6 +67,8 @@ __all__ = [
     "example2_rps",
     "federated_path_query",
     "federated_rps",
+    "federated_selective_query",
+    "federated_union_filter_sparql",
     "figure1_graphs",
     "figure1_namespaces",
     "friend_of_friend_assertion",

@@ -23,7 +23,13 @@ from repro.rdf.triples import Triple
 from repro.peers.system import RPS
 from repro.workload.topologies import peer_namespace
 
-__all__ = ["SHARED", "federated_rps", "federated_path_query"]
+__all__ = [
+    "SHARED",
+    "federated_rps",
+    "federated_path_query",
+    "federated_selective_query",
+    "federated_union_filter_sparql",
+]
 
 #: The entity namespace every federation peer describes.
 SHARED = Namespace("http://shared.example.org/")
@@ -79,3 +85,42 @@ def federated_path_query(
     ]
     head = tuple(variables) if project_all else (variables[0], variables[-1])
     return GraphPatternQuery(head, make_pattern(*patterns), name="fedpath")
+
+
+def federated_selective_query(
+    entity: int = 3, hops: int = 2
+) -> GraphPatternQuery:
+    """A path query anchored at one shared entity.
+
+    ``(e_k, peer0:knows, x1)(x1, peer1:knows, x2)…`` — the ground
+    subject keeps intermediate binding sets tiny, the canonical workload
+    where bound joins beat shipping whole relations.
+    """
+    if hops < 1:
+        raise ValueError("selective query needs at least one hop")
+    start = SHARED.term(f"e{entity}")
+    variables: List[Variable] = [Variable(f"x{i}") for i in range(1, hops + 1)]
+    patterns = [(start, peer_namespace(0).knows, variables[0])]
+    for i in range(1, hops):
+        patterns.append(
+            (variables[i - 1], peer_namespace(i).knows, variables[i])
+        )
+    return GraphPatternQuery(
+        tuple(variables), make_pattern(*patterns), name="fedselective"
+    )
+
+
+def federated_union_filter_sparql() -> str:
+    """A SPARQL query past the conjunctive fragment: UNION of two peers'
+    ``knows`` relations, filtered to distinct endpoints.
+
+    Exercises UNION-branch and FILTER pushdown in the federated
+    executor; the filter is decidable per branch pattern, so rejected
+    rows never leave their endpoint.
+    """
+    p0 = peer_namespace(0).knows.n3()
+    p1 = peer_namespace(1).knows.n3()
+    return (
+        "SELECT ?x ?y WHERE { "
+        f"{{ ?x {p0} ?y }} UNION {{ ?x {p1} ?y }} . FILTER(?x != ?y) }}"
+    )

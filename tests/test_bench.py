@@ -8,6 +8,15 @@ import pytest
 from repro.bench import check_against, run_all
 from repro.bench.runner import format_summary
 
+FEDERATION_STRATEGIES = ("adaptive", "naive", "bound", "collect")
+
+ADAPTIVE_WORKLOADS = (
+    "path2@3p",
+    "selective@3p",
+    "union_filter@3p",
+    "path3@5p",
+)
+
 EXPECTED_BENCHMARKS = {
     "match/by_subject",
     "match/by_predicate",
@@ -25,15 +34,14 @@ EXPECTED_BENCHMARKS = {
     "sparql/union",
     "sparql/filter",
     "sparql/union_join",
-    "federation/naive@20",
-    "federation/bound@20",
-    "federation/collect@20",
-    "federation/naive@60",
-    "federation/bound@60",
-    "federation/collect@60",
-    "federation/naive@120",
-    "federation/bound@120",
-    "federation/collect@120",
+} | {
+    f"federation/{strategy}@{facts}"
+    for strategy in FEDERATION_STRATEGIES
+    for facts in (20, 60, 120)
+} | {
+    f"adaptive/{workload}:{strategy}"
+    for workload in ADAPTIVE_WORKLOADS
+    for strategy in FEDERATION_STRATEGIES
 }
 
 
@@ -76,15 +84,46 @@ def test_federation_rows_account_messages(report):
         naive = rows[f"federation/naive@{facts}"]
         bound = rows[f"federation/bound@{facts}"]
         collect = rows[f"federation/collect@{facts}"]
+        adaptive = rows[f"federation/adaptive@{facts}"]
         # The acceptance invariant: bound joins ship strictly fewer
         # messages than naive per-pattern shipping.
         assert bound["messages"] < naive["messages"]
         # All strategies agree on the answer set size.
-        assert naive["results"] == bound["results"] == collect["results"]
-        # Only the collect baseline dumps triples.
+        assert (
+            naive["results"]
+            == bound["results"]
+            == collect["results"]
+            == adaptive["results"]
+        )
+        # Only the collect baseline dumps every triple.
         assert collect["triples_transferred"] > 0
         assert naive["triples_transferred"] == 0
         assert naive["simulated_seconds"] > 0
+
+
+def test_adaptive_rows_never_pareto_dominated(report):
+    data, _ = report
+    rows = {
+        row["name"]: row["meta"]
+        for row in data["benchmarks"]
+        if row["name"].startswith("adaptive/")
+    }
+    assert rows
+    for workload in ADAPTIVE_WORKLOADS:
+        chosen = rows[f"adaptive/{workload}:adaptive"]
+        transfer = (
+            chosen["solutions_transferred"] + chosen["triples_transferred"]
+        )
+        for strategy in ("naive", "bound", "collect"):
+            other = rows[f"adaptive/{workload}:{strategy}"]
+            other_transfer = (
+                other["solutions_transferred"] + other["triples_transferred"]
+            )
+            assert chosen["results"] == other["results"]
+            assert not (
+                chosen["messages"] > other["messages"]
+                and transfer > other_transfer
+            ), (workload, strategy)
 
 
 def test_summary_mentions_every_benchmark(report):
@@ -170,6 +209,53 @@ def test_check_fails_on_deterministic_metric_drift(report, committed):
     outcome = check_against(committed, fresh=fresh)
     assert not outcome.ok
     assert any("messages changed" in failure for failure in outcome.failures)
+
+
+def test_check_median_absorbs_one_noisy_run(report, committed):
+    # A single timing outlier (e.g. a preempted CI runner) must not fail
+    # the gate: the median over three runs discards it.
+    data, _ = report
+    noisy = copy.deepcopy(data)
+    for row in noisy["benchmarks"]:
+        if row.get("speedup") is not None:
+            row["speedup"] = row["speedup"] / 100.0
+    runs = [copy.deepcopy(data), noisy, copy.deepcopy(data)]
+    outcome = check_against(committed, fresh=runs)
+    assert outcome.ok, outcome.summary()
+
+
+def test_check_fails_on_reproducible_median_regression(report, committed):
+    data, _ = report
+    runs = []
+    for _ in range(3):
+        slow = copy.deepcopy(data)
+        for row in slow["benchmarks"]:
+            if row.get("speedup") is not None:
+                row["speedup"] = row["speedup"] / 100.0
+        runs.append(slow)
+    outcome = check_against(committed, fresh=runs)
+    assert not outcome.ok
+    failure = next(f for f in outcome.failures if "median speedup" in f)
+    # The failure names the suite that drifted.
+    assert "suite" in failure
+
+
+def test_check_fails_when_adaptive_plan_is_dominated(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    # Doctor fresh and committed identically so only the Pareto
+    # invariant trips, not the deterministic-metric comparison.
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "adaptive/path2@3p:adaptive":
+                row["meta"]["messages"] = 10_000
+                row["meta"]["solutions_transferred"] = 10_000
+                row["meta"]["triples_transferred"] = 10_000
+                row["meta"]["transfer_units"] = 20_000
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any("dominated by" in failure for failure in outcome.failures)
 
 
 def test_check_fails_when_bound_loses_message_advantage(report, committed):

@@ -4,12 +4,15 @@ import pytest
 
 from repro.errors import FederationError
 from repro.federation import (
+    ADAPTIVE,
+    FIXED_STRATEGIES,
     STRATEGIES,
     FederatedExecutor,
     NetworkModel,
     NetworkStats,
     execute_federated,
 )
+from repro.federation.executor import _hash_join
 from repro.gpq.evaluation import evaluate_query_star
 from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
@@ -104,16 +107,82 @@ def test_batch_size_does_not_change_results(
 
 def test_empty_answer_query(three_peer_system):
     # A predicate nobody holds: naive still ships it everywhere, bound
-    # stops after its first empty pattern; both agree on emptiness.
+    # and adaptive stop before sending anything; all agree on emptiness.
     x, y = Variable("x"), Variable("y")
     query = GraphPatternQuery(
         (x, y), make_pattern((x, peer_namespace(9).knows, y))
     )
     naive = execute_federated(three_peer_system, query, "naive")
     bound = execute_federated(three_peer_system, query, "bound")
-    assert naive.rows == bound.rows == set()
+    adaptive = execute_federated(three_peer_system, query, ADAPTIVE)
+    assert naive.rows == bound.rows == adaptive.rows == set()
     assert naive.stats.messages == 3  # one per peer
     assert bound.stats.messages == 0  # no relevant source
+    assert adaptive.stats.messages == 0  # zero-count sources cost nothing
+
+
+# ---------------------------------------------------------------------------
+# The hash join under heterogeneous binding domains
+# ---------------------------------------------------------------------------
+
+
+def _reference_join(left, right):
+    """Oracle: compatible-merge nested loop (the paper's omega-join)."""
+    out = []
+    for lhs in left:
+        for rhs in right:
+            if all(lhs.get(v, tid) == tid for v, tid in rhs.items()):
+                out.append({**lhs, **rhs})
+    return out
+
+
+def _canonical_rows(rows):
+    return sorted(
+        tuple(sorted((v.name, tid) for v, tid in row.items())) for row in rows
+    )
+
+
+def test_hash_join_heterogeneous_domains_regression():
+    # The old implementation read the shared variables off the *first*
+    # row of each side; with mixed domains (possible once endpoints
+    # return partially-bound rows under pushdown) it degenerated to a
+    # cross product that even merged conflicting values silently.
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    left = [{x: 1}, {x: 1, y: 2}, {y: 3}]
+    right = [{y: 2}, {x: 1, z: 5}, {x: 2, y: 3}]
+    assert _canonical_rows(_hash_join(left, right)) == _canonical_rows(
+        _reference_join(left, right)
+    )
+    # The first-domain pair shares nothing, so the old code joined the
+    # whole input as a cross product: 9 merged rows, some inconsistent.
+    assert len(_hash_join(left, right)) == len(_reference_join(left, right))
+
+
+def test_hash_join_homogeneous_domains_unchanged():
+    x, y = Variable("x"), Variable("y")
+    left = [{x: 1}, {x: 2}]
+    right = [{x: 1, y: 10}, {x: 1, y: 11}, {x: 3, y: 12}]
+    assert _canonical_rows(_hash_join(left, right)) == _canonical_rows(
+        _reference_join(left, right)
+    )
+
+
+def test_hash_join_randomized_against_reference():
+    import random
+
+    variables = [Variable(name) for name in "abcd"]
+    rng = random.Random(5)
+    for _ in range(50):
+        def rows():
+            out = []
+            for _ in range(rng.randint(0, 6)):
+                domain = rng.sample(variables, rng.randint(1, 4))
+                out.append({v: rng.randint(1, 3) for v in domain})
+            return out
+
+        left, right = rows(), rows()
+        expected = _canonical_rows(_reference_join(left, right))
+        assert _canonical_rows(_hash_join(left, right)) == expected
 
 
 # ---------------------------------------------------------------------------

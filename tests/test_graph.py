@@ -204,3 +204,38 @@ def test_predicate_histogram(medium_random_graph):
     for predicate, count in histogram.items():
         assert count == medium_random_graph.count(predicate=predicate)
     assert sum(histogram.values()) == len(medium_random_graph)
+
+
+def test_count_pattern_agrees_with_match(medium_random_graph):
+    graph = medium_random_graph
+    for triple in list(graph)[:20]:
+        for pattern in all_shape_patterns(triple):
+            assert graph.count_pattern(pattern) == sum(
+                1 for _ in graph.match(pattern)
+            )
+
+
+def test_count_pattern_repeated_variable_and_edge_cases():
+    graph = Graph()
+    x = Variable("x")
+    graph.add(Triple(EX.term("a"), EX.term("p"), EX.term("a")))
+    graph.add(Triple(EX.term("a"), EX.term("p"), EX.term("b")))
+    # Repeated variable: only the reflexive triple counts.
+    assert graph.count_pattern(TriplePattern(x, EX.term("p"), x)) == 1
+    # Literal subject can never match.
+    assert graph.count_pattern(TriplePattern(Literal("a"), P, O)) == 0
+    # Uninterned ground term counts zero without touching indexes.
+    assert graph.count_pattern(TriplePattern(EX.term("ghost"), P, O)) == 0
+
+
+def test_add_id_triples_bulk_and_dictionary_guard():
+    source = Graph([Triple(EX.term("a"), EX.term("p"), EX.term("b"))])
+    sink = Graph(dictionary=source.dictionary)
+    ids = list(source.triples_ids())
+    assert sink.add_id_triples(ids, source.dictionary) == 1
+    assert sink.add_id_triples(ids, source.dictionary) == 0  # idempotent
+    assert set(sink) == set(source)
+    from repro.rdf.dictionary import TermDictionary
+
+    with pytest.raises(ValueError, match="own dictionary"):
+        sink.add_id_triples(ids, TermDictionary())
