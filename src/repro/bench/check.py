@@ -23,10 +23,13 @@ classes of quantity that survive a machine change:
   (default 2x), i.e. on a reproducible >2x relative slowdown of a
   suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts two behaviour invariants on the fresh records:
-bound joins ship strictly fewer messages than naive shipping, and the
-adaptive plan is never Pareto-dominated by a fixed strategy (worse on
-messages *and* transfer simultaneously) on any adaptive-suite workload.
+The gate also re-asserts three behaviour invariants on the fresh
+records: bound joins ship strictly fewer messages than naive shipping,
+the adaptive plan is never Pareto-dominated by a fixed strategy (worse
+on messages *and* transfer simultaneously) on any adaptive-suite
+workload, and the parallel mode's makespan (``elapsed_seconds``) never
+exceeds the serial adaptive plan's on any parallel-suite workload —
+with exclusive groups cutting messages on at least one of them.
 """
 
 from __future__ import annotations
@@ -195,6 +198,7 @@ def check_against(
 
     failures.extend(_federation_invariant(fresh_rows))
     failures.extend(_adaptive_invariant(fresh_rows))
+    failures.extend(_parallel_invariant(fresh_rows))
     return CheckOutcome(
         ok=not failures,
         failures=failures,
@@ -251,6 +255,56 @@ def _adaptive_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
                     f"(messages {messages} > {other_messages}, transfer "
                     f"{transfer} > {other_transfer})"
                 )
+    return failures
+
+
+def _parallel_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """The parallel mode must win (or tie) wall clock on every workload.
+
+    For every parallel-suite workload the overlap-aware mode's
+    ``elapsed_seconds`` may not exceed the serial adaptive plan's, and
+    across the suite at least one workload must show the exclusive-group
+    message reduction.  Both compare rows of the *same* fresh run, so
+    the check is machine-independent.
+    """
+    failures = []
+    workloads = {
+        name[len("parallel/") :].rsplit(":", 1)[0]
+        for name in fresh_rows
+        if name.startswith("parallel/") and ":" in name
+    }
+    any_message_cut = False
+    compared = False
+    for workload in sorted(workloads):
+        serial = fresh_rows.get(f"parallel/{workload}:serial")
+        overlapped = fresh_rows.get(f"parallel/{workload}:parallel")
+        if serial is None or overlapped is None:
+            continue
+        serial_meta = serial.get("meta", {})
+        overlapped_meta = overlapped.get("meta", {})
+        serial_elapsed = serial_meta.get("elapsed_seconds")
+        overlapped_elapsed = overlapped_meta.get("elapsed_seconds")
+        if serial_elapsed is None or overlapped_elapsed is None:
+            continue
+        compared = True
+        if overlapped_elapsed > serial_elapsed + 1e-9:
+            failures.append(
+                f"parallel@{workload}: makespan {overlapped_elapsed:.6f}s "
+                f"exceeds the serial plan's {serial_elapsed:.6f}s"
+            )
+        serial_messages = serial_meta.get("messages")
+        overlapped_messages = overlapped_meta.get("messages")
+        if (
+            serial_messages is not None
+            and overlapped_messages is not None
+            and overlapped_messages < serial_messages
+        ):
+            any_message_cut = True
+    if compared and not any_message_cut:
+        failures.append(
+            "parallel suite: no workload showed an exclusive-group "
+            "message reduction (parallel messages < serial messages)"
+        )
     return failures
 
 

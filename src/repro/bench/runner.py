@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Six suites:
+Seven suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -20,7 +20,13 @@ Six suites:
   anchors, FILTER/UNION pushdown, a larger 5-peer system), hard
   asserting answer-set equality with the single-graph planner and that
   the adaptive plan is never worse than a fixed strategy on messages
-  *and* transfer simultaneously.
+  *and* transfer simultaneously;
+* ``parallel/*`` — the overlap-aware parallel mode (discrete-event
+  runtime, exclusive groups, makespan-priced decisions) against the
+  serial adaptive plan per workload, hard asserting answer-set
+  equality, ``parallel elapsed_seconds <= serial elapsed_seconds`` on
+  *every* workload, and an exclusive-group message reduction on the
+  workload built for it.
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
@@ -44,6 +50,7 @@ from repro.bench.baseline import BaselineGraph, baseline_evaluate_query
 from repro.federation.executor import (
     ADAPTIVE,
     FIXED_STRATEGIES,
+    PARALLEL,
     STRATEGIES,
     FederatedExecutor,
 )
@@ -59,6 +66,7 @@ from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import select_rows
 from repro.workload.federation import (
+    federated_exclusive_query,
     federated_path_query,
     federated_rps,
     federated_selective_query,
@@ -365,11 +373,12 @@ def bench_sparql(graph: Graph, repeat: int) -> List[BenchRecord]:
 def bench_federation(repeat: int) -> List[BenchRecord]:
     """Time and account federated strategies on 3-peer workloads.
 
-    For every data scale all four strategies (adaptive plus the fixed
-    baselines) must return exactly the answer set of the single-graph
-    evaluator over the union database, and the bound-join strategy must
-    use strictly fewer messages than naive per-pattern shipping — both
-    are hard assertions, so a regression can never hide behind a timing.
+    For every data scale all five strategies (adaptive and parallel
+    plus the fixed baselines) must return exactly the answer set of the
+    single-graph evaluator over the union database, and the bound-join
+    strategy must use strictly fewer messages than naive per-pattern
+    shipping — both are hard assertions, so a regression can never hide
+    behind a timing.
     """
     records = []
     query = federated_path_query(hops=2)
@@ -404,6 +413,7 @@ def bench_federation(repeat: int) -> List[BenchRecord]:
                         "solutions_transferred": stats.solutions_transferred,
                         "triples_transferred": stats.triples_transferred,
                         "simulated_seconds": stats.simulated_seconds,
+                        "elapsed_seconds": stats.elapsed_seconds,
                         "results": len(result.rows),
                     },
                 )
@@ -478,6 +488,7 @@ def bench_adaptive(repeat: int) -> List[BenchRecord]:
                         "triples_transferred": stats.triples_transferred,
                         "transfer_units": stats.transfer_units,
                         "simulated_seconds": stats.simulated_seconds,
+                        "elapsed_seconds": stats.elapsed_seconds,
                         "results": len(result.rows),
                     },
                 )
@@ -495,6 +506,79 @@ def bench_adaptive(repeat: int) -> List[BenchRecord]:
                     f"{other.messages} and transfer {chosen.transfer_units} "
                     f"> {other.transfer_units}"
                 )
+    return records
+
+
+def bench_parallel(repeat: int) -> List[BenchRecord]:
+    """The overlap-aware parallel mode vs the serial adaptive plan.
+
+    Per workload both modes must return exactly the single-graph answer
+    set, and the parallel makespan (``elapsed_seconds``) may never
+    exceed the serial one — the runtime exists to overlap, so losing
+    wall clock to it is a regression, asserted hard here and re-checked
+    by the CI gate.  The exclusive-group workload must additionally
+    ship strictly fewer messages in parallel mode (the fused
+    endpoint-side sub-query answers two conjuncts in one round trip).
+    """
+    three = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    five = federated_rps(peers=5, entities=40, facts=150, seed=11)
+    workloads: List[Tuple[str, RPS, Any]] = [
+        ("path2@3p", three, federated_path_query(hops=2)),
+        ("union_filter@3p", three, federated_union_filter_sparql()),
+        ("exclusive@3p", three, federated_exclusive_query(hops=1)),
+        ("path3@5p", five, federated_path_query(hops=3)),
+    ]
+    records = []
+    for label, system, query in workloads:
+        executor = FederatedExecutor(system)
+        expected = _single_graph_rows(system, query)
+        outcomes: Dict[str, Any] = {}
+        for strategy in (ADAPTIVE, PARALLEL):
+
+            def run(strategy: str = strategy):
+                return executor.execute(query, strategy)
+
+            seconds, result = _best_time(run, repeat)
+            if result.rows != expected:
+                raise AssertionError(
+                    f"parallel suite {label!r}, strategy {strategy!r}: "
+                    f"{len(result.rows)} answers != single-graph "
+                    f"{len(expected)}"
+                )
+            outcomes[strategy] = result
+            stats = result.stats
+            mode = "serial" if strategy == ADAPTIVE else "parallel"
+            records.append(
+                BenchRecord(
+                    name=f"parallel/{label}:{mode}",
+                    seconds=seconds,
+                    meta={
+                        "messages": stats.messages,
+                        "solutions_transferred": stats.solutions_transferred,
+                        "triples_transferred": stats.triples_transferred,
+                        "transfer_units": stats.transfer_units,
+                        "busy_seconds": stats.busy_seconds,
+                        "elapsed_seconds": stats.elapsed_seconds,
+                        "results": len(result.rows),
+                    },
+                )
+            )
+        serial = outcomes[ADAPTIVE].stats
+        overlapped = outcomes[PARALLEL].stats
+        if overlapped.elapsed_seconds > serial.elapsed_seconds + 1e-9:
+            raise AssertionError(
+                f"parallel mode on {label!r} lost wall clock: elapsed "
+                f"{overlapped.elapsed_seconds:.6f}s > serial "
+                f"{serial.elapsed_seconds:.6f}s"
+            )
+        if label.startswith("exclusive") and (
+            overlapped.messages >= serial.messages
+        ):
+            raise AssertionError(
+                f"exclusive groups on {label!r} must cut messages: "
+                f"parallel {overlapped.messages} >= serial "
+                f"{serial.messages}"
+            )
     return records
 
 
@@ -523,6 +607,7 @@ def build_report(
     records.extend(bench_sparql(graph, repeat))
     records.extend(bench_federation(repeat))
     records.extend(bench_adaptive(repeat))
+    records.extend(bench_parallel(repeat))
 
     return {
         "suite": "core",
@@ -587,12 +672,15 @@ def format_summary(report: Dict[str, Any]) -> str:
         if base is not None:
             extra = f"  baseline={base:.4f}s  speedup={row['speedup']:.2f}x"
         elif "messages" in meta:
+            busy = meta.get("busy_seconds", meta.get("simulated_seconds"))
             extra = (
                 f"  messages={meta['messages']}"
                 f"  solutions={meta['solutions_transferred']}"
                 f"  triples={meta['triples_transferred']}"
-                f"  wire={meta['simulated_seconds']:.4f}s"
+                f"  busy={busy:.4f}s"
             )
+            if "elapsed_seconds" in meta:
+                extra += f"  elapsed={meta['elapsed_seconds']:.4f}s"
         else:
             extra = ""
         lines.append(f"{row['name']:<26} {row['seconds']:.4f}s{extra}")

@@ -123,3 +123,12 @@ class SourceSelectionError(FederationError):
 
 class EndpointError(FederationError):
     """A simulated endpoint rejected or failed a sub-query."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event runtime simulation errors.
+
+    Raised by :mod:`repro.runtime` on misconfigured channels (zero
+    concurrency, a window below the lane count) and on causality
+    violations (an event scheduled before the current virtual instant).
+    """

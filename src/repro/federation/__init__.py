@@ -12,11 +12,18 @@ over peer access points.  This package provides the simulated version:
   adaptive strategy: prices *ship* / *bound* / *pull* alternatives from
   endpoint cardinality statistics and the live intermediate binding
   count;
+* :mod:`repro.federation.statistics` — the TTL statistics catalog:
+  endpoint cardinalities age across executions and refreshes are
+  charged as real messages, so stale plans (and their recovery) are
+  observable;
 * :mod:`repro.federation.executor` — the distributed executor: the
   cost-model-driven ``adaptive`` strategy (with FILTER/UNION pushdown
-  into per-endpoint sub-queries) plus three fixed baselines — ``naive``
-  per-pattern shipping, FedX-style ``bound`` joins with solution
-  batching, and the ``collect`` data-dump baseline.
+  into per-endpoint sub-queries), the overlap-aware ``parallel`` mode
+  on the discrete-event runtime (:mod:`repro.runtime`) with FedX-style
+  exclusive groups and makespan-priced decisions, plus three fixed
+  baselines — ``naive`` per-pattern shipping, FedX-style ``bound``
+  joins with solution batching, and the ``collect`` data-dump
+  baseline.
 """
 
 from repro.federation.cost import CostModel, Decision, EndpointStats
@@ -24,16 +31,19 @@ from repro.federation.endpoint import PeerEndpoint
 from repro.federation.executor import (
     ADAPTIVE,
     FIXED_STRATEGIES,
+    PARALLEL,
     STRATEGIES,
     FederatedExecutor,
     FederationResult,
     execute_federated,
 )
 from repro.federation.network import NetworkModel, NetworkStats
+from repro.federation.statistics import StatisticsCatalog
 
 __all__ = [
     "ADAPTIVE",
     "FIXED_STRATEGIES",
+    "PARALLEL",
     "STRATEGIES",
     "CostModel",
     "Decision",
@@ -43,5 +53,6 @@ __all__ = [
     "NetworkModel",
     "NetworkStats",
     "PeerEndpoint",
+    "StatisticsCatalog",
     "execute_federated",
 ]

@@ -29,11 +29,24 @@ parameters and picks the cheapest:
     and every later conjunct over the same relation — locally for free.
     One message per uncached endpoint, transfer in triples.
 
-Estimated costs are converted to simulated seconds via the
-:class:`~repro.federation.network.NetworkModel`, so the decision
-optimises exactly the quantity the benchmarks report; ties break on
-messages, then transfer.  Every decision carries its rejected
-alternatives for ``explain``-style traces.
+Costs are priced on one of two time axes, matching the execution mode:
+
+* **serial** (``parallel=False``) — busy seconds: every message's
+  latency and every transferred item adds up, exactly the quantity the
+  serial strategies accumulate in ``NetworkStats.busy_seconds``.
+* **makespan** (``parallel=True``) — elapsed seconds under the
+  overlap-aware runtime (:mod:`repro.runtime`): per-endpoint fan-outs
+  run side by side (the estimate is the *max* over endpoints, not the
+  sum) and bound-join batch waves overlap up to the per-endpoint
+  channel ``concurrency``.  The parallel execution mode prices its
+  ship/bound/pull decisions this way, so a plan that wins on wall
+  clock is chosen even when it loses on summed wire time.
+
+Ties break on messages, then transfer.  Every decision carries its
+rejected alternatives for ``explain``-style traces.  Conjuncts fused
+into a FedX-style exclusive group are decided together
+(:meth:`CostModel.decide_group`): only ship/bound apply, and the group's
+result cardinality is estimated from its most selective member.
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ from typing import List, Sequence, Tuple
 from repro.federation.network import NetworkModel
 from repro.rdf.terms import Variable
 from repro.rdf.triples import TriplePattern
+from repro.runtime.scheduler import DEFAULT_CONCURRENCY
 
 __all__ = ["CostModel", "Decision", "EndpointStats", "Estimate"]
 
@@ -85,7 +99,8 @@ class Estimate:
         messages: estimated round trips.
         solutions: estimated solution mappings transferred.
         triples: estimated triples transferred (pull only).
-        seconds: the network model's simulated seconds for the above.
+        seconds: estimated time — busy seconds when priced serially,
+            makespan seconds when priced for the parallel mode.
         feasible: False when the alternative cannot run here (e.g. a
             bound join with no prior bindings).
     """
@@ -111,7 +126,8 @@ class Decision:
     """The chosen alternative for one conjunct, with its audit trail.
 
     Attributes:
-        pattern: the conjunct decided on.
+        pattern: the conjunct decided on (the first member, for an
+            exclusive group).
         chosen: the winning estimate.
         alternatives: every feasible estimate considered (winner
             included), for ``explain`` traces.
@@ -119,6 +135,9 @@ class Decision:
         bindings: size of the intermediate binding set at decision time
             (the cardinality feedback input).
         branch: index of the conjunctive branch this conjunct belongs to.
+        group: every member of the exclusive group when the decision
+            covers a fused endpoint-side sub-query; empty for a single
+            conjunct.
     """
 
     pattern: TriplePattern
@@ -127,6 +146,7 @@ class Decision:
     endpoints: Tuple[str, ...] = ()
     bindings: int = 0
     branch: int = 0
+    group: Tuple[TriplePattern, ...] = ()
 
     @property
     def action(self) -> str:
@@ -135,8 +155,15 @@ class Decision:
     def describe(self) -> str:
         """One-line trace entry: action, targets, estimates, rejects."""
         targets = ",".join(self.endpoints) or "-"
+        if self.group:
+            shape = (
+                f"group[{len(self.group)}] "
+                + " ".join(tp.n3() for tp in self.group)
+            )
+        else:
+            shape = self.pattern.n3()
         parts = [
-            f"{self.action:<5} {self.pattern.n3()} -> {targets}",
+            f"{self.action:<5} {shape} -> {targets}",
             f"[n={self.bindings} est msgs={self.chosen.messages} "
             f"sols={self.chosen.solutions:.0f} "
             f"triples={self.chosen.triples} "
@@ -161,6 +188,9 @@ class CostModel:
         batch_size: bound-join batch size (bindings per message).
         bound_selectivity: per-bound-position discount applied when
             estimating bound-join output size.
+        concurrency: per-endpoint channel concurrency assumed by the
+            makespan (``parallel=True``) pricing — how many of one
+            endpoint's batch requests overlap.
     """
 
     def __init__(
@@ -168,10 +198,12 @@ class CostModel:
         network: NetworkModel,
         batch_size: int,
         bound_selectivity: float = BOUND_SELECTIVITY,
+        concurrency: int = DEFAULT_CONCURRENCY,
     ) -> None:
         self.network = network
         self.batch_size = batch_size
         self.bound_selectivity = bound_selectivity
+        self.concurrency = max(1, concurrency)
 
     # -- pricing --------------------------------------------------------
 
@@ -186,19 +218,28 @@ class CostModel:
         )
 
     def estimate_ship(
-        self, stats: Sequence[EndpointStats], pushed_filters: int = 0
+        self,
+        stats: Sequence[EndpointStats],
+        pushed_filters: int = 0,
+        parallel: bool = False,
     ) -> Estimate:
         active = [s for s in stats if s.pattern_count > 0]
         messages = len(active)
-        solutions = float(sum(s.pattern_count for s in active))
-        solutions *= FILTER_SELECTIVITY**pushed_filters
-        return Estimate(
-            "ship",
-            messages,
-            solutions,
-            0,
-            self._seconds(messages, solutions, 0),
-        )
+        discount = FILTER_SELECTIVITY**pushed_filters
+        solutions = float(sum(s.pattern_count for s in active)) * discount
+        if parallel:
+            # Endpoints answer on independent channels: the fan-out's
+            # makespan is the slowest endpoint, not the sum.
+            seconds = max(
+                (
+                    self._seconds(1, s.pattern_count * discount, 0)
+                    for s in active
+                ),
+                default=0.0,
+            )
+        else:
+            seconds = self._seconds(messages, solutions, 0)
+        return Estimate("ship", messages, solutions, 0, seconds)
 
     def estimate_bound(
         self,
@@ -206,6 +247,7 @@ class CostModel:
         bindings: int,
         bound_positions: int,
         pushed_filters: int = 0,
+        parallel: bool = False,
     ) -> Estimate:
         """Price a bound join of ``bindings`` rows against the conjunct.
 
@@ -221,22 +263,35 @@ class CostModel:
         batches = math.ceil(bindings / self.batch_size)
         messages = batches * len(active)
         discount = self.bound_selectivity**bound_positions
+        filter_discount = FILTER_SELECTIVITY**pushed_filters
         solutions = 0.0
+        per_endpoint: List[float] = []
         for s in active:
             per_binding = s.pattern_count / discount
-            solutions += min(
-                bindings * per_binding, float(bindings * s.pattern_count)
+            endpoint_solutions = (
+                min(bindings * per_binding, float(bindings * s.pattern_count))
+                * filter_discount
             )
-        solutions *= FILTER_SELECTIVITY**pushed_filters
-        return Estimate(
-            "bound",
-            messages,
-            solutions,
-            0,
-            self._seconds(messages, solutions, 0),
-        )
+            solutions += endpoint_solutions
+            per_endpoint.append(endpoint_solutions)
+        if parallel:
+            # Batch waves overlap up to the channel concurrency; the
+            # endpoints themselves run side by side, so take the max.
+            waves = math.ceil(batches / self.concurrency)
+            seconds = max(
+                (
+                    waves * self._seconds(1, endpoint_solutions / batches, 0)
+                    for endpoint_solutions in per_endpoint
+                ),
+                default=0.0,
+            )
+        else:
+            seconds = self._seconds(messages, solutions, 0)
+        return Estimate("bound", messages, solutions, 0, seconds)
 
-    def estimate_pull(self, stats: Sequence[EndpointStats]) -> Estimate:
+    def estimate_pull(
+        self, stats: Sequence[EndpointStats], parallel: bool = False
+    ) -> Estimate:
         """Price pulling the conjunct's source relation.
 
         Already-cached endpoints cost nothing; when every relevant
@@ -248,13 +303,13 @@ class CostModel:
             return Estimate("local", 0, 0.0, 0, 0.0)
         messages = len(uncached)
         triples = sum(s.relation_count for s in uncached)
-        return Estimate(
-            "pull",
-            messages,
-            0.0,
-            triples,
-            self._seconds(messages, 0.0, triples),
-        )
+        if parallel:
+            seconds = max(
+                self._seconds(1, 0.0, s.relation_count) for s in uncached
+            )
+        else:
+            seconds = self._seconds(messages, 0.0, triples)
+        return Estimate("pull", messages, 0.0, triples, seconds)
 
     # -- the decision ---------------------------------------------------
 
@@ -267,6 +322,7 @@ class CostModel:
         branch: int = 0,
         ship_filters: int = 0,
         bound_filters: int = 0,
+        parallel: bool = False,
     ) -> Decision:
         """Choose the cheapest feasible alternative for one conjunct.
 
@@ -274,15 +330,55 @@ class CostModel:
         expressions that would be pushed into the respective sub-query
         (ship sees only the pattern's variables; bound also sees every
         already-bound one) — each discounts the transfer estimate by
-        :data:`FILTER_SELECTIVITY`.
+        :data:`FILTER_SELECTIVITY`.  ``parallel`` switches the pricing
+        from busy seconds to overlap-aware makespan seconds.
         """
         estimates = [
-            self.estimate_ship(stats, ship_filters),
+            self.estimate_ship(stats, ship_filters, parallel),
             self.estimate_bound(
-                stats, bindings, bound_positions, bound_filters
+                stats, bindings, bound_positions, bound_filters, parallel
             ),
-            self.estimate_pull(stats),
+            self.estimate_pull(stats, parallel),
         ]
+        return self._decision(pattern, estimates, stats, bindings, branch)
+
+    def decide_group(
+        self,
+        group: Tuple[TriplePattern, ...],
+        stats: Sequence[EndpointStats],
+        bindings: int,
+        bound_positions: int,
+        branch: int = 0,
+        ship_filters: int = 0,
+        bound_filters: int = 0,
+        parallel: bool = False,
+    ) -> Decision:
+        """Choose ship or bound for a fused exclusive group.
+
+        The group executes as one endpoint-side sub-query, so only
+        ship/bound apply (pulling several relations would defeat the
+        fusion).  ``stats`` carries one entry — the owning endpoint —
+        whose ``pattern_count`` is the group's estimated result
+        cardinality (its most selective member's count).
+        """
+        estimates = [
+            self.estimate_ship(stats, ship_filters, parallel),
+            self.estimate_bound(
+                stats, bindings, bound_positions, bound_filters, parallel
+            ),
+        ]
+        decision = self._decision(group[0], estimates, stats, bindings, branch)
+        decision.group = tuple(group)
+        return decision
+
+    def _decision(
+        self,
+        pattern: TriplePattern,
+        estimates: List[Estimate],
+        stats: Sequence[EndpointStats],
+        bindings: int,
+        branch: int,
+    ) -> Decision:
         feasible = [e for e in estimates if e.feasible]
         chosen = min(feasible, key=Estimate.sort_key)
         if chosen.action in ("ship", "bound"):
@@ -328,6 +424,32 @@ class CostModel:
                     free += 1
         return (total / discount, free)
 
+    def order_estimate_group(
+        self,
+        stats: Sequence[EndpointStats],
+        bound_vars: frozenset,
+        group: Sequence[TriplePattern],
+    ) -> Tuple[float, int]:
+        """Ordering key for a fused exclusive group.
+
+        The group's cardinality estimate (``stats`` already carries the
+        most-selective-member count), discounted once per group variable
+        that is already bound, plus the count of still-free variables
+        across the whole group.
+        """
+        total = float(sum(s.pattern_count for s in stats))
+        variables = set()
+        for tp in group:
+            variables.update(tp.variables())
+        discount = 1.0
+        free = 0
+        for variable in sorted(variables, key=lambda v: v.name):
+            if variable in bound_vars:
+                discount *= self.bound_selectivity
+            else:
+                free += 1
+        return (total / discount, free)
+
 
 def bound_variable_positions(
     pattern: TriplePattern, bound_vars: frozenset
@@ -338,3 +460,10 @@ def bound_variable_positions(
         for term in pattern
         if isinstance(term, Variable) and term in bound_vars
     )
+
+
+def group_bound_positions(
+    group: Sequence[TriplePattern], bound_vars: frozenset
+) -> int:
+    """Bound positions summed across an exclusive group's members."""
+    return sum(bound_variable_positions(tp, bound_vars) for tp in group)

@@ -21,7 +21,7 @@ cost model no messages.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
 from repro.rdf.dictionary import IDTriple
@@ -60,13 +60,7 @@ class PeerEndpoint:
         ``accept`` is a compiled FILTER predicate pushed down into the
         sub-query; rejected solutions never leave the endpoint.
         """
-        slots = compile_conjunct(self.graph, tp)
-        if slots is None:
-            return []
-        solutions = extend_id_bindings(self.graph, slots, {})
-        if accept is None:
-            return list(solutions)
-        return [mu for mu in solutions if accept(mu)]
+        return self._evaluate_group((tp,), [{}], accept)
 
     def bound_solutions(
         self,
@@ -83,17 +77,57 @@ class PeerEndpoint:
         :meth:`pattern_solutions`; it sees the *extended* rows, so
         filters over already-bound variables are decidable here.
         """
-        slots = compile_conjunct(self.graph, tp)
-        if slots is None:
-            return []
-        out: List[_IDBinding] = []
-        for partial in batch:
-            extended = extend_id_bindings(self.graph, slots, partial)
-            if accept is None:
-                out.extend(extended)
-            else:
-                out.extend(mu for mu in extended if accept(mu))
-        return out
+        return self._evaluate_group((tp,), list(batch), accept)
+
+    def group_solutions(
+        self,
+        patterns: Sequence[TriplePattern],
+        accept: _Accept = None,
+    ) -> List[_IDBinding]:
+        """All solutions of a conjunction evaluated *at* the endpoint.
+
+        The wire format of a FedX-style exclusive group: conjuncts
+        relevant to exactly this endpoint are fused into one sub-query,
+        the endpoint joins them locally, and only the joined solutions
+        travel — one round trip for the whole group.  ``accept`` is a
+        pushed-down FILTER over the group's variables.
+        """
+        return self._evaluate_group(patterns, [{}], accept)
+
+    def bound_group_solutions(
+        self,
+        patterns: Sequence[TriplePattern],
+        batch: Iterable[_IDBinding],
+        accept: _Accept = None,
+    ) -> List[_IDBinding]:
+        """Group solutions bound by a batch of partial solutions.
+
+        One bound-join request carrying a whole exclusive group: every
+        returned solution extends one input binding through *all* the
+        group's conjuncts.  ``accept`` sees the fully extended rows.
+        """
+        return self._evaluate_group(patterns, list(batch), accept)
+
+    def _evaluate_group(
+        self,
+        patterns: Sequence[TriplePattern],
+        bindings: List[_IDBinding],
+        accept: _Accept,
+    ) -> List[_IDBinding]:
+        for tp in patterns:
+            slots = compile_conjunct(self.graph, tp)
+            if slots is None:
+                return []
+            bindings = [
+                extended
+                for partial in bindings
+                for extended in extend_id_bindings(self.graph, slots, partial)
+            ]
+            if not bindings:
+                return []
+        if accept is None:
+            return bindings
+        return [mu for mu in bindings if accept(mu)]
 
     # -- published statistics (free to read, like the peer schemas) -----
 

@@ -13,7 +13,7 @@ through the single-graph planner's machinery
 (:func:`repro.sparql.plan.compile_filter`) and pushed into the deepest
 sub-query where they are decidable, so rejected rows never travel.
 
-Four strategies, chosen per call:
+Five strategies, chosen per call:
 
 ``adaptive`` (default)
     Per-conjunct decisions from the cost model
@@ -23,6 +23,18 @@ Four strategies, chosen per call:
     endpoint cardinalities and the actual intermediate binding count
     (cardinality feedback) price cheapest.  Conjunct order is chosen
     dynamically the same way.
+
+``parallel``
+    The adaptive pipeline rebased onto the discrete-event runtime
+    (:mod:`repro.runtime`): per-endpoint sub-queries and bound-join
+    batch waves fan out concurrently onto per-endpoint channels, UNION
+    branches overlap, and cost decisions are priced in *makespan*
+    (overlap-aware elapsed seconds) instead of summed busy seconds.
+    Conjuncts relevant to exactly one endpoint are fused into
+    FedX-style *exclusive groups* — a single endpoint-side sub-query
+    whose join runs at the endpoint, so only joined solutions travel.
+    ``NetworkStats.elapsed_seconds`` becomes the simulated makespan
+    while ``busy_seconds`` keeps the serial total.
 
 ``naive``
     Per-pattern shipping: every triple pattern is sent, unbound, to
@@ -49,7 +61,7 @@ term dictionary (the library default); a mixed system raises
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import (
     Callable,
     Dict,
@@ -68,9 +80,11 @@ from repro.federation.cost import (
     Decision,
     EndpointStats,
     bound_variable_positions,
+    group_bound_positions,
 )
 from repro.federation.endpoint import PeerEndpoint
 from repro.federation.network import NetworkModel, NetworkStats
+from repro.federation.statistics import StatisticsCatalog
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
@@ -78,6 +92,12 @@ from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.peers.system import RPS
+from repro.runtime.channel import ChannelStats
+from repro.runtime.scheduler import (
+    DEFAULT_CONCURRENCY,
+    OverlapScheduler,
+    RequestHandle,
+)
 from repro.sparql.ast import AskQuery, FilterExpr, SelectQuery
 from repro.sparql.bridge import ConjunctiveBranch, sparql_to_branches
 from repro.sparql.plan import compile_filter
@@ -85,6 +105,7 @@ from repro.sparql.plan import compile_filter
 __all__ = [
     "ADAPTIVE",
     "FIXED_STRATEGIES",
+    "PARALLEL",
     "STRATEGIES",
     "FederatedExecutor",
     "FederationResult",
@@ -97,11 +118,16 @@ _Query = Union[str, GraphPatternQuery, SelectQuery, AskQuery]
 #: The adaptive (cost-model-driven) strategy name.
 ADAPTIVE = "adaptive"
 
+#: The overlap-aware parallel strategy name (adaptive decisions priced
+#: in makespan, executed on the discrete-event runtime with exclusive
+#: groups).
+PARALLEL = "parallel"
+
 #: The three fixed baselines kept for comparison.
 FIXED_STRATEGIES: Tuple[str, ...] = ("naive", "bound", "collect")
 
 #: Strategy names accepted by :meth:`FederatedExecutor.execute`.
-STRATEGIES: Tuple[str, ...] = (ADAPTIVE,) + FIXED_STRATEGIES
+STRATEGIES: Tuple[str, ...] = (ADAPTIVE, PARALLEL) + FIXED_STRATEGIES
 
 #: Default bound-join batch size (FedX ships 15-20 bindings per request;
 #: a larger block keeps message counts low on the bench workloads while
@@ -118,6 +144,34 @@ class _CompiledFilter:
     accept: Callable[[_IDBinding], bool]
 
 
+@dataclass(frozen=True)
+class _Unit:
+    """One schedulable step of the parallel pipeline.
+
+    Either a single conjunct, or a FedX-style *exclusive group*: every
+    conjunct relevant to exactly one endpoint, fused so the endpoint
+    joins them locally in one round trip.
+
+    Attributes:
+        index: position of the unit's first pattern in the branch (the
+            deterministic ordering tie-break).
+        patterns: the member conjuncts (one for a plain unit).
+        endpoints: the relevant endpoints (exactly one for a group).
+        exclusive: True for a fused group.
+    """
+
+    index: int
+    patterns: Tuple[TriplePattern, ...]
+    endpoints: Tuple[PeerEndpoint, ...]
+    exclusive: bool
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: Set[Variable] = set()
+        for tp in self.patterns:
+            out.update(tp.variables())
+        return frozenset(out)
+
+
 @dataclass
 class FederationResult:
     """Outcome of one federated execution.
@@ -128,13 +182,17 @@ class FederationResult:
             UNION branch leaves the head variable unbound).
         stats: accumulated network statistics for this execution only.
         decisions: the cost model's per-conjunct decisions (adaptive
-            strategy only) — the ``explain`` trace material.
+            and parallel strategies only) — the ``explain`` trace
+            material.
+        channels: per-endpoint service statistics of the runtime replay
+            (parallel strategy only).
     """
 
     strategy: str
     rows: Set[Tuple[Optional[Term], ...]]
     stats: NetworkStats
     decisions: Tuple[Decision, ...] = ()
+    channels: Dict[str, ChannelStats] = dataclass_field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -174,6 +232,15 @@ class FederatedExecutor:
         system: the peer system; each peer's graph becomes an endpoint.
         network: the cost model (defaults to WAN-ish parameters).
         batch_size: bound-join batch size (bindings per message).
+        concurrency: per-endpoint channel concurrency of the parallel
+            mode's runtime (also assumed by its makespan pricing).
+        max_in_flight: per-endpoint outstanding-request window of the
+            parallel runtime (``None`` = unbounded).
+        stats_ttl: cardinality-statistics lifetime in executions;
+            ``None`` (default) reads live statistics for free, any
+            integer activates the TTL catalog whose refreshes are
+            charged as real messages
+            (:class:`~repro.federation.statistics.StatisticsCatalog`).
 
     Raises:
         FederationError: if the peer graphs do not share one term
@@ -186,14 +253,28 @@ class FederatedExecutor:
         system: RPS,
         network: Optional[NetworkModel] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        concurrency: int = DEFAULT_CONCURRENCY,
+        max_in_flight: Optional[int] = None,
+        stats_ttl: Optional[int] = None,
     ) -> None:
         if not system.peers:
             raise FederationError("cannot federate over an empty peer system")
         if batch_size < 1:
             raise FederationError(f"batch_size must be >= 1, got {batch_size}")
+        if concurrency < 1:
+            raise FederationError(
+                f"concurrency must be >= 1, got {concurrency}"
+            )
+        if max_in_flight is not None and max_in_flight < concurrency:
+            raise FederationError(
+                f"max_in_flight ({max_in_flight}) must be >= concurrency "
+                f"({concurrency}); a smaller window wastes service lanes"
+            )
         self.system = system
         self.network = network if network is not None else NetworkModel()
         self.batch_size = batch_size
+        self.concurrency = concurrency
+        self.max_in_flight = max_in_flight
         names = system.peer_names()
         self.endpoints: List[PeerEndpoint] = [
             PeerEndpoint(name, system.peers[name].graph) for name in names
@@ -205,7 +286,10 @@ class FederatedExecutor:
                 "graphs must share one dictionary"
             )
         self.dictionary = self.endpoints[0].graph.dictionary
-        self.cost_model = CostModel(self.network, batch_size)
+        self.cost_model = CostModel(
+            self.network, batch_size, concurrency=concurrency
+        )
+        self.catalog = StatisticsCatalog(self.network, stats_ttl)
 
     # -- public API -----------------------------------------------------
 
@@ -222,7 +306,9 @@ class FederatedExecutor:
             )
         head, branches = self._normalize(query, nsm)
         stats = NetworkStats()
+        self.catalog.begin_execution(stats)
         decisions: List[Decision] = []
+        channels: Dict[str, ChannelStats] = {}
         id_rows: Set[Tuple[Optional[int], ...]] = set()
         if strategy == "collect":
             union = self._collect_union(stats)
@@ -230,26 +316,41 @@ class FederatedExecutor:
                 bindings = self._evaluate_branch_local(union, branch)
                 id_rows |= _project(bindings, head)
         else:
+            scheduler: Optional[OverlapScheduler] = None
+            if strategy == PARALLEL:
+                scheduler = OverlapScheduler(
+                    concurrency=self.concurrency,
+                    max_in_flight=self.max_in_flight,
+                )
             cache = _RelationCache(self.dictionary)
             for index, branch in enumerate(branches):
                 bindings = self._run_branch(
-                    branch, strategy, stats, cache, decisions, index
+                    branch, strategy, stats, cache, decisions, index, scheduler
                 )
                 id_rows |= _project(bindings, head)
+            if scheduler is not None:
+                # Branch pipelines and fan-outs overlapped on the
+                # runtime; the replayed makespan is the execution's
+                # wall-clock-equivalent time (appended after any serial
+                # planning-time charges such as statistics refreshes).
+                stats.elapsed_seconds += scheduler.makespan()
+                channels = scheduler.channel_stats()
         decode = self.dictionary.decode
         rows = {
             tuple(None if tid is None else decode(tid) for tid in row)
             for row in id_rows
         }
-        return FederationResult(strategy, rows, stats, tuple(decisions))
+        return FederationResult(
+            strategy, rows, stats, tuple(decisions), channels
+        )
 
     def run_all_strategies(
         self,
         query: _Query,
         nsm: Optional[NamespaceManager] = None,
     ) -> Dict[str, FederationResult]:
-        """Run the adaptive strategy and every fixed baseline, asserting
-        they agree on the answer set."""
+        """Run every strategy (adaptive, parallel, and the fixed
+        baselines), asserting they agree on the answer set."""
         results = {
             strategy: self.execute(query, strategy, nsm)
             for strategy in STRATEGIES
@@ -264,22 +365,33 @@ class FederatedExecutor:
         return results
 
     def explain(
-        self, query: _Query, nsm: Optional[NamespaceManager] = None
+        self,
+        query: _Query,
+        nsm: Optional[NamespaceManager] = None,
+        strategy: str = ADAPTIVE,
     ) -> str:
-        """Human-readable trace of the adaptive plan's decisions.
+        """Human-readable trace of a cost-model-driven plan's decisions.
 
-        Executes the query adaptively and renders one line per conjunct:
-        the chosen action, its target endpoints, the cost model's
-        estimates and the rejected alternatives.
+        Executes the query under ``strategy`` (``adaptive`` by default,
+        ``parallel`` also carries decisions) and renders one line per
+        conjunct or exclusive group: the chosen action, its target
+        endpoints, the cost model's estimates and the rejected
+        alternatives.
         """
-        result = self.execute(query, ADAPTIVE, nsm)
+        if strategy not in (ADAPTIVE, PARALLEL):
+            raise FederationError(
+                f"explain needs a decision-tracing strategy "
+                f"({ADAPTIVE!r} or {PARALLEL!r}), got {strategy!r}"
+            )
+        result = self.execute(query, strategy, nsm)
         stats = result.stats
         lines = [
-            f"adaptive: {len(result.rows)} rows, "
+            f"{strategy}: {len(result.rows)} rows, "
             f"messages={stats.messages} "
             f"solutions={stats.solutions_transferred} "
             f"triples={stats.triples_transferred} "
-            f"wire={stats.simulated_seconds:.3f}s"
+            f"busy={stats.busy_seconds:.3f}s "
+            f"elapsed={stats.elapsed_seconds:.3f}s"
         ]
         for decision in result.decisions:
             lines.append(f"  [branch {decision.branch}] {decision.describe()}")
@@ -318,6 +430,7 @@ class FederatedExecutor:
         cache: _RelationCache,
         decisions: List[Decision],
         branch_index: int,
+        scheduler: Optional[OverlapScheduler] = None,
     ) -> List[_IDBinding]:
         filters = self._compile_filters(branch.filters)
         if not branch.patterns:
@@ -327,6 +440,17 @@ class FederatedExecutor:
             return self._branch_naive(patterns, filters, stats)
         if strategy == "bound":
             return self._branch_bound(patterns, filters, stats)
+        if strategy == PARALLEL:
+            assert scheduler is not None
+            return self._branch_parallel(
+                patterns,
+                filters,
+                stats,
+                cache,
+                decisions,
+                branch_index,
+                scheduler,
+            )
         return self._branch_adaptive(
             patterns, filters, stats, cache, decisions, branch_index
         )
@@ -421,7 +545,11 @@ class FederatedExecutor:
         }
         counts: Dict[int, List[Tuple[PeerEndpoint, int, int]]] = {
             i: [
-                (ep, ep.count_pattern(tp), ep.count_relation(tp))
+                (
+                    ep,
+                    self.catalog.pattern_count(ep, tp),
+                    self.catalog.relation_count(ep, tp),
+                )
                 for ep in relevant[i]
             ]
             for i, tp in remaining
@@ -479,14 +607,14 @@ class FederatedExecutor:
             )
             decisions.append(decision)
             bound_after = bound_after_vars
-            active = [(ep, pc) for ep, pc, _ in counts[index] if pc > 0]
+            active = self._active_endpoints(relevant[index], stats_now)
             if decision.action == "ship":
                 push, remaining_filters = _split_filters(
                     remaining_filters, tp.variables()
                 )
                 accept = _compose(push)
                 matches: List[_IDBinding] = []
-                for endpoint, _ in active:
+                for endpoint in active:
                     solutions = endpoint.pattern_solutions(tp, accept)
                     self.network.charge_query(
                         stats, endpoint.name, len(solutions)
@@ -501,7 +629,7 @@ class FederatedExecutor:
                 results: List[_IDBinding] = []
                 ordered = _sorted_bindings(bindings)
                 for batch in _batches(ordered, self.batch_size):
-                    for endpoint, _ in active:
+                    for endpoint in active:
                         solutions = endpoint.bound_solutions(tp, batch, accept)
                         self.network.charge_query(
                             stats, endpoint.name, len(solutions)
@@ -530,6 +658,295 @@ class FederatedExecutor:
                 bindings = self._extend_local(cache.graph, tp, bindings)
             bound = bound_after
             ready, remaining_filters = _split_filters(remaining_filters, bound)
+            bindings = _apply_filters(bindings, ready)
+            if not bindings:
+                return []
+        return _apply_filters(bindings, remaining_filters)
+
+    # -- the parallel (overlap-aware) pipeline --------------------------
+
+    def _exclusive_units(
+        self, patterns: Sequence[TriplePattern]
+    ) -> List[_Unit]:
+        """Partition a branch into exclusive groups and plain units.
+
+        Conjuncts whose schema-based source selection names exactly one
+        endpoint are grouped by that endpoint; owners with two or more
+        such conjuncts yield one fused group unit (FedX exclusive
+        group).  Everything else stays a single-pattern unit.  Units
+        keep branch order via their first pattern's index.
+        """
+        relevant = [tuple(self._relevant(tp)) for tp in patterns]
+        owners: Dict[str, List[int]] = {}
+        for i, endpoints in enumerate(relevant):
+            if len(endpoints) == 1:
+                owners.setdefault(endpoints[0].name, []).append(i)
+        fused: Set[int] = set()
+        units: List[_Unit] = []
+        for name in sorted(owners):
+            indices = owners[name]
+            if len(indices) < 2:
+                continue
+            units.append(
+                _Unit(
+                    index=min(indices),
+                    patterns=tuple(patterns[i] for i in indices),
+                    endpoints=relevant[indices[0]],
+                    exclusive=True,
+                )
+            )
+            fused.update(indices)
+        for i, tp in enumerate(patterns):
+            if i not in fused:
+                units.append(
+                    _Unit(
+                        index=i,
+                        patterns=(tp,),
+                        endpoints=relevant[i],
+                        exclusive=False,
+                    )
+                )
+        units.sort(key=lambda unit: unit.index)
+        return units
+
+    def _unit_counts(
+        self, unit: _Unit
+    ) -> List[Tuple[PeerEndpoint, int, int]]:
+        """Catalog cardinalities for one unit, read once per execution.
+
+        A group's result cardinality is estimated from its most
+        selective member (pulling is not offered for groups, so the
+        relation count is zero).
+        """
+        counts: List[Tuple[PeerEndpoint, int, int]] = []
+        for ep in unit.endpoints:
+            if unit.exclusive:
+                pattern_count = min(
+                    self.catalog.pattern_count(ep, tp) for tp in unit.patterns
+                )
+                relation_count = 0
+            else:
+                tp = unit.patterns[0]
+                pattern_count = self.catalog.pattern_count(ep, tp)
+                relation_count = self.catalog.relation_count(ep, tp)
+            counts.append((ep, pattern_count, relation_count))
+        return counts
+
+    def _active_endpoints(
+        self,
+        endpoints: Sequence[PeerEndpoint],
+        stats_now: Sequence[EndpointStats],
+    ) -> List[PeerEndpoint]:
+        """Endpoints a ship/bound action actually contacts.
+
+        The one pruning rule shared by the serial and parallel
+        pipelines: with live statistics an exact zero count prunes the
+        endpoint; stale statistics must contact every relevant endpoint
+        (a stale zero may hide fresh matches, and correctness never
+        depends on the catalog's age).  ``stats_now`` is aligned with
+        ``endpoints``.
+        """
+        if not self.catalog.live:
+            return list(endpoints)
+        return [
+            ep
+            for ep, stat in zip(endpoints, stats_now)
+            if stat.pattern_count > 0
+        ]
+
+    def _branch_parallel(
+        self,
+        patterns: List[TriplePattern],
+        filters: List[_CompiledFilter],
+        stats: NetworkStats,
+        cache: _RelationCache,
+        decisions: List[Decision],
+        branch_index: int,
+        scheduler: OverlapScheduler,
+    ) -> List[_IDBinding]:
+        """The adaptive pipeline on the discrete-event runtime.
+
+        Structure mirrors :meth:`_branch_adaptive`, with three changes:
+        conjuncts fuse into exclusive groups, decisions are priced in
+        makespan (``parallel=True``), and every simulated request is
+        recorded on the scheduler — per-endpoint fan-outs and batch
+        waves of one step share a dependency *wave* (they overlap),
+        while consecutive steps chain through it (a step's requests
+        wait for the wave that produced its input bindings).  UNION
+        branches call this method with the same scheduler and no shared
+        handles, so whole branches overlap too.
+        """
+        remaining_filters = list(filters)
+        remaining = self._exclusive_units(patterns)
+        counts = {unit.index: self._unit_counts(unit) for unit in remaining}
+        bindings: List[_IDBinding] = [{}]
+        bound: FrozenSet[Variable] = frozenset()
+        wave: Tuple[RequestHandle, ...] = ()
+        # Counts are read once above; only the `cached` flags can change
+        # — and only after a pull, which clears this memo wholesale
+        # (mirrors _branch_adaptive's stats_memo).
+        stats_memo: Dict[int, List[EndpointStats]] = {}
+
+        def unit_stats(unit: _Unit) -> List[EndpointStats]:
+            memoised = stats_memo.get(unit.index)
+            if memoised is None:
+                if unit.exclusive:
+                    memoised = [
+                        EndpointStats(ep.name, pc, rc)
+                        for ep, pc, rc in counts[unit.index]
+                    ]
+                else:
+                    tp = unit.patterns[0]
+                    memoised = [
+                        EndpointStats(
+                            ep.name,
+                            pc,
+                            rc,
+                            cache.has(ep.name, ep.relation_key(tp)),
+                        )
+                        for ep, pc, rc in counts[unit.index]
+                    ]
+                stats_memo[unit.index] = memoised
+            return memoised
+
+        def order_key(unit: _Unit):
+            if unit.exclusive:
+                estimate, free = self.cost_model.order_estimate_group(
+                    unit_stats(unit), bound, unit.patterns
+                )
+            else:
+                estimate, free = self.cost_model.order_estimate(
+                    unit_stats(unit), bound, unit.patterns[0]
+                )
+            return (estimate, free, unit.index)
+
+        while remaining:
+            best = min(remaining, key=order_key)
+            remaining.remove(best)
+            stats_now = unit_stats(best)
+            unit_vars = best.variables()
+            bound_after = bound | unit_vars
+            ship_filters = sum(
+                1 for f in remaining_filters if f.variables <= unit_vars
+            )
+            bound_filters = sum(
+                1 for f in remaining_filters if f.variables <= bound_after
+            )
+            if best.exclusive:
+                decision = self.cost_model.decide_group(
+                    best.patterns,
+                    stats_now,
+                    len(bindings),
+                    group_bound_positions(best.patterns, bound),
+                    branch_index,
+                    ship_filters=ship_filters,
+                    bound_filters=bound_filters,
+                    parallel=True,
+                )
+            else:
+                decision = self.cost_model.decide(
+                    best.patterns[0],
+                    stats_now,
+                    len(bindings),
+                    bound_variable_positions(best.patterns[0], bound),
+                    branch_index,
+                    ship_filters=ship_filters,
+                    bound_filters=bound_filters,
+                    parallel=True,
+                )
+            decisions.append(decision)
+            targets = self._active_endpoints(best.endpoints, stats_now)
+            if decision.action == "ship":
+                push, remaining_filters = _split_filters(
+                    remaining_filters, unit_vars
+                )
+                accept = _compose(push)
+                matches: List[_IDBinding] = []
+                handles: List[RequestHandle] = []
+                for ep in targets:
+                    if best.exclusive:
+                        solutions = ep.group_solutions(best.patterns, accept)
+                    else:
+                        solutions = ep.pattern_solutions(
+                            best.patterns[0], accept
+                        )
+                    seconds = self.network.charge_query(
+                        stats, ep.name, len(solutions), serial=False
+                    )
+                    handles.append(
+                        scheduler.submit(
+                            ep.name,
+                            seconds,
+                            after=wave,
+                            label=f"b{branch_index} ship",
+                        )
+                    )
+                    matches.extend(solutions)
+                bindings = _hash_join(bindings, _dedupe(matches))
+                wave = tuple(handles)
+            elif decision.action == "bound":
+                push, remaining_filters = _split_filters(
+                    remaining_filters, bound_after
+                )
+                accept = _compose(push)
+                results: List[_IDBinding] = []
+                handles = []
+                ordered = _sorted_bindings(bindings)
+                for batch in _batches(ordered, self.batch_size):
+                    for ep in targets:
+                        if best.exclusive:
+                            solutions = ep.bound_group_solutions(
+                                best.patterns, batch, accept
+                            )
+                        else:
+                            solutions = ep.bound_solutions(
+                                best.patterns[0], batch, accept
+                            )
+                        seconds = self.network.charge_query(
+                            stats, ep.name, len(solutions), serial=False
+                        )
+                        handles.append(
+                            scheduler.submit(
+                                ep.name,
+                                seconds,
+                                after=wave,
+                                label=f"b{branch_index} bound",
+                            )
+                        )
+                        results.extend(solutions)
+                bindings = _dedupe(results)
+                wave = tuple(handles)
+            else:  # pull / local: answer from the relation cache
+                tp = best.patterns[0]
+                if decision.action == "pull":
+                    handles = []
+                    for ep in best.endpoints:
+                        key = ep.relation_key(tp)
+                        if cache.has(ep.name, key):
+                            continue
+                        ids = ep.relation_ids(tp)
+                        if not ids:
+                            continue
+                        seconds = self.network.charge_dump(
+                            stats, ep.name, len(ids), serial=False
+                        )
+                        handles.append(
+                            scheduler.submit(
+                                ep.name,
+                                seconds,
+                                after=wave,
+                                label=f"b{branch_index} pull",
+                            )
+                        )
+                        cache.add(ep.name, key, ids, ep.graph.dictionary)
+                    stats_memo.clear()  # cached flags changed
+                    if handles:
+                        wave = tuple(handles)
+                bindings = self._extend_local(cache.graph, tp, bindings)
+            bound = bound_after
+            ready, remaining_filters = _split_filters(
+                remaining_filters, bound
+            )
             bindings = _apply_filters(bindings, ready)
             if not bindings:
                 return []

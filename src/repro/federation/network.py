@@ -8,6 +8,18 @@ per-solution transfer cost), and the simulated clock replaces wall time.
 This preserves the quantities the prototype design reasons about —
 message counts, data volume, and their dependence on the join strategy —
 without real sockets.
+
+Time is accounted on two axes:
+
+* ``busy_seconds`` — summed wire time of every request, as if all were
+  serial.  This is the total *work* placed on the network and the
+  historical meaning of the (still readable) ``simulated_seconds``
+  alias.
+* ``elapsed_seconds`` — the makespan: what a wall clock would show.
+  Serial strategies accumulate it in lockstep with ``busy_seconds``;
+  the parallel execution mode overlaps requests on the discrete-event
+  runtime (:mod:`repro.runtime`) and adds only the simulated makespan,
+  so ``elapsed_seconds <= busy_seconds`` measures the won concurrency.
 """
 
 from __future__ import annotations
@@ -26,15 +38,37 @@ class NetworkStats:
         messages: number of request/response round trips.
         solutions_transferred: total solution mappings shipped back.
         triples_transferred: total result triples shipped (for dumps).
-        simulated_seconds: total simulated time spent on the wire.
+        busy_seconds: summed simulated wire time of every request (the
+            serial total; ``simulated_seconds`` aliases this).
+        elapsed_seconds: simulated makespan — wall-clock-equivalent time
+            once request overlap is accounted.  Equal to
+            ``busy_seconds`` for serial strategies.
+        stats_refreshes: cardinality-statistics refresh round trips
+            (included in ``messages`` as well).
         per_endpoint_messages: message count per endpoint name.
     """
 
     messages: int = 0
     solutions_transferred: int = 0
     triples_transferred: int = 0
-    simulated_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    stats_refreshes: int = 0
     per_endpoint_messages: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Deprecated alias for :attr:`busy_seconds`.
+
+        Kept so pre-split baselines, reports and call sites keep
+        reading the quantity they always read (the serial wire-time
+        sum).
+        """
+        return self.busy_seconds
+
+    @simulated_seconds.setter
+    def simulated_seconds(self, value: float) -> None:
+        self.busy_seconds = value
 
     @property
     def transfer_units(self) -> int:
@@ -47,10 +81,20 @@ class NetworkStats:
         return self.solutions_transferred + self.triples_transferred
 
     def merge(self, other: "NetworkStats") -> None:
+        """Fold ``other`` into this one, treating both as *concurrent*.
+
+        Counters and ``busy_seconds`` add (work is work), but
+        ``elapsed_seconds`` takes the max: two sub-executions that ran
+        side by side finish when the slower one does.  Callers merging
+        genuinely sequential executions should add elapsed times
+        themselves.
+        """
         self.messages += other.messages
         self.solutions_transferred += other.solutions_transferred
         self.triples_transferred += other.triples_transferred
-        self.simulated_seconds += other.simulated_seconds
+        self.busy_seconds += other.busy_seconds
+        self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+        self.stats_refreshes += other.stats_refreshes
         for endpoint, count in other.per_endpoint_messages.items():
             self.per_endpoint_messages[endpoint] = (
                 self.per_endpoint_messages.get(endpoint, 0) + count
@@ -73,28 +117,72 @@ class NetworkModel:
     per_solution_seconds: float = 0.0001
     per_triple_seconds: float = 0.00005
 
-    def charge_query(
-        self, stats: NetworkStats, endpoint: str, solutions: int
-    ) -> None:
-        """Account one sub-query round trip returning ``solutions`` rows."""
+    # -- pricing (no accounting) ----------------------------------------
+
+    def query_seconds(self, solutions: int) -> float:
+        """Wire duration of one sub-query returning ``solutions`` rows."""
+        return self.latency_seconds + solutions * self.per_solution_seconds
+
+    def dump_seconds(self, triples: int) -> float:
+        """Wire duration of one data dump of ``triples`` triples."""
+        return self.latency_seconds + triples * self.per_triple_seconds
+
+    # -- accounting -----------------------------------------------------
+
+    def _charge(
+        self, stats: NetworkStats, endpoint: str, seconds: float, serial: bool
+    ) -> float:
+        """Shared per-message accounting behind every charge_* method."""
         stats.messages += 1
-        stats.solutions_transferred += solutions
-        stats.simulated_seconds += (
-            self.latency_seconds + solutions * self.per_solution_seconds
-        )
+        stats.busy_seconds += seconds
+        if serial:
+            stats.elapsed_seconds += seconds
         stats.per_endpoint_messages[endpoint] = (
             stats.per_endpoint_messages.get(endpoint, 0) + 1
+        )
+        return seconds
+
+    def charge_query(
+        self,
+        stats: NetworkStats,
+        endpoint: str,
+        solutions: int,
+        serial: bool = True,
+    ) -> float:
+        """Account one sub-query round trip returning ``solutions`` rows.
+
+        With ``serial=True`` (the default, every fixed strategy) the
+        duration also advances ``elapsed_seconds``; overlap-aware
+        callers pass ``serial=False`` and settle elapsed time from the
+        runtime scheduler's makespan instead.  Returns the duration so
+        those callers can hand it to the scheduler.
+        """
+        stats.solutions_transferred += solutions
+        return self._charge(
+            stats, endpoint, self.query_seconds(solutions), serial
         )
 
     def charge_dump(
-        self, stats: NetworkStats, endpoint: str, triples: int
-    ) -> None:
+        self,
+        stats: NetworkStats,
+        endpoint: str,
+        triples: int,
+        serial: bool = True,
+    ) -> float:
         """Account one full data-dump transfer (the centralised baseline)."""
-        stats.messages += 1
         stats.triples_transferred += triples
-        stats.simulated_seconds += (
-            self.latency_seconds + triples * self.per_triple_seconds
+        return self._charge(
+            stats, endpoint, self.dump_seconds(triples), serial
         )
-        stats.per_endpoint_messages[endpoint] = (
-            stats.per_endpoint_messages.get(endpoint, 0) + 1
-        )
+
+    def charge_refresh(
+        self, stats: NetworkStats, endpoint: str, serial: bool = True
+    ) -> float:
+        """Account one cardinality-statistics refresh round trip.
+
+        A refresh ships a fixed-size statistics document (VoID-style),
+        so it is priced as bare latency; it still counts as a real
+        message against the endpoint.
+        """
+        stats.stats_refreshes += 1
+        return self._charge(stats, endpoint, self.latency_seconds, serial)

@@ -1,0 +1,32 @@
+"""Deterministic discrete-event runtime for overlap-aware scheduling.
+
+The simulation layer beneath the federation stack's parallel execution
+mode:
+
+* :mod:`repro.runtime.kernel` — the event-queue/virtual-clock kernel;
+* :mod:`repro.runtime.channel` — per-endpoint request channels with
+  configurable service concurrency and in-flight windows;
+* :mod:`repro.runtime.scheduler` — the two-phase overlap scheduler:
+  records a dependency DAG of priced requests during execution, then
+  replays it through the kernel into a makespan (``elapsed_seconds``),
+  the concurrency-aware counterpart of the network model's summed
+  ``busy_seconds``.
+"""
+
+from repro.runtime.channel import Channel, ChannelStats, Request
+from repro.runtime.kernel import SimKernel
+from repro.runtime.scheduler import (
+    DEFAULT_CONCURRENCY,
+    OverlapScheduler,
+    RequestHandle,
+)
+
+__all__ = [
+    "DEFAULT_CONCURRENCY",
+    "Channel",
+    "ChannelStats",
+    "OverlapScheduler",
+    "Request",
+    "RequestHandle",
+    "SimKernel",
+]

@@ -1,0 +1,176 @@
+"""Per-endpoint channels: concurrency-limited request service.
+
+A :class:`Channel` models one endpoint's request pipe inside a
+:class:`~repro.runtime.kernel.SimKernel` simulation.  It has
+
+* ``concurrency`` service lanes — how many requests the endpoint serves
+  simultaneously (a SPARQL endpoint's worker pool); a request occupies a
+  lane for its whole duration;
+* an optional ``max_in_flight`` window — how many requests the
+  coordinator may have outstanding (serving + queued at the endpoint) at
+  once; requests beyond the window wait in a coordinator-side backlog
+  and are only *sent* (admitted) when a slot frees.
+
+Admission and service are FIFO, so with a single coordinator the window
+bounds queue depth and shifts per-request wait accounting without
+reordering completions; the knob matters for the recorded timelines and
+for peak-load statistics (:attr:`ChannelStats.peak_in_flight`), which is
+exactly what capacity planning reads.
+
+Channels do no network *pricing* — durations are computed by the caller
+(from :class:`~repro.federation.network.NetworkModel`) and arrive on the
+:class:`Request`; the channel only decides *when* each request starts
+and completes under contention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.runtime.kernel import SimKernel
+
+__all__ = ["Channel", "ChannelStats", "Request"]
+
+
+@dataclass
+class Request:
+    """One simulated request: a duration plus its recorded timeline.
+
+    Attributes:
+        duration: service time in simulated seconds.
+        label: free-form tag for traces (e.g. ``"bound b2"``).
+        on_complete: invoked (with the request) when service finishes.
+        arrived_at: when the coordinator handed it to the channel.
+        admitted_at: when it entered the in-flight window (was "sent").
+        started_at: when a service lane picked it up.
+        completed_at: when service finished.
+    """
+
+    duration: float
+    label: str = ""
+    on_complete: Optional[Callable[["Request"], None]] = None
+    arrived_at: float = -1.0
+    admitted_at: float = -1.0
+    started_at: float = -1.0
+    completed_at: float = -1.0
+
+    @property
+    def waited(self) -> float:
+        """Seconds spent queued (arrival to service start)."""
+        return self.started_at - self.arrived_at
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate service statistics of one channel.
+
+    Attributes:
+        completed: requests fully served.
+        busy_seconds: summed service time (lane-seconds of work).
+        wait_seconds: summed queueing time across requests.
+        peak_in_flight: maximum simultaneous in-window requests.
+        peak_backlog: maximum coordinator-side backlog length.
+    """
+
+    completed: int = 0
+    busy_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    peak_in_flight: int = 0
+    peak_backlog: int = 0
+
+
+class Channel:
+    """FIFO request service with ``concurrency`` lanes.
+
+    Args:
+        kernel: the simulation kernel driving the clock.
+        name: endpoint name (trace label only).
+        concurrency: simultaneous service lanes (>= 1).
+        max_in_flight: outstanding-request window (>= concurrency when
+            given); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        name: str,
+        concurrency: int = 1,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise SimulationError(
+                f"channel concurrency must be >= 1: {concurrency}"
+            )
+        if max_in_flight is not None and max_in_flight < concurrency:
+            raise SimulationError(
+                f"max_in_flight ({max_in_flight}) below concurrency "
+                f"({concurrency}) would waste service lanes"
+            )
+        self.kernel = kernel
+        self.name = name
+        self.concurrency = concurrency
+        self.max_in_flight = max_in_flight
+        self.stats = ChannelStats()
+        self._serving = 0
+        self._queue: Deque[Request] = deque()  # admitted, awaiting a lane
+        self._backlog: Deque[Request] = deque()  # outside the window
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently inside the window (serving + queued)."""
+        return self._serving + len(self._queue)
+
+    def submit(self, request: Request) -> None:
+        """Hand a request to the channel at the current virtual time."""
+        request.arrived_at = self.kernel.now
+        if self._window_full():
+            self._backlog.append(request)
+            self.stats.peak_backlog = max(
+                self.stats.peak_backlog, len(self._backlog)
+            )
+            return
+        self._admit(request)
+
+    def _window_full(self) -> bool:
+        if self.max_in_flight is None:
+            return False
+        return self.in_flight >= self.max_in_flight
+
+    # -- internal event handlers ---------------------------------------
+
+    def _admit(self, request: Request) -> None:
+        request.admitted_at = self.kernel.now
+        if self._serving < self.concurrency:
+            self._start(request)
+        else:
+            self._queue.append(request)
+        self.stats.peak_in_flight = max(
+            self.stats.peak_in_flight, self.in_flight
+        )
+
+    def _start(self, request: Request) -> None:
+        request.started_at = self.kernel.now
+        self._serving += 1
+        self.kernel.schedule(request.duration, lambda: self._complete(request))
+
+    def _complete(self, request: Request) -> None:
+        request.completed_at = self.kernel.now
+        self._serving -= 1
+        self.stats.completed += 1
+        self.stats.busy_seconds += request.duration
+        self.stats.wait_seconds += request.waited
+        if self._queue:
+            self._start(self._queue.popleft())
+        if self._backlog and not self._window_full():
+            self._admit(self._backlog.popleft())
+        if request.on_complete is not None:
+            request.on_complete(request)
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.name!r}, concurrency={self.concurrency}, "
+            f"in_flight={self.in_flight})"
+        )

@@ -33,10 +33,12 @@ from repro.workload.people_domain import (
 )
 from repro.workload.federation import (
     SHARED,
+    federated_exclusive_query,
     federated_path_query,
     federated_rps,
     federated_selective_query,
     federated_union_filter_sparql,
+    grow_knows_relation,
 )
 from repro.workload.queries import path_query, random_queries, star_query
 from repro.workload.topologies import (
@@ -65,6 +67,7 @@ __all__ = [
     "cycle_rps",
     "example2_assertion",
     "example2_rps",
+    "federated_exclusive_query",
     "federated_path_query",
     "federated_rps",
     "federated_selective_query",
@@ -72,6 +75,7 @@ __all__ = [
     "figure1_graphs",
     "figure1_namespaces",
     "friend_of_friend_assertion",
+    "grow_knows_relation",
     "paper_query_text",
     "path_query",
     "peer_namespace",

@@ -12,23 +12,25 @@ federation benchmarks and tests run over them.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import Namespace
 from repro.rdf.terms import Literal, Variable
-from repro.rdf.triples import Triple
+from repro.rdf.triples import Triple, TriplePattern
 from repro.peers.system import RPS
 from repro.workload.topologies import peer_namespace
 
 __all__ = [
     "SHARED",
     "federated_rps",
+    "federated_exclusive_query",
     "federated_path_query",
     "federated_selective_query",
     "federated_union_filter_sparql",
+    "grow_knows_relation",
 ]
 
 #: The entity namespace every federation peer describes.
@@ -108,6 +110,88 @@ def federated_selective_query(
     return GraphPatternQuery(
         tuple(variables), make_pattern(*patterns), name="fedselective"
     )
+
+
+def federated_exclusive_query(hops: int = 1) -> GraphPatternQuery:
+    """A query with two conjuncts exclusive to peer 0 plus a path.
+
+    ``(x0, peer0:knows, x1)(x0, peer0:age, a)(x1, peer1:knows, x2)…`` —
+    the first two conjuncts are answerable by exactly one endpoint
+    (peer 0 owns both predicates), the canonical FedX *exclusive group*:
+    a fused endpoint-side sub-query answers both in one round trip and
+    only the joined solutions travel.  The remaining ``hops`` conjuncts
+    continue the path through the other peers' ``knows`` predicates.
+    """
+    if hops < 1:
+        raise ValueError("exclusive query needs at least one onward hop")
+    ns0 = peer_namespace(0)
+    x0, age = Variable("x0"), Variable("a")
+    variables: List[Variable] = [Variable(f"x{i}") for i in range(1, hops + 2)]
+    patterns = [
+        (x0, ns0.knows, variables[0]),
+        (x0, ns0.age, age),
+    ]
+    for i in range(1, hops + 1):
+        patterns.append(
+            (variables[i - 1], peer_namespace(i).knows, variables[i])
+        )
+    return GraphPatternQuery(
+        (x0, age, variables[-1]), make_pattern(*patterns), name="fedexclusive"
+    )
+
+
+def grow_knows_relation(
+    system: RPS,
+    peer: int = 0,
+    extra_facts: int = 500,
+    seed: int = 99,
+    hub: Optional[int] = None,
+) -> int:
+    """Mutate a federated system: bulk-load one peer's ``knows`` relation.
+
+    Models the scenario the statistics-TTL machinery exists for: after a
+    :class:`~repro.federation.executor.FederatedExecutor` has fetched a
+    peer's cardinalities, the peer's database grows by ``extra_facts``
+    edges — so a catalog older than its TTL keeps planning against
+    yesterday's (much smaller) counts.
+
+    Two growth shapes:
+
+    * ``hub=None`` — random edges over the entities the relation
+      already mentions.  Every cardinality scales roughly uniformly.
+    * ``hub=k`` — every new edge leaves one *hub* entity (``e{k}``)
+      towards fresh, previously unseen entities.  The relation count
+      explodes while the match count of patterns anchored at any other
+      entity stays put — the asymmetry that flips a fresh cost model's
+      pull-vs-ship decision and leaves a stale one transferring the
+      whole grown relation.
+
+    Returns the number of triples actually added (duplicates collapse).
+    """
+    name = f"peer{peer}"
+    if name not in system.peers:
+        raise ValueError(f"system has no peer named {name!r}")
+    graph = system.peers[name].graph
+    knows = peer_namespace(peer).knows
+    before = len(graph)
+    if hub is not None:
+        source = SHARED.term(f"e{hub}")
+        for i in range(extra_facts):
+            graph.add(Triple(source, knows, SHARED.term(f"hub{peer}_{i}")))
+        return len(graph) - before
+    pattern = TriplePattern(Variable("s"), knows, Variable("o"))
+    mentioned = set()
+    for triple in graph.match(pattern):
+        mentioned.add(triple.subject)
+        mentioned.add(triple.object)
+    entities = sorted(mentioned, key=lambda t: t.sort_key())
+    if not entities:
+        raise ValueError(f"{name} holds no knows edges to grow from")
+    rng = random.Random(seed)
+    for _ in range(extra_facts):
+        a, b = rng.choice(entities), rng.choice(entities)
+        graph.add(Triple(a, knows, b))
+    return len(graph) - before
 
 
 def federated_union_filter_sparql() -> str:

@@ -8,12 +8,19 @@ import pytest
 from repro.bench import check_against, run_all
 from repro.bench.runner import format_summary
 
-FEDERATION_STRATEGIES = ("adaptive", "naive", "bound", "collect")
+FEDERATION_STRATEGIES = ("adaptive", "parallel", "naive", "bound", "collect")
 
 ADAPTIVE_WORKLOADS = (
     "path2@3p",
     "selective@3p",
     "union_filter@3p",
+    "path3@5p",
+)
+
+PARALLEL_WORKLOADS = (
+    "path2@3p",
+    "union_filter@3p",
+    "exclusive@3p",
     "path3@5p",
 )
 
@@ -42,6 +49,10 @@ EXPECTED_BENCHMARKS = {
     f"adaptive/{workload}:{strategy}"
     for workload in ADAPTIVE_WORKLOADS
     for strategy in FEDERATION_STRATEGIES
+} | {
+    f"parallel/{workload}:{mode}"
+    for workload in PARALLEL_WORKLOADS
+    for mode in ("serial", "parallel")
 }
 
 

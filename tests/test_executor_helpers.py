@@ -1,0 +1,110 @@
+"""Executor helper edge cases and explain-trace determinism."""
+
+import random
+
+from repro.federation import FederatedExecutor
+from repro.federation.executor import (
+    _batches,
+    _dedupe,
+    _sorted_bindings,
+)
+from repro.rdf.terms import Variable
+from repro.workload.federation import (
+    federated_exclusive_query,
+    federated_rps,
+    federated_selective_query,
+    federated_union_filter_sparql,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+# ---------------------------------------------------------------------------
+# _batches
+# ---------------------------------------------------------------------------
+
+
+def test_batches_of_empty_binding_list():
+    assert _batches([], 1) == []
+    assert _batches([], 64) == []
+
+
+def test_batches_size_one_yields_singletons():
+    bindings = [{X: 1}, {X: 2}, {X: 3}]
+    assert _batches(bindings, 1) == [[{X: 1}], [{X: 2}], [{X: 3}]]
+
+
+def test_batches_exact_and_remainder_splits():
+    bindings = [{X: i} for i in range(5)]
+    assert [len(b) for b in _batches(bindings, 5)] == [5]
+    assert [len(b) for b in _batches(bindings, 2)] == [2, 2, 1]
+    # Oversized batch: one batch carrying everything.
+    assert _batches(bindings, 100) == [bindings]
+    # Concatenation preserves order and content.
+    assert sum(_batches(bindings, 2), []) == bindings
+
+
+# ---------------------------------------------------------------------------
+# _dedupe / _sorted_bindings
+# ---------------------------------------------------------------------------
+
+
+def test_dedupe_keeps_first_occurrence_order():
+    bindings = [{X: 1}, {X: 2}, {X: 1}, {Y: 1}, {X: 2}, {X: 1, Y: 1}]
+    assert _dedupe(bindings) == [{X: 1}, {X: 2}, {Y: 1}, {X: 1, Y: 1}]
+
+
+def test_dedupe_treats_insertion_order_as_equal():
+    # Two dicts with the same items in different insertion order are the
+    # same binding.
+    first = {X: 1, Y: 2}
+    second = {Y: 2, X: 1}
+    assert _dedupe([first, second]) == [first]
+
+
+def test_dedupe_of_empty_and_singleton():
+    assert _dedupe([]) == []
+    assert _dedupe([{}]) == [{}]
+    assert _dedupe([{}, {}]) == [{}]
+
+
+def test_sorted_bindings_is_input_order_invariant():
+    rng = random.Random(3)
+    bindings = [{X: i, Y: (i * 7) % 5} for i in range(10)] + [
+        {Z: i} for i in range(5)
+    ]
+    reference = _sorted_bindings(list(bindings))
+    for _ in range(5):
+        shuffled = list(bindings)
+        rng.shuffle(shuffled)
+        assert _sorted_bindings(shuffled) == reference
+
+
+# ---------------------------------------------------------------------------
+# explain determinism
+# ---------------------------------------------------------------------------
+
+
+def test_explain_is_deterministic_across_repeated_runs():
+    system = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    executor = FederatedExecutor(system)
+    for query in (
+        federated_selective_query(entity=3, hops=2),
+        federated_union_filter_sparql(),
+        federated_exclusive_query(hops=1),
+    ):
+        traces = {executor.explain(query) for _ in range(3)}
+        assert len(traces) == 1
+        parallel_traces = {
+            executor.explain(query, strategy="parallel") for _ in range(3)
+        }
+        assert len(parallel_traces) == 1
+
+
+def test_explain_is_deterministic_across_executors():
+    query = federated_exclusive_query(hops=1)
+    traces = set()
+    for _ in range(2):
+        system = federated_rps(peers=3, entities=20, facts=60, seed=7)
+        traces.add(FederatedExecutor(system).explain(query))
+    assert len(traces) == 1

@@ -4,6 +4,7 @@ import pytest
 
 from repro.federation import (
     ADAPTIVE,
+    PARALLEL,
     FIXED_STRATEGIES,
     STRATEGIES,
     CostModel,
@@ -197,7 +198,7 @@ def test_fixed_strategies_carry_no_decisions(three_peer_system):
 
 def test_strategy_constants():
     assert STRATEGIES[0] == ADAPTIVE
-    assert set(STRATEGIES) == set(FIXED_STRATEGIES) | {ADAPTIVE}
+    assert set(STRATEGIES) == set(FIXED_STRATEGIES) | {ADAPTIVE, PARALLEL}
 
 
 # ---------------------------------------------------------------------------

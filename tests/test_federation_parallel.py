@@ -1,0 +1,221 @@
+"""Parallel execution mode: equivalence, makespan, exclusive groups."""
+
+import pytest
+
+from repro.federation import (
+    ADAPTIVE,
+    PARALLEL,
+    FederatedExecutor,
+    NetworkModel,
+    NetworkStats,
+)
+from repro.gpq.evaluation import evaluate_query_star
+from repro.sparql.parser import parse_query
+from repro.sparql.algebra import translate_group
+from repro.sparql.plan import select_rows
+from repro.workload.federation import (
+    federated_exclusive_query,
+    federated_path_query,
+    federated_rps,
+    federated_selective_query,
+    federated_union_filter_sparql,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return federated_rps(peers=3, entities=20, facts=60, seed=7)
+
+
+def _single_graph(system, query):
+    union = system.stored_database()
+    if isinstance(query, str):
+        ast = parse_query(query)
+        return select_rows(
+            union, translate_group(ast.where), ast.projected()
+        )
+    return evaluate_query_star(union, query)
+
+
+WORKLOADS = {
+    "path2": federated_path_query(hops=2),
+    "path3": federated_path_query(hops=3),
+    "selective": federated_selective_query(entity=3, hops=2),
+    "union_filter": federated_union_filter_sparql(),
+    "exclusive": federated_exclusive_query(hops=1),
+}
+
+
+# ---------------------------------------------------------------------------
+# Answer-set equivalence and the makespan invariant
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_parallel_matches_serial_and_single_graph(system, name):
+    query = WORKLOADS[name]
+    executor = FederatedExecutor(system)
+    expected = _single_graph(system, query)
+    serial = executor.execute(query, ADAPTIVE)
+    parallel = executor.execute(query, PARALLEL)
+    assert serial.rows == expected
+    assert parallel.rows == expected
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_parallel_makespan_never_exceeds_serial(system, name):
+    query = WORKLOADS[name]
+    executor = FederatedExecutor(system)
+    serial = executor.execute(query, ADAPTIVE)
+    parallel = executor.execute(query, PARALLEL)
+    assert (
+        parallel.stats.elapsed_seconds
+        <= serial.stats.elapsed_seconds + 1e-9
+    )
+    # Elapsed can never exceed the summed serial durations.
+    assert (
+        parallel.stats.elapsed_seconds <= parallel.stats.busy_seconds + 1e-9
+    )
+
+
+def test_serial_strategies_keep_elapsed_equal_to_busy(system):
+    executor = FederatedExecutor(system)
+    for strategy in ("adaptive", "naive", "bound", "collect"):
+        result = executor.execute(WORKLOADS["path2"], strategy)
+        assert result.stats.elapsed_seconds == pytest.approx(
+            result.stats.busy_seconds
+        )
+
+
+def test_union_branches_overlap(system):
+    # Two independent UNION branches, one request each: the parallel
+    # makespan is one branch's wire time, not the sum of both.
+    executor = FederatedExecutor(system)
+    serial = executor.execute(WORKLOADS["union_filter"], ADAPTIVE)
+    parallel = executor.execute(WORKLOADS["union_filter"], PARALLEL)
+    assert parallel.stats.messages == serial.stats.messages
+    assert (
+        parallel.stats.elapsed_seconds
+        < serial.stats.elapsed_seconds - 1e-9
+    )
+
+
+def test_batch_waves_overlap_under_concurrency():
+    # Force many bound-join batches: with batch_size 1 the serial mode
+    # pays one latency per batch, the parallel mode overlaps them up to
+    # the channel concurrency.
+    system = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    query = federated_selective_query(entity=3, hops=2)
+    serial_ex = FederatedExecutor(system, batch_size=1)
+    parallel_ex = FederatedExecutor(system, batch_size=1, concurrency=4)
+    serial = serial_ex.execute(query, ADAPTIVE)
+    parallel = parallel_ex.execute(query, PARALLEL)
+    expected = _single_graph(system, query)
+    assert serial.rows == expected
+    assert parallel.rows == expected
+    assert (
+        parallel.stats.elapsed_seconds
+        <= serial.stats.elapsed_seconds + 1e-9
+    )
+
+
+def test_higher_concurrency_never_slows_the_makespan(system):
+    query = WORKLOADS["path3"]
+    elapsed = []
+    for concurrency in (1, 2, 8):
+        executor = FederatedExecutor(
+            system, batch_size=4, concurrency=concurrency
+        )
+        elapsed.append(
+            executor.execute(query, PARALLEL).stats.elapsed_seconds
+        )
+    assert elapsed[0] + 1e-9 >= elapsed[1] >= elapsed[2] - 1e-9
+
+
+def test_window_below_concurrency_rejected_at_construction(system):
+    from repro.errors import FederationError
+
+    with pytest.raises(FederationError, match="max_in_flight"):
+        FederatedExecutor(system, concurrency=4, max_in_flight=2)
+
+
+def test_parallel_result_carries_channel_stats(system):
+    executor = FederatedExecutor(system)
+    parallel = executor.execute(WORKLOADS["path2"], PARALLEL)
+    assert parallel.channels  # per-endpoint service statistics
+    assert sum(c.completed for c in parallel.channels.values()) == (
+        parallel.stats.messages
+    )
+    serial = executor.execute(WORKLOADS["path2"], ADAPTIVE)
+    assert serial.channels == {}
+
+
+# ---------------------------------------------------------------------------
+# Exclusive groups
+# ---------------------------------------------------------------------------
+
+
+def test_exclusive_group_cuts_messages(system):
+    executor = FederatedExecutor(system)
+    serial = executor.execute(WORKLOADS["exclusive"], ADAPTIVE)
+    parallel = executor.execute(WORKLOADS["exclusive"], PARALLEL)
+    assert parallel.rows == serial.rows
+    assert parallel.stats.messages < serial.stats.messages
+
+
+def test_exclusive_group_decision_records_members(system):
+    executor = FederatedExecutor(system)
+    parallel = executor.execute(WORKLOADS["exclusive"], PARALLEL)
+    grouped = [d for d in parallel.decisions if d.group]
+    assert len(grouped) == 1
+    decision = grouped[0]
+    assert len(decision.group) == 2
+    assert decision.endpoints == ("peer0",)
+    assert decision.action in ("ship", "bound")
+    assert "group[2]" in decision.describe()
+
+
+def test_no_groups_without_a_shared_exclusive_owner(system):
+    # The plain path query gives every conjunct its own single owner;
+    # no owner holds two conjuncts, so nothing fuses.
+    executor = FederatedExecutor(system)
+    parallel = executor.execute(WORKLOADS["path2"], PARALLEL)
+    assert all(not d.group for d in parallel.decisions)
+
+
+# ---------------------------------------------------------------------------
+# NetworkStats split semantics
+# ---------------------------------------------------------------------------
+
+
+def test_simulated_seconds_aliases_busy_seconds():
+    stats = NetworkStats()
+    model = NetworkModel(latency_seconds=1.0, per_solution_seconds=0.5)
+    model.charge_query(stats, "p0", solutions=4)
+    assert stats.simulated_seconds == stats.busy_seconds == 3.0
+    stats.simulated_seconds = 7.0  # the deprecated setter still writes
+    assert stats.busy_seconds == 7.0
+
+
+def test_merge_adds_busy_and_maxes_elapsed():
+    model = NetworkModel(latency_seconds=1.0, per_solution_seconds=0.0)
+    first, second = NetworkStats(), NetworkStats()
+    model.charge_query(first, "a", 0)
+    model.charge_query(second, "a", 0)
+    model.charge_query(second, "b", 0)
+    first.merge(second)
+    assert first.messages == 3
+    assert first.busy_seconds == pytest.approx(3.0)
+    # Concurrent sub-executions finish when the slower one does.
+    assert first.elapsed_seconds == pytest.approx(2.0)
+    assert first.per_endpoint_messages == {"a": 2, "b": 1}
+
+
+def test_refresh_charges_count_in_merge():
+    model = NetworkModel()
+    first, second = NetworkStats(), NetworkStats()
+    model.charge_refresh(first, "a")
+    model.charge_refresh(second, "b")
+    first.merge(second)
+    assert first.stats_refreshes == 2
+    assert first.messages == 2
