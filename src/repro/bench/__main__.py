@@ -9,8 +9,10 @@ Two modes:
   (``--runs`` times; speedups compare by per-suite median, so one noisy
   timing cannot fail CI) and fail (exit 1) on deterministic-metric
   drift, behaviour-invariant violations (bound < naive messages,
-  adaptive never Pareto-dominated) or >``--tolerance``x median speedup
-  regressions against ``--against``.  Used as the CI gate.
+  adaptive never Pareto-dominated, parallel makespan never above
+  serial, pipelined bound joins never above wave barriers with
+  identical messages) or >``--tolerance``x median speedup regressions
+  against ``--against``.  Used as the CI gate.
 """
 
 from __future__ import annotations

@@ -23,13 +23,16 @@ classes of quantity that survive a machine change:
   (default 2x), i.e. on a reproducible >2x relative slowdown of a
   suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts three behaviour invariants on the fresh
+The gate also re-asserts four behaviour invariants on the fresh
 records: bound joins ship strictly fewer messages than naive shipping,
 the adaptive plan is never Pareto-dominated by a fixed strategy (worse
 on messages *and* transfer simultaneously) on any adaptive-suite
-workload, and the parallel mode's makespan (``elapsed_seconds``) never
+workload, the parallel mode's makespan (``elapsed_seconds``) never
 exceeds the serial adaptive plan's on any parallel-suite workload —
-with exclusive groups cutting messages on at least one of them.
+with exclusive groups cutting messages on at least one of them — and
+pipelined bound joins never lose wall clock to wave barriers on any
+streaming-suite workload while shipping the same messages, with a
+strict makespan win on at least one.
 """
 
 from __future__ import annotations
@@ -199,6 +202,7 @@ def check_against(
     failures.extend(_federation_invariant(fresh_rows))
     failures.extend(_adaptive_invariant(fresh_rows))
     failures.extend(_parallel_invariant(fresh_rows))
+    failures.extend(_streaming_invariant(fresh_rows))
     return CheckOutcome(
         ok=not failures,
         failures=failures,
@@ -304,6 +308,63 @@ def _parallel_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
         failures.append(
             "parallel suite: no workload showed an exclusive-group "
             "message reduction (parallel messages < serial messages)"
+        )
+    return failures
+
+
+def _streaming_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Pipelined bound joins must never lose wall clock to wave barriers.
+
+    For every streaming-suite workload the pipelined mode's
+    ``elapsed_seconds`` may not exceed the wave-barrier mode's, its
+    message count must be identical (pipelining changes the timeline,
+    not the traffic), and across the suite at least one workload must
+    show a strict makespan win.  All comparisons pair rows of the same
+    fresh run, so the check is machine-independent.
+    """
+    failures = []
+    workloads = {
+        name[len("streaming/") :].rsplit(":", 1)[0]
+        for name in fresh_rows
+        if name.startswith("streaming/") and ":" in name
+    }
+    any_strict_win = False
+    compared = False
+    for workload in sorted(workloads):
+        wave = fresh_rows.get(f"streaming/{workload}:wave")
+        pipelined = fresh_rows.get(f"streaming/{workload}:pipelined")
+        if wave is None or pipelined is None:
+            continue
+        wave_meta = wave.get("meta", {})
+        pipelined_meta = pipelined.get("meta", {})
+        wave_elapsed = wave_meta.get("elapsed_seconds")
+        pipelined_elapsed = pipelined_meta.get("elapsed_seconds")
+        if wave_elapsed is None or pipelined_elapsed is None:
+            continue
+        compared = True
+        if pipelined_elapsed > wave_elapsed + 1e-9:
+            failures.append(
+                f"streaming@{workload}: pipelined makespan "
+                f"{pipelined_elapsed:.6f}s exceeds the wave barrier's "
+                f"{wave_elapsed:.6f}s"
+            )
+        elif pipelined_elapsed < wave_elapsed - 1e-9:
+            any_strict_win = True
+        wave_messages = wave_meta.get("messages")
+        pipelined_messages = pipelined_meta.get("messages")
+        if (
+            wave_messages is not None
+            and pipelined_messages is not None
+            and pipelined_messages != wave_messages
+        ):
+            failures.append(
+                f"streaming@{workload}: pipelining changed the message "
+                f"count {wave_messages} -> {pipelined_messages}"
+            )
+    if compared and not any_strict_win:
+        failures.append(
+            "streaming suite: no workload showed a strict pipelining win "
+            "(pipelined elapsed < wave elapsed)"
         )
     return failures
 

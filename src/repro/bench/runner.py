@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Seven suites:
+Eight suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -26,7 +26,13 @@ Seven suites:
   serial adaptive plan per workload, hard asserting answer-set
   equality, ``parallel elapsed_seconds <= serial elapsed_seconds`` on
   *every* workload, and an exclusive-group message reduction on the
-  workload built for it.
+  workload built for it;
+* ``streaming/*`` — pipelined bound-join batches against PR 4's wave
+  barriers on multi-batch and federated-OPTIONAL workloads, hard
+  asserting answer-set equality with the single-graph evaluator,
+  identical message counts and transferred solutions in both modes,
+  ``pipelined elapsed <= wave elapsed`` everywhere, and a strict
+  makespan win on at least one workload.
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
@@ -65,8 +71,11 @@ from repro.sparql.algebra import evaluate_algebra, translate_group
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import select_rows
+from repro.federation.network import NetworkModel
 from repro.workload.federation import (
     federated_exclusive_query,
+    federated_optional_filter_sparql,
+    federated_optional_sparql,
     federated_path_query,
     federated_rps,
     federated_selective_query,
@@ -412,7 +421,7 @@ def bench_federation(repeat: int) -> List[BenchRecord]:
                         "messages": stats.messages,
                         "solutions_transferred": stats.solutions_transferred,
                         "triples_transferred": stats.triples_transferred,
-                        "simulated_seconds": stats.simulated_seconds,
+                        "busy_seconds": stats.busy_seconds,
                         "elapsed_seconds": stats.elapsed_seconds,
                         "results": len(result.rows),
                     },
@@ -487,7 +496,7 @@ def bench_adaptive(repeat: int) -> List[BenchRecord]:
                         "solutions_transferred": stats.solutions_transferred,
                         "triples_transferred": stats.triples_transferred,
                         "transfer_units": stats.transfer_units,
-                        "simulated_seconds": stats.simulated_seconds,
+                        "busy_seconds": stats.busy_seconds,
                         "elapsed_seconds": stats.elapsed_seconds,
                         "results": len(result.rows),
                     },
@@ -582,6 +591,114 @@ def bench_parallel(repeat: int) -> List[BenchRecord]:
     return records
 
 
+#: Network parameters of the streaming suite's deep workloads: cheap
+#: round trips, expensive transfer.  This prices consecutive bound
+#: joins cheaper than shipping or pulling whole relations, so the plans
+#: actually produce the multi-batch pipelines the suite measures.
+STREAMING_NETWORK = dict(
+    latency_seconds=0.01,
+    per_solution_seconds=0.01,
+    per_triple_seconds=0.05,
+)
+
+
+def bench_streaming(repeat: int) -> List[BenchRecord]:
+    """Pipelined bound-join batches vs PR 4's wave barriers.
+
+    Each workload runs the parallel mode twice — ``streaming=False``
+    (every batch waits for the entire upstream step) and
+    ``streaming=True`` (each batch depends only on the requests that
+    produced its rows).  Four hard assertions per workload: both modes
+    return exactly the single-graph answer set, message counts and
+    transferred solutions are identical (the same rows travel in the
+    same envelopes), and the pipelined makespan never exceeds the
+    wave-barrier one.  Across the suite at least one workload must show
+    a *strict* makespan win, and the two ``optional`` workloads double
+    as the federated-OPTIONAL equivalence check against the
+    single-graph evaluator.
+    """
+    three = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    five = federated_rps(peers=5, entities=40, facts=150, seed=11)
+    # Sparse system: some optional extensions miss, so the LeftJoin's
+    # keep-unmatched path is exercised, not just the extend path.
+    sparse = federated_rps(peers=3, entities=30, facts=25, seed=13)
+    deep_net = NetworkModel(**STREAMING_NETWORK)
+    workloads: List[Tuple[str, RPS, Any, Optional[NetworkModel], int]] = [
+        ("deep_sel@3p", three, federated_selective_query(entity=3, hops=3),
+         deep_net, 1),
+        ("deep_sel@5p", five, federated_selective_query(entity=3, hops=3),
+         deep_net, 1),
+        ("optional@3p", sparse, federated_optional_sparql(), None, 1),
+        ("optional_filter@3p", sparse, federated_optional_filter_sparql(),
+         None, 1),
+    ]
+    records = []
+    strict_win = False
+    for label, system, query, network, batch_size in workloads:
+        expected = _single_graph_rows(system, query)
+        outcomes: Dict[str, Any] = {}
+        for mode, streaming in (("wave", False), ("pipelined", True)):
+            executor = FederatedExecutor(
+                system,
+                network=network,
+                batch_size=batch_size,
+                concurrency=4,
+                streaming=streaming,
+            )
+
+            def run(executor: FederatedExecutor = executor):
+                return executor.execute(query, PARALLEL)
+
+            seconds, result = _best_time(run, repeat)
+            if result.rows != expected:
+                raise AssertionError(
+                    f"streaming suite {label!r}, mode {mode!r}: "
+                    f"{len(result.rows)} answers != single-graph "
+                    f"{len(expected)}"
+                )
+            outcomes[mode] = result
+            stats = result.stats
+            records.append(
+                BenchRecord(
+                    name=f"streaming/{label}:{mode}",
+                    seconds=seconds,
+                    meta={
+                        "messages": stats.messages,
+                        "solutions_transferred": stats.solutions_transferred,
+                        "triples_transferred": stats.triples_transferred,
+                        "busy_seconds": stats.busy_seconds,
+                        "elapsed_seconds": stats.elapsed_seconds,
+                        "results": len(result.rows),
+                    },
+                )
+            )
+        wave = outcomes["wave"].stats
+        pipelined = outcomes["pipelined"].stats
+        if (
+            pipelined.messages != wave.messages
+            or pipelined.solutions_transferred != wave.solutions_transferred
+        ):
+            raise AssertionError(
+                f"streaming on {label!r} changed the traffic: "
+                f"{pipelined.messages} msgs/{pipelined.solutions_transferred}"
+                f" sols vs wave {wave.messages}/{wave.solutions_transferred}"
+            )
+        if pipelined.elapsed_seconds > wave.elapsed_seconds + 1e-9:
+            raise AssertionError(
+                f"pipelining on {label!r} lost wall clock: "
+                f"{pipelined.elapsed_seconds:.6f}s > wave "
+                f"{wave.elapsed_seconds:.6f}s"
+            )
+        if pipelined.elapsed_seconds < wave.elapsed_seconds - 1e-9:
+            strict_win = True
+    if not strict_win:
+        raise AssertionError(
+            "streaming suite: no workload showed a strict pipelining win "
+            "(pipelined elapsed < wave elapsed)"
+        )
+    return records
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -608,6 +725,7 @@ def build_report(
     records.extend(bench_federation(repeat))
     records.extend(bench_adaptive(repeat))
     records.extend(bench_parallel(repeat))
+    records.extend(bench_streaming(repeat))
 
     return {
         "suite": "core",

@@ -16,14 +16,26 @@ over peer access points.  This package provides the simulated version:
   endpoint cardinalities age across executions and refreshes are
   charged as real messages, so stale plans (and their recovery) are
   observable;
-* :mod:`repro.federation.executor` — the distributed executor: the
-  cost-model-driven ``adaptive`` strategy (with FILTER/UNION pushdown
-  into per-endpoint sub-queries), the overlap-aware ``parallel`` mode
-  on the discrete-event runtime (:mod:`repro.runtime`) with FedX-style
-  exclusive groups and makespan-priced decisions, plus three fixed
-  baselines — ``naive`` per-pattern shipping, FedX-style ``bound``
-  joins with solution batching, and the ``collect`` data-dump
-  baseline.
+* :mod:`repro.federation.bindings` — the shared ID-binding plumbing
+  (dedup, batching, projection, domain-aware hash/left joins, compiled
+  FILTER splitting) both the operator layer and the executor use;
+* :mod:`repro.federation.plan` — the physical-operator layer: streaming
+  operators (``RemoteScan``, ``BoundJoinStream`` with pipelined
+  batches, ``ExclusiveGroupScan``, ``PullScan``, ``LocalHashJoin``,
+  ``LeftJoin`` for federated OPTIONAL, ``Filter``/``Union``/
+  ``Project``), the planner that builds them from cost-model
+  decisions, and the memoised interpreter that walks one plan either
+  serially or on the discrete-event runtime;
+* :mod:`repro.federation.executor` — the distributed executor facade:
+  normalises queries, prepares filters once, and runs each strategy as
+  a plan-construction policy — the cost-model-driven ``adaptive``
+  strategy (with FILTER/UNION pushdown into per-endpoint sub-queries),
+  the overlap-aware ``parallel`` mode on the discrete-event runtime
+  (:mod:`repro.runtime`) with FedX-style exclusive groups,
+  makespan-priced decisions and pipelined bound joins, plus three
+  fixed baselines — ``naive`` per-pattern shipping, FedX-style
+  ``bound`` joins with solution batching, and the ``collect``
+  data-dump baseline.
 """
 
 from repro.federation.cost import CostModel, Decision, EndpointStats
@@ -35,9 +47,24 @@ from repro.federation.executor import (
     STRATEGIES,
     FederatedExecutor,
     FederationResult,
+    PreparedQuery,
     execute_federated,
 )
 from repro.federation.network import NetworkModel, NetworkStats
+from repro.federation.plan import (
+    BoundJoinStream,
+    ExclusiveGroupScan,
+    FederatedPlanner,
+    FedOp,
+    FilterNode,
+    LeftJoinNode,
+    LocalHashJoin,
+    PlanInterpreter,
+    ProjectDedupe,
+    PullScan,
+    RemoteScan,
+    UnionNode,
+)
 from repro.federation.statistics import StatisticsCatalog
 
 __all__ = [
@@ -45,14 +72,27 @@ __all__ = [
     "FIXED_STRATEGIES",
     "PARALLEL",
     "STRATEGIES",
+    "BoundJoinStream",
     "CostModel",
     "Decision",
     "EndpointStats",
+    "ExclusiveGroupScan",
     "FederatedExecutor",
+    "FederatedPlanner",
     "FederationResult",
+    "FedOp",
+    "FilterNode",
+    "LeftJoinNode",
+    "LocalHashJoin",
     "NetworkModel",
     "NetworkStats",
     "PeerEndpoint",
+    "PlanInterpreter",
+    "PreparedQuery",
+    "ProjectDedupe",
+    "PullScan",
+    "RemoteScan",
     "StatisticsCatalog",
+    "UnionNode",
     "execute_federated",
 ]

@@ -1,0 +1,236 @@
+"""Shared ID-binding plumbing for the federated execution layer.
+
+Every federated operator — and the remaining executor glue — speaks the
+same currency: *ID bindings*, plain ``{Variable: int}`` dictionaries over
+the shared term dictionary.  This module holds the helpers both the
+physical-operator layer (:mod:`repro.federation.plan`) and the executor
+(:mod:`repro.federation.executor`) need: canonicalisation, order-stable
+deduplication, deterministic batch formation for bound joins, projection
+onto a query head, domain-aware hash joins, and the compiled-FILTER
+splitting/composition used by FILTER pushdown.
+
+Nothing here touches the network or the simulation clock; these are pure
+functions over binding lists, which is what makes them shareable across
+the serial and runtime-backed plan interpreters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.rdf.terms import Variable
+from repro.sparql.ast import FilterExpr
+
+__all__ = [
+    "CompiledFilter",
+    "IDBinding",
+    "apply_filters",
+    "batches",
+    "canonical",
+    "compatible",
+    "compose",
+    "dedupe",
+    "group_by_domain",
+    "hash_join",
+    "join_pairs",
+    "left_join",
+    "merge_compatible",
+    "project",
+    "sorted_bindings",
+    "split_filters",
+]
+
+#: A streaming federated solution: variable -> integer term ID.
+IDBinding = Dict[Variable, int]
+
+
+@dataclass(frozen=True)
+class CompiledFilter:
+    """A branch filter compiled to an ID-level predicate.
+
+    Attributes:
+        expr: the source FILTER expression (kept for explain traces).
+        variables: the variables the expression mentions; the filter is
+            decidable once all of them are bound (an unbound variable
+            error-collapses the comparison to false at runtime).
+        accept: the compiled predicate over ID bindings.
+    """
+
+    expr: FilterExpr
+    variables: FrozenSet[Variable]
+    accept: Callable[[IDBinding], bool]
+
+
+def canonical(binding: IDBinding) -> Tuple[Tuple[str, int], ...]:
+    """Order-independent identity of one binding (sorted name/ID pairs)."""
+    return tuple(sorted((v.name, tid) for v, tid in binding.items()))
+
+
+def dedupe(bindings: List[IDBinding]) -> List[IDBinding]:
+    """Drop duplicate bindings, keeping first occurrences in order."""
+    seen: Set[Tuple[Tuple[str, int], ...]] = set()
+    out: List[IDBinding] = []
+    for binding in bindings:
+        key = canonical(binding)
+        if key not in seen:
+            seen.add(key)
+            out.append(binding)
+    return out
+
+
+def sorted_bindings(bindings: List[IDBinding]) -> List[IDBinding]:
+    """Deterministic batch order, so message accounting is reproducible."""
+    return sorted(bindings, key=canonical)
+
+
+def batches(bindings: List[IDBinding], size: int) -> List[List[IDBinding]]:
+    """Split a binding list into consecutive batches of at most ``size``."""
+    return [bindings[i : i + size] for i in range(0, len(bindings), size)]
+
+
+def project(
+    bindings: Sequence[IDBinding], head: Tuple[Variable, ...]
+) -> Set[Tuple[Optional[int], ...]]:
+    """Project bindings onto the head; unbound cells become ``None``."""
+    return {tuple(b.get(v) for v in head) for b in bindings}
+
+
+def split_filters(
+    filters: List[CompiledFilter], bound: Set[Variable]
+) -> Tuple[List[CompiledFilter], List[CompiledFilter]]:
+    """Partition filters into (decidable under ``bound``, the rest)."""
+    ready: List[CompiledFilter] = []
+    rest: List[CompiledFilter] = []
+    for f in filters:
+        (ready if f.variables <= bound else rest).append(f)
+    return ready, rest
+
+
+def apply_filters(
+    bindings: List[IDBinding], filters: Sequence[CompiledFilter]
+) -> List[IDBinding]:
+    """Keep the bindings every compiled filter accepts."""
+    if not filters:
+        return bindings
+    return [b for b in bindings if all(f.accept(b) for f in filters)]
+
+
+def compose(
+    filters: Sequence[CompiledFilter],
+) -> Optional[Callable[[IDBinding], bool]]:
+    """AND-compose compiled filters into one endpoint-side predicate."""
+    if not filters:
+        return None
+    if len(filters) == 1:
+        return filters[0].accept
+    accepts = [f.accept for f in filters]
+    return lambda binding: all(accept(binding) for accept in accepts)
+
+
+def compatible(left: IDBinding, right: IDBinding) -> bool:
+    """True when the two bindings agree on their shared domain."""
+    for var, tid in right.items():
+        bound = left.get(var)
+        if bound is not None and bound != tid:
+            return False
+    return True
+
+
+def merge_compatible(
+    left: IDBinding, right: IDBinding
+) -> Optional[IDBinding]:
+    """Merge two bindings, or ``None`` when they conflict."""
+    if not compatible(left, right):
+        return None
+    return {**left, **right}
+
+
+def left_join(
+    left: List[IDBinding],
+    right: List[IDBinding],
+    condition: Optional[Callable[[IDBinding], bool]] = None,
+) -> List[IDBinding]:
+    """SPARQL left join: extend left rows with compatible right rows.
+
+    A left row is replaced by every compatible merge that passes
+    ``condition`` (evaluated on the merged row, per the SPARQL
+    ``LeftJoin`` translation) and kept unchanged when no merge
+    qualifies.  Output is deduplicated keep-first.
+    """
+    out: List[IDBinding] = []
+    for binding in left:
+        extended = 0
+        for opt in right:
+            merged = merge_compatible(binding, opt)
+            if merged is None:
+                continue
+            if condition is not None and not condition(merged):
+                continue
+            out.append(merged)
+            extended += 1
+        if not extended:
+            out.append(binding)
+    return dedupe(out)
+
+
+def group_by_domain(
+    bindings: List[IDBinding],
+) -> Dict[FrozenSet[Variable], List[IDBinding]]:
+    """Bucket bindings by their variable domain (pushdown heterogeneity)."""
+    groups: Dict[FrozenSet[Variable], List[IDBinding]] = {}
+    for binding in bindings:
+        groups.setdefault(frozenset(binding), []).append(binding)
+    return groups
+
+
+def join_pairs(
+    left: List[IDBinding], right: List[IDBinding]
+) -> Iterator[Tuple[IDBinding, IDBinding, IDBinding]]:
+    """Yield ``(left_row, right_row, merged)`` for every joining pair.
+
+    The single domain-aware join algorithm behind both
+    :func:`hash_join` and the operator layer's ``LocalHashJoin`` (which
+    additionally threads request origins through the pair).  Under
+    FILTER/UNION pushdown a side may mix binding *domains* (endpoints
+    can return partially-bound rows), so each side is grouped by domain
+    and every domain pair joins on its own shared-variable set.  Domain
+    pairs with no shared variables are a genuine cross product
+    (disconnected patterns).
+    """
+    if not left or not right:
+        return
+    right_groups = group_by_domain(right)
+    for left_domain, left_rows in group_by_domain(left).items():
+        for right_domain, right_rows in right_groups.items():
+            shared = sorted(left_domain & right_domain, key=lambda v: v.name)
+            if not shared:
+                for lhs in left_rows:
+                    for rhs in right_rows:
+                        yield lhs, rhs, {**lhs, **rhs}
+                continue
+            buckets: Dict[Tuple[int, ...], List[IDBinding]] = {}
+            for binding in right_rows:
+                key = tuple(binding[v] for v in shared)
+                buckets.setdefault(key, []).append(binding)
+            for binding in left_rows:
+                key = tuple(binding[v] for v in shared)
+                for match in buckets.get(key, ()):
+                    yield binding, match, {**binding, **match}
+
+
+def hash_join(
+    left: List[IDBinding], right: List[IDBinding]
+) -> List[IDBinding]:
+    """Join two binding lists on their per-pair shared variables."""
+    return [merged for _, _, merged in join_pairs(left, right)]

@@ -2,18 +2,26 @@
 
 Implements the execution-strategy half of the paper's prototype sketch:
 a query — a :class:`~repro.gpq.query.GraphPatternQuery`, or SPARQL text
-in the BGP + UNION + FILTER fragment — is answered from the *stored
-databases* of the peers, with every simulated network exchange charged
-to a :class:`~repro.federation.network.NetworkModel`.
+in the BGP + UNION + FILTER + OPTIONAL fragment — is answered from the
+*stored databases* of the peers, with every simulated network exchange
+charged to a :class:`~repro.federation.network.NetworkModel`.
 
 Queries are normalised (:func:`repro.sparql.bridge.sparql_to_branches`)
-into a union of conjunctive branches.  UNION branches become independent
+into a union of conjunctive branches (each optionally carrying
+``OPTIONAL`` left-join blocks).  UNION branches become independent
 per-endpoint sub-query pipelines; FILTER expressions are compiled once
 through the single-graph planner's machinery
 (:func:`repro.sparql.plan.compile_filter`) and pushed into the deepest
 sub-query where they are decidable, so rejected rows never travel.
 
-Five strategies, chosen per call:
+Execution itself lives in the physical-operator layer
+(:mod:`repro.federation.plan`): each strategy is a *plan-construction
+policy* over the same streaming operators (``RemoteScan``,
+``BoundJoinStream``, ``ExclusiveGroupScan``, ``PullScan``,
+``LocalHashJoin``, ``LeftJoin``, ``Filter``, ``Union``, ``Project``),
+and one memoised interpreter walks the plan in either *serial* mode or
+*runtime* mode (requests recorded on the discrete-event scheduler and
+replayed into a makespan).  Five strategies, chosen per call:
 
 ``adaptive`` (default)
     Per-conjunct decisions from the cost model
@@ -21,20 +29,20 @@ Five strategies, chosen per call:
     *shipped* unbound, *bound-joined* against the current bindings, or
     its source relation is *pulled* into a local cache, whichever the
     endpoint cardinalities and the actual intermediate binding count
-    (cardinality feedback) price cheapest.  Conjunct order is chosen
-    dynamically the same way.
+    (cardinality feedback) price cheapest.  The plan tree grows one
+    decision at a time.
 
 ``parallel``
-    The adaptive pipeline rebased onto the discrete-event runtime
-    (:mod:`repro.runtime`): per-endpoint sub-queries and bound-join
-    batch waves fan out concurrently onto per-endpoint channels, UNION
-    branches overlap, and cost decisions are priced in *makespan*
-    (overlap-aware elapsed seconds) instead of summed busy seconds.
-    Conjuncts relevant to exactly one endpoint are fused into
-    FedX-style *exclusive groups* — a single endpoint-side sub-query
-    whose join runs at the endpoint, so only joined solutions travel.
-    ``NetworkStats.elapsed_seconds`` becomes the simulated makespan
-    while ``busy_seconds`` keeps the serial total.
+    The adaptive construction on the runtime interpreter: per-endpoint
+    sub-queries, bound-join batches and UNION branches fan out onto
+    per-endpoint channels, decisions are priced in *makespan* terms,
+    and conjuncts relevant to exactly one endpoint fuse into FedX-style
+    *exclusive groups*.  With ``streaming=True`` (the default) bound
+    joins are **pipelined**: each batch's sub-query is emitted as soon
+    as the batch fills, depending only on the upstream requests that
+    produced its rows, instead of synchronising on PR 4's wave
+    barriers.  ``NetworkStats.elapsed_seconds`` becomes the simulated
+    makespan while ``busy_seconds`` keeps the serial total.
 
 ``naive``
     Per-pattern shipping: every triple pattern is sent, unbound, to
@@ -65,7 +73,6 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import (
     Callable,
     Dict,
-    FrozenSet,
     List,
     Optional,
     Sequence,
@@ -75,15 +82,31 @@ from typing import (
 )
 
 from repro.errors import FederationError
-from repro.federation.cost import (
-    CostModel,
-    Decision,
-    EndpointStats,
-    bound_variable_positions,
-    group_bound_positions,
+from repro.federation.bindings import (
+    CompiledFilter,
+    IDBinding,
+    apply_filters,
+    dedupe,
+    left_join,
+    project,
+    split_filters,
 )
+from repro.federation.cost import CostModel, Decision
 from repro.federation.endpoint import PeerEndpoint
 from repro.federation.network import NetworkModel, NetworkStats
+from repro.federation.plan import (
+    ExecContext,
+    FederatedPlanner,
+    FedOp,
+    FilterNode,
+    InputNode,
+    LeftJoinNode,
+    PlanInterpreter,
+    ProjectDedupe,
+    RelationCache,
+    UnionNode,
+    explain_fed_plan,
+)
 from repro.federation.statistics import StatisticsCatalog
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
 from repro.gpq.query import GraphPatternQuery
@@ -93,11 +116,7 @@ from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.peers.system import RPS
 from repro.runtime.channel import ChannelStats
-from repro.runtime.scheduler import (
-    DEFAULT_CONCURRENCY,
-    OverlapScheduler,
-    RequestHandle,
-)
+from repro.runtime.scheduler import DEFAULT_CONCURRENCY, OverlapScheduler
 from repro.sparql.ast import AskQuery, FilterExpr, SelectQuery
 from repro.sparql.bridge import ConjunctiveBranch, sparql_to_branches
 from repro.sparql.plan import compile_filter
@@ -109,10 +128,10 @@ __all__ = [
     "STRATEGIES",
     "FederatedExecutor",
     "FederationResult",
+    "PreparedQuery",
     "execute_federated",
 ]
 
-_IDBinding = Dict[Variable, int]
 _Query = Union[str, GraphPatternQuery, SelectQuery, AskQuery]
 
 #: The adaptive (cost-model-driven) strategy name.
@@ -120,7 +139,7 @@ ADAPTIVE = "adaptive"
 
 #: The overlap-aware parallel strategy name (adaptive decisions priced
 #: in makespan, executed on the discrete-event runtime with exclusive
-#: groups).
+#: groups and pipelined bound joins).
 PARALLEL = "parallel"
 
 #: The three fixed baselines kept for comparison.
@@ -136,40 +155,36 @@ DEFAULT_BATCH_SIZE = 64
 
 
 @dataclass(frozen=True)
-class _CompiledFilter:
-    """A branch filter compiled to an ID-level predicate."""
+class PreparedOptional:
+    """One OPTIONAL block with its filters compiled to ID predicates."""
 
-    expr: FilterExpr
-    variables: FrozenSet[Variable]
-    accept: Callable[[_IDBinding], bool]
+    branches: Tuple[Tuple[Tuple[TriplePattern, ...],
+                          Tuple[CompiledFilter, ...]], ...]
+    condition: Optional[Callable[[IDBinding], bool]] = None
 
 
 @dataclass(frozen=True)
-class _Unit:
-    """One schedulable step of the parallel pipeline.
+class PreparedBranch:
+    """One conjunctive branch with compiled filters and optionals."""
 
-    Either a single conjunct, or a FedX-style *exclusive group*: every
-    conjunct relevant to exactly one endpoint, fused so the endpoint
-    joins them locally in one round trip.
+    patterns: Tuple[TriplePattern, ...]
+    filters: Tuple[CompiledFilter, ...]
+    optionals: Tuple[PreparedOptional, ...] = ()
 
-    Attributes:
-        index: position of the unit's first pattern in the branch (the
-            deterministic ordering tie-break).
-        patterns: the member conjuncts (one for a plain unit).
-        endpoints: the relevant endpoints (exactly one for a group).
-        exclusive: True for a fused group.
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A query normalised and filter-compiled exactly once.
+
+    :meth:`FederatedExecutor.prepare` produces one; every strategy of a
+    :meth:`FederatedExecutor.run_all_strategies` comparison then reuses
+    it, so the four strategies don't each re-run
+    :func:`~repro.sparql.bridge.sparql_to_branches` and filter
+    compilation on the same query text.
     """
 
-    index: int
-    patterns: Tuple[TriplePattern, ...]
-    endpoints: Tuple[PeerEndpoint, ...]
-    exclusive: bool
-
-    def variables(self) -> FrozenSet[Variable]:
-        out: Set[Variable] = set()
-        for tp in self.patterns:
-            out.update(tp.variables())
-        return frozenset(out)
+    head: Tuple[Variable, ...]
+    branches: Tuple[PreparedBranch, ...]
 
 
 @dataclass
@@ -179,13 +194,17 @@ class FederationResult:
     Attributes:
         strategy: which strategy produced it.
         rows: the answer set (projected rows; a cell is ``None`` when a
-            UNION branch leaves the head variable unbound).
+            branch leaves the head variable unbound — UNION branches
+            with unequal domains and unmatched OPTIONAL extensions).
         stats: accumulated network statistics for this execution only.
         decisions: the cost model's per-conjunct decisions (adaptive
             and parallel strategies only) — the ``explain`` trace
             material.
         channels: per-endpoint service statistics of the runtime replay
             (parallel strategy only).
+        plans: the executed operator tree, one root per execution
+            (empty for the collect baseline, which has no federated
+            plan).
     """
 
     strategy: str
@@ -193,36 +212,10 @@ class FederationResult:
     stats: NetworkStats
     decisions: Tuple[Decision, ...] = ()
     channels: Dict[str, ChannelStats] = dataclass_field(default_factory=dict)
+    plans: Tuple[FedOp, ...] = ()
 
     def __len__(self) -> int:
         return len(self.rows)
-
-
-class _RelationCache:
-    """Source relations pulled so far, shared across one execution.
-
-    A pull lands ID triples in one local graph; ``(endpoint, relation)``
-    keys remember what has been paid for, so repeated conjuncts over the
-    same relation (and later branches of a UNION) answer locally for
-    free.  A full dump (``None`` key) subsumes every relation of that
-    endpoint.
-    """
-
-    def __init__(self, dictionary) -> None:
-        self.graph = Graph(name="pulled", dictionary=dictionary)
-        self._pulled: Dict[str, Set[Optional[int]]] = {}
-
-    def has(self, endpoint: str, key: Optional[int]) -> bool:
-        keys = self._pulled.get(endpoint)
-        if not keys:
-            return False
-        return key in keys or None in keys
-
-    def add(self, endpoint: str, key: Optional[int], ids, dictionary) -> None:
-        # The source dictionary travels with the IDs so a foreign-
-        # dictionary endpoint fails loudly instead of caching garbage.
-        self._pulled.setdefault(endpoint, set()).add(key)
-        self.graph.add_id_triples(ids, dictionary)
 
 
 class FederatedExecutor:
@@ -236,6 +229,10 @@ class FederatedExecutor:
             mode's runtime (also assumed by its makespan pricing).
         max_in_flight: per-endpoint outstanding-request window of the
             parallel runtime (``None`` = unbounded).
+        streaming: pipelined bound-join batches in the parallel mode
+            (each batch depends only on the requests that produced its
+            rows); ``False`` restores PR 4's wave barriers.  Message
+            counts and answers are identical either way.
         stats_ttl: cardinality-statistics lifetime in executions;
             ``None`` (default) reads live statistics for free, any
             integer activates the TTL catalog whose refreshes are
@@ -255,6 +252,7 @@ class FederatedExecutor:
         batch_size: int = DEFAULT_BATCH_SIZE,
         concurrency: int = DEFAULT_CONCURRENCY,
         max_in_flight: Optional[int] = None,
+        streaming: bool = True,
         stats_ttl: Optional[int] = None,
     ) -> None:
         if not system.peers:
@@ -275,6 +273,7 @@ class FederatedExecutor:
         self.batch_size = batch_size
         self.concurrency = concurrency
         self.max_in_flight = max_in_flight
+        self.streaming = streaming
         names = system.peer_names()
         self.endpoints: List[PeerEndpoint] = [
             PeerEndpoint(name, system.peers[name].graph) for name in names
@@ -290,31 +289,54 @@ class FederatedExecutor:
             self.network, batch_size, concurrency=concurrency
         )
         self.catalog = StatisticsCatalog(self.network, stats_ttl)
+        self.planner = FederatedPlanner(self)
 
     # -- public API -----------------------------------------------------
 
+    def prepare(
+        self, query: _Query, nsm: Optional[NamespaceManager] = None
+    ) -> PreparedQuery:
+        """Normalise a query and compile its filters, once.
+
+        The result can be passed to :meth:`execute` in place of the
+        query, skipping repeated :func:`sparql_to_branches` runs and
+        filter compilation — :meth:`run_all_strategies` does exactly
+        that for its four executions.
+        """
+        head, branches = self._normalize(query, nsm)
+        sentinels: Dict[Term, int] = {}
+        prepared = tuple(
+            self._compile_branch(branch, sentinels) for branch in branches
+        )
+        return PreparedQuery(head, prepared)
+
     def execute(
         self,
-        query: _Query,
+        query: Union[_Query, PreparedQuery],
         strategy: str = ADAPTIVE,
         nsm: Optional[NamespaceManager] = None,
     ) -> FederationResult:
-        """Run one query under the given strategy."""
+        """Run one (possibly pre-:meth:`prepare`-d) query under the
+        given strategy."""
         if strategy not in STRATEGIES:
             raise FederationError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
-        head, branches = self._normalize(query, nsm)
+        if isinstance(query, PreparedQuery):
+            prepared = query
+        else:
+            prepared = self.prepare(query, nsm)
         stats = NetworkStats()
         self.catalog.begin_execution(stats)
         decisions: List[Decision] = []
         channels: Dict[str, ChannelStats] = {}
+        plans: Tuple[FedOp, ...] = ()
         id_rows: Set[Tuple[Optional[int], ...]] = set()
         if strategy == "collect":
             union = self._collect_union(stats)
-            for branch in branches:
+            for branch in prepared.branches:
                 bindings = self._evaluate_branch_local(union, branch)
-                id_rows |= _project(bindings, head)
+                id_rows |= project(bindings, prepared.head)
         else:
             scheduler: Optional[OverlapScheduler] = None
             if strategy == PARALLEL:
@@ -322,12 +344,23 @@ class FederatedExecutor:
                     concurrency=self.concurrency,
                     max_in_flight=self.max_in_flight,
                 )
-            cache = _RelationCache(self.dictionary)
-            for index, branch in enumerate(branches):
-                bindings = self._run_branch(
-                    branch, strategy, stats, cache, decisions, index, scheduler
-                )
-                id_rows |= _project(bindings, head)
+            ctx = ExecContext(
+                self.network,
+                stats,
+                RelationCache(self.dictionary),
+                scheduler,
+                self.streaming,
+            )
+            interp = PlanInterpreter(ctx)
+            roots = [
+                self._run_branch(branch, strategy, interp, decisions, index)
+                for index, branch in enumerate(prepared.branches)
+            ]
+            union_node = roots[0] if len(roots) == 1 else UnionNode(roots)
+            root = ProjectDedupe(union_node, prepared.head)
+            rows_out = interp.run(root)
+            id_rows = project(rows_out.bindings, prepared.head)
+            plans = (root,)
             if scheduler is not None:
                 # Branch pipelines and fan-outs overlapped on the
                 # runtime; the replayed makespan is the execution's
@@ -341,7 +374,7 @@ class FederatedExecutor:
             for row in id_rows
         }
         return FederationResult(
-            strategy, rows, stats, tuple(decisions), channels
+            strategy, rows, stats, tuple(decisions), channels, plans
         )
 
     def run_all_strategies(
@@ -350,9 +383,14 @@ class FederatedExecutor:
         nsm: Optional[NamespaceManager] = None,
     ) -> Dict[str, FederationResult]:
         """Run every strategy (adaptive, parallel, and the fixed
-        baselines), asserting they agree on the answer set."""
+        baselines), asserting they agree on the answer set.
+
+        The query is normalised and filter-compiled exactly once
+        (:meth:`prepare`); the strategies share the prepared form.
+        """
+        prepared = self.prepare(query, nsm)
         results = {
-            strategy: self.execute(query, strategy, nsm)
+            strategy: self.execute(prepared, strategy)
             for strategy in STRATEGIES
         }
         reference = results[STRATEGIES[0]].rows
@@ -366,17 +404,19 @@ class FederatedExecutor:
 
     def explain(
         self,
-        query: _Query,
+        query: Union[_Query, PreparedQuery],
         nsm: Optional[NamespaceManager] = None,
         strategy: str = ADAPTIVE,
     ) -> str:
-        """Human-readable trace of a cost-model-driven plan's decisions.
+        """Human-readable trace: the executed operator tree plus the
+        cost model's decisions.
 
-        Executes the query under ``strategy`` (``adaptive`` by default,
-        ``parallel`` also carries decisions) and renders one line per
-        conjunct or exclusive group: the chosen action, its target
-        endpoints, the cost model's estimates and the rejected
-        alternatives.
+        Executes the query under ``strategy`` (``adaptive`` by default;
+        ``parallel`` additionally annotates bound joins with their
+        batch pipelining — mode and peak in-flight overlap) and renders
+        the plan tree followed by one line per decision: the chosen
+        action, its target endpoints, the cost model's estimates and
+        the rejected alternatives.
         """
         if strategy not in (ADAPTIVE, PARALLEL):
             raise FederationError(
@@ -393,6 +433,10 @@ class FederatedExecutor:
             f"busy={stats.busy_seconds:.3f}s "
             f"elapsed={stats.elapsed_seconds:.3f}s"
         ]
+        for plan in result.plans:
+            lines.append("plan:")
+            rendered = explain_fed_plan(plan).split("\n")
+            lines.extend(f"  {line}" for line in rendered)
         for decision in result.decisions:
             lines.append(f"  [branch {decision.branch}] {decision.describe()}")
         return "\n".join(lines)
@@ -406,553 +450,130 @@ class FederatedExecutor:
             return query.head, [ConjunctiveBranch(tuple(query.conjuncts()))]
         return sparql_to_branches(query, nsm)
 
-    def _compile_filters(
-        self, filters: Sequence[FilterExpr]
-    ) -> List[_CompiledFilter]:
-        sentinels: Dict[Term, int] = {}
+    def _compile_branch(
+        self, branch: ConjunctiveBranch, sentinels: Dict[Term, int]
+    ) -> PreparedBranch:
         graph = self.endpoints[0].graph  # dictionary access only
-        return [
-            _CompiledFilter(
+        optionals = []
+        for block in branch.optionals:
+            if block.expr is not None:
+                condition = compile_filter(graph, block.expr, sentinels)
+            else:
+                condition = None
+            optionals.append(
+                PreparedOptional(
+                    branches=tuple(
+                        (
+                            opt.patterns,
+                            self._compile_filters(
+                                opt.filters, graph, sentinels
+                            ),
+                        )
+                        for opt in block.branches
+                    ),
+                    condition=condition,
+                )
+            )
+        return PreparedBranch(
+            patterns=branch.patterns,
+            filters=self._compile_filters(branch.filters, graph, sentinels),
+            optionals=tuple(optionals),
+        )
+
+    @staticmethod
+    def _compile_filters(
+        filters: Sequence[FilterExpr], graph: Graph, sentinels: Dict[Term, int]
+    ) -> Tuple[CompiledFilter, ...]:
+        return tuple(
+            CompiledFilter(
                 expr,
                 frozenset(expr.variables()),
                 compile_filter(graph, expr, sentinels),
             )
             for expr in filters
-        ]
+        )
 
-    # -- branch pipelines -----------------------------------------------
+    # -- branch plans ----------------------------------------------------
+
+    def _plan_required(
+        self,
+        patterns: Tuple[TriplePattern, ...],
+        filters: List[CompiledFilter],
+        strategy: str,
+        interp: PlanInterpreter,
+        decisions: List[Decision],
+        branch_index: int,
+        label: str = "",
+    ) -> Tuple[FedOp, List[CompiledFilter]]:
+        """Build (and, for the adaptive strategies, run) the plan of one
+        conjunctive block under the given strategy."""
+        if not patterns:
+            return InputNode(), filters
+        if strategy == "naive":
+            return self.planner.plan_naive(patterns, filters)
+        if strategy == "bound":
+            return self.planner.plan_bound(patterns, filters)
+        if strategy == PARALLEL:
+            return self.planner.run_parallel(
+                interp, patterns, filters, decisions, branch_index, label
+            )
+        return self.planner.run_adaptive(
+            interp, patterns, filters, decisions, branch_index, label
+        )
 
     def _run_branch(
         self,
-        branch: ConjunctiveBranch,
+        branch: PreparedBranch,
         strategy: str,
-        stats: NetworkStats,
-        cache: _RelationCache,
+        interp: PlanInterpreter,
         decisions: List[Decision],
         branch_index: int,
-        scheduler: Optional[OverlapScheduler] = None,
-    ) -> List[_IDBinding]:
-        filters = self._compile_filters(branch.filters)
-        if not branch.patterns:
-            return _apply_filters([{}], filters)
-        patterns = list(branch.patterns)
-        if strategy == "naive":
-            return self._branch_naive(patterns, filters, stats)
-        if strategy == "bound":
-            return self._branch_bound(patterns, filters, stats)
-        if strategy == PARALLEL:
-            assert scheduler is not None
-            return self._branch_parallel(
-                patterns,
-                filters,
-                stats,
-                cache,
-                decisions,
-                branch_index,
-                scheduler,
-            )
-        return self._branch_adaptive(
-            patterns, filters, stats, cache, decisions, branch_index
+    ) -> FedOp:
+        root, leftovers = self._plan_required(
+            branch.patterns,
+            list(branch.filters),
+            strategy,
+            interp,
+            decisions,
+            branch_index,
         )
-
-    def _branch_naive(
-        self,
-        patterns: List[TriplePattern],
-        filters: List[_CompiledFilter],
-        stats: NetworkStats,
-    ) -> List[_IDBinding]:
-        remaining = list(filters)
-        per_pattern: List[List[_IDBinding]] = []
-        for tp in patterns:
-            push, remaining = _split_filters(remaining, tp.variables())
-            accept = _compose(push)
-            matches: List[_IDBinding] = []
-            for endpoint in self.endpoints:
-                solutions = endpoint.pattern_solutions(tp, accept)
-                self.network.charge_query(stats, endpoint.name, len(solutions))
-                matches.extend(solutions)
-            per_pattern.append(_dedupe(matches))
-        bindings: List[_IDBinding] = [{}]
-        bound: Set[Variable] = set()
-        for tp, matches in zip(patterns, per_pattern):
-            bindings = _hash_join(bindings, matches)
-            bound.update(tp.variables())
-            ready, remaining = _split_filters(remaining, bound)
-            bindings = _apply_filters(bindings, ready)
-            if not bindings:
-                # The join is already empty, but shipping has happened:
-                # naive sends every pattern regardless of partial results.
-                return []
-        return _apply_filters(bindings, remaining)
-
-    def _branch_bound(
-        self,
-        patterns: List[TriplePattern],
-        filters: List[_CompiledFilter],
-        stats: NetworkStats,
-    ) -> List[_IDBinding]:
-        remaining = list(filters)
-        bindings: List[_IDBinding] = [{}]
-        bound: Set[Variable] = set()
-        for position, tp in enumerate(self._order_conjuncts(patterns)):
-            relevant = self._relevant(tp)
-            # At position 0 ``bound`` is empty, so the sub-query scope is
-            # just the pattern's own variables; later it includes every
-            # coordinator-bound variable the batch carries along.
-            scope = bound | tp.variables()
-            push, remaining = _split_filters(remaining, scope)
-            accept = _compose(push)
-            results: List[_IDBinding] = []
-            if position == 0:
-                for endpoint in relevant:
-                    solutions = endpoint.pattern_solutions(tp, accept)
-                    self.network.charge_query(
-                        stats, endpoint.name, len(solutions)
+        rows = interp.run(root)
+        if rows.bindings:
+            for block in branch.optionals:
+                if not block.branches:
+                    # Every optional branch was statically false (e.g. a
+                    # nested-group filter over an out-of-scope variable):
+                    # the optional side is empty, the left join is the
+                    # identity.
+                    continue
+                sub_roots = []
+                for opt_patterns, opt_filters in block.branches:
+                    sub_root, sub_left = self._plan_required(
+                        opt_patterns,
+                        list(opt_filters),
+                        strategy,
+                        interp,
+                        decisions,
+                        branch_index,
+                        label=f"b{branch_index} opt",
                     )
-                    results.extend(solutions)
-            else:
-                ordered = _sorted_bindings(bindings)
-                for batch in _batches(ordered, self.batch_size):
-                    for endpoint in relevant:
-                        solutions = endpoint.bound_solutions(tp, batch, accept)
-                        self.network.charge_query(
-                            stats, endpoint.name, len(solutions)
-                        )
-                        results.extend(solutions)
-            bindings = _dedupe(results)
-            bound.update(tp.variables())
-            ready, remaining = _split_filters(remaining, bound)
-            bindings = _apply_filters(bindings, ready)
-            if not bindings:
-                return []
-        return _apply_filters(bindings, remaining)
-
-    # -- the adaptive pipeline ------------------------------------------
-
-    def _branch_adaptive(
-        self,
-        patterns: List[TriplePattern],
-        filters: List[_CompiledFilter],
-        stats: NetworkStats,
-        cache: _RelationCache,
-        decisions: List[Decision],
-        branch_index: int,
-    ) -> List[_IDBinding]:
-        remaining_filters = list(filters)
-        remaining = list(enumerate(patterns))
-        relevant: Dict[int, List[PeerEndpoint]] = {
-            i: self._relevant(tp) for i, tp in remaining
-        }
-        counts: Dict[int, List[Tuple[PeerEndpoint, int, int]]] = {
-            i: [
-                (
-                    ep,
-                    self.catalog.pattern_count(ep, tp),
-                    self.catalog.relation_count(ep, tp),
-                )
-                for ep in relevant[i]
-            ]
-            for i, tp in remaining
-        }
-        bindings: List[_IDBinding] = [{}]
-        bound: FrozenSet[Variable] = frozenset()
-        # Memoised per conjunct: endpoint counts are static for the whole
-        # execution and only the `cached` flags can change — and only
-        # after a pull, which invalidates the memo wholesale.  Keeps the
-        # dynamic ordering's min() key O(1) per (round, conjunct).
-        stats_memo: Dict[int, List[EndpointStats]] = {}
-
-        def endpoint_stats(i: int, tp: TriplePattern) -> List[EndpointStats]:
-            memoised = stats_memo.get(i)
-            if memoised is None:
-                memoised = [
-                    EndpointStats(
-                        ep.name,
-                        pattern_count,
-                        relation_count,
-                        cache.has(ep.name, ep.relation_key(tp)),
-                    )
-                    for ep, pattern_count, relation_count in counts[i]
-                ]
-                stats_memo[i] = memoised
-            return memoised
-
-        while remaining:
-            def order_key(pair: Tuple[int, TriplePattern]):
-                i, tp = pair
-                estimate, free = self.cost_model.order_estimate(
-                    endpoint_stats(i, tp), bound, tp
-                )
-                return (estimate, free, i)
-
-            best = min(remaining, key=order_key)
-            remaining.remove(best)
-            index, tp = best
-            stats_now = endpoint_stats(index, tp)
-            bound_after_vars = bound | tp.variables()
-            ship_filters = sum(
-                1 for f in remaining_filters if f.variables <= tp.variables()
-            )
-            bound_filters = sum(
-                1 for f in remaining_filters if f.variables <= bound_after_vars
-            )
-            decision = self.cost_model.decide(
-                tp,
-                stats_now,
-                len(bindings),
-                bound_variable_positions(tp, bound),
-                branch_index,
-                ship_filters=ship_filters,
-                bound_filters=bound_filters,
-            )
-            decisions.append(decision)
-            bound_after = bound_after_vars
-            active = self._active_endpoints(relevant[index], stats_now)
-            if decision.action == "ship":
-                push, remaining_filters = _split_filters(
-                    remaining_filters, tp.variables()
-                )
-                accept = _compose(push)
-                matches: List[_IDBinding] = []
-                for endpoint in active:
-                    solutions = endpoint.pattern_solutions(tp, accept)
-                    self.network.charge_query(
-                        stats, endpoint.name, len(solutions)
-                    )
-                    matches.extend(solutions)
-                bindings = _hash_join(bindings, _dedupe(matches))
-            elif decision.action == "bound":
-                push, remaining_filters = _split_filters(
-                    remaining_filters, bound_after
-                )
-                accept = _compose(push)
-                results: List[_IDBinding] = []
-                ordered = _sorted_bindings(bindings)
-                for batch in _batches(ordered, self.batch_size):
-                    for endpoint in active:
-                        solutions = endpoint.bound_solutions(tp, batch, accept)
-                        self.network.charge_query(
-                            stats, endpoint.name, len(solutions)
-                        )
-                        results.extend(solutions)
-                bindings = _dedupe(results)
-            else:  # pull / local: answer from the relation cache
-                if decision.action == "pull":
-                    for endpoint in relevant[index]:
-                        key = endpoint.relation_key(tp)
-                        if cache.has(endpoint.name, key):
-                            continue
-                        ids = endpoint.relation_ids(tp)
-                        if not ids:
-                            continue
-                        self.network.charge_dump(
-                            stats, endpoint.name, len(ids)
-                        )
-                        cache.add(
-                            endpoint.name,
-                            key,
-                            ids,
-                            endpoint.graph.dictionary,
-                        )
-                    stats_memo.clear()  # cached flags changed
-                bindings = self._extend_local(cache.graph, tp, bindings)
-            bound = bound_after
-            ready, remaining_filters = _split_filters(remaining_filters, bound)
-            bindings = _apply_filters(bindings, ready)
-            if not bindings:
-                return []
-        return _apply_filters(bindings, remaining_filters)
-
-    # -- the parallel (overlap-aware) pipeline --------------------------
-
-    def _exclusive_units(
-        self, patterns: Sequence[TriplePattern]
-    ) -> List[_Unit]:
-        """Partition a branch into exclusive groups and plain units.
-
-        Conjuncts whose schema-based source selection names exactly one
-        endpoint are grouped by that endpoint; owners with two or more
-        such conjuncts yield one fused group unit (FedX exclusive
-        group).  Everything else stays a single-pattern unit.  Units
-        keep branch order via their first pattern's index.
-        """
-        relevant = [tuple(self._relevant(tp)) for tp in patterns]
-        owners: Dict[str, List[int]] = {}
-        for i, endpoints in enumerate(relevant):
-            if len(endpoints) == 1:
-                owners.setdefault(endpoints[0].name, []).append(i)
-        fused: Set[int] = set()
-        units: List[_Unit] = []
-        for name in sorted(owners):
-            indices = owners[name]
-            if len(indices) < 2:
-                continue
-            units.append(
-                _Unit(
-                    index=min(indices),
-                    patterns=tuple(patterns[i] for i in indices),
-                    endpoints=relevant[indices[0]],
-                    exclusive=True,
-                )
-            )
-            fused.update(indices)
-        for i, tp in enumerate(patterns):
-            if i not in fused:
-                units.append(
-                    _Unit(
-                        index=i,
-                        patterns=(tp,),
-                        endpoints=relevant[i],
-                        exclusive=False,
-                    )
-                )
-        units.sort(key=lambda unit: unit.index)
-        return units
-
-    def _unit_counts(
-        self, unit: _Unit
-    ) -> List[Tuple[PeerEndpoint, int, int]]:
-        """Catalog cardinalities for one unit, read once per execution.
-
-        A group's result cardinality is estimated from its most
-        selective member (pulling is not offered for groups, so the
-        relation count is zero).
-        """
-        counts: List[Tuple[PeerEndpoint, int, int]] = []
-        for ep in unit.endpoints:
-            if unit.exclusive:
-                pattern_count = min(
-                    self.catalog.pattern_count(ep, tp) for tp in unit.patterns
-                )
-                relation_count = 0
-            else:
-                tp = unit.patterns[0]
-                pattern_count = self.catalog.pattern_count(ep, tp)
-                relation_count = self.catalog.relation_count(ep, tp)
-            counts.append((ep, pattern_count, relation_count))
-        return counts
-
-    def _active_endpoints(
-        self,
-        endpoints: Sequence[PeerEndpoint],
-        stats_now: Sequence[EndpointStats],
-    ) -> List[PeerEndpoint]:
-        """Endpoints a ship/bound action actually contacts.
-
-        The one pruning rule shared by the serial and parallel
-        pipelines: with live statistics an exact zero count prunes the
-        endpoint; stale statistics must contact every relevant endpoint
-        (a stale zero may hide fresh matches, and correctness never
-        depends on the catalog's age).  ``stats_now`` is aligned with
-        ``endpoints``.
-        """
-        if not self.catalog.live:
-            return list(endpoints)
-        return [
-            ep
-            for ep, stat in zip(endpoints, stats_now)
-            if stat.pattern_count > 0
-        ]
-
-    def _branch_parallel(
-        self,
-        patterns: List[TriplePattern],
-        filters: List[_CompiledFilter],
-        stats: NetworkStats,
-        cache: _RelationCache,
-        decisions: List[Decision],
-        branch_index: int,
-        scheduler: OverlapScheduler,
-    ) -> List[_IDBinding]:
-        """The adaptive pipeline on the discrete-event runtime.
-
-        Structure mirrors :meth:`_branch_adaptive`, with three changes:
-        conjuncts fuse into exclusive groups, decisions are priced in
-        makespan (``parallel=True``), and every simulated request is
-        recorded on the scheduler — per-endpoint fan-outs and batch
-        waves of one step share a dependency *wave* (they overlap),
-        while consecutive steps chain through it (a step's requests
-        wait for the wave that produced its input bindings).  UNION
-        branches call this method with the same scheduler and no shared
-        handles, so whole branches overlap too.
-        """
-        remaining_filters = list(filters)
-        remaining = self._exclusive_units(patterns)
-        counts = {unit.index: self._unit_counts(unit) for unit in remaining}
-        bindings: List[_IDBinding] = [{}]
-        bound: FrozenSet[Variable] = frozenset()
-        wave: Tuple[RequestHandle, ...] = ()
-        # Counts are read once above; only the `cached` flags can change
-        # — and only after a pull, which clears this memo wholesale
-        # (mirrors _branch_adaptive's stats_memo).
-        stats_memo: Dict[int, List[EndpointStats]] = {}
-
-        def unit_stats(unit: _Unit) -> List[EndpointStats]:
-            memoised = stats_memo.get(unit.index)
-            if memoised is None:
-                if unit.exclusive:
-                    memoised = [
-                        EndpointStats(ep.name, pc, rc)
-                        for ep, pc, rc in counts[unit.index]
-                    ]
+                    if sub_left:
+                        sub_root = FilterNode(sub_root, sub_left)
+                    sub_roots.append(sub_root)
+                if len(sub_roots) == 1:
+                    optional_root = sub_roots[0]
                 else:
-                    tp = unit.patterns[0]
-                    memoised = [
-                        EndpointStats(
-                            ep.name,
-                            pc,
-                            rc,
-                            cache.has(ep.name, ep.relation_key(tp)),
-                        )
-                        for ep, pc, rc in counts[unit.index]
-                    ]
-                stats_memo[unit.index] = memoised
-            return memoised
+                    optional_root = UnionNode(sub_roots)
+                root = LeftJoinNode(root, optional_root, block.condition)
+                rows = interp.run(root)
+                if not rows.bindings:
+                    break
+        if leftovers:
+            root = FilterNode(root, leftovers)
+            interp.run(root)
+        return root
 
-        def order_key(unit: _Unit):
-            if unit.exclusive:
-                estimate, free = self.cost_model.order_estimate_group(
-                    unit_stats(unit), bound, unit.patterns
-                )
-            else:
-                estimate, free = self.cost_model.order_estimate(
-                    unit_stats(unit), bound, unit.patterns[0]
-                )
-            return (estimate, free, unit.index)
-
-        while remaining:
-            best = min(remaining, key=order_key)
-            remaining.remove(best)
-            stats_now = unit_stats(best)
-            unit_vars = best.variables()
-            bound_after = bound | unit_vars
-            ship_filters = sum(
-                1 for f in remaining_filters if f.variables <= unit_vars
-            )
-            bound_filters = sum(
-                1 for f in remaining_filters if f.variables <= bound_after
-            )
-            if best.exclusive:
-                decision = self.cost_model.decide_group(
-                    best.patterns,
-                    stats_now,
-                    len(bindings),
-                    group_bound_positions(best.patterns, bound),
-                    branch_index,
-                    ship_filters=ship_filters,
-                    bound_filters=bound_filters,
-                    parallel=True,
-                )
-            else:
-                decision = self.cost_model.decide(
-                    best.patterns[0],
-                    stats_now,
-                    len(bindings),
-                    bound_variable_positions(best.patterns[0], bound),
-                    branch_index,
-                    ship_filters=ship_filters,
-                    bound_filters=bound_filters,
-                    parallel=True,
-                )
-            decisions.append(decision)
-            targets = self._active_endpoints(best.endpoints, stats_now)
-            if decision.action == "ship":
-                push, remaining_filters = _split_filters(
-                    remaining_filters, unit_vars
-                )
-                accept = _compose(push)
-                matches: List[_IDBinding] = []
-                handles: List[RequestHandle] = []
-                for ep in targets:
-                    if best.exclusive:
-                        solutions = ep.group_solutions(best.patterns, accept)
-                    else:
-                        solutions = ep.pattern_solutions(
-                            best.patterns[0], accept
-                        )
-                    seconds = self.network.charge_query(
-                        stats, ep.name, len(solutions), serial=False
-                    )
-                    handles.append(
-                        scheduler.submit(
-                            ep.name,
-                            seconds,
-                            after=wave,
-                            label=f"b{branch_index} ship",
-                        )
-                    )
-                    matches.extend(solutions)
-                bindings = _hash_join(bindings, _dedupe(matches))
-                wave = tuple(handles)
-            elif decision.action == "bound":
-                push, remaining_filters = _split_filters(
-                    remaining_filters, bound_after
-                )
-                accept = _compose(push)
-                results: List[_IDBinding] = []
-                handles = []
-                ordered = _sorted_bindings(bindings)
-                for batch in _batches(ordered, self.batch_size):
-                    for ep in targets:
-                        if best.exclusive:
-                            solutions = ep.bound_group_solutions(
-                                best.patterns, batch, accept
-                            )
-                        else:
-                            solutions = ep.bound_solutions(
-                                best.patterns[0], batch, accept
-                            )
-                        seconds = self.network.charge_query(
-                            stats, ep.name, len(solutions), serial=False
-                        )
-                        handles.append(
-                            scheduler.submit(
-                                ep.name,
-                                seconds,
-                                after=wave,
-                                label=f"b{branch_index} bound",
-                            )
-                        )
-                        results.extend(solutions)
-                bindings = _dedupe(results)
-                wave = tuple(handles)
-            else:  # pull / local: answer from the relation cache
-                tp = best.patterns[0]
-                if decision.action == "pull":
-                    handles = []
-                    for ep in best.endpoints:
-                        key = ep.relation_key(tp)
-                        if cache.has(ep.name, key):
-                            continue
-                        ids = ep.relation_ids(tp)
-                        if not ids:
-                            continue
-                        seconds = self.network.charge_dump(
-                            stats, ep.name, len(ids), serial=False
-                        )
-                        handles.append(
-                            scheduler.submit(
-                                ep.name,
-                                seconds,
-                                after=wave,
-                                label=f"b{branch_index} pull",
-                            )
-                        )
-                        cache.add(ep.name, key, ids, ep.graph.dictionary)
-                    stats_memo.clear()  # cached flags changed
-                    if handles:
-                        wave = tuple(handles)
-                bindings = self._extend_local(cache.graph, tp, bindings)
-            bound = bound_after
-            ready, remaining_filters = _split_filters(
-                remaining_filters, bound
-            )
-            bindings = _apply_filters(bindings, ready)
-            if not bindings:
-                return []
-        return _apply_filters(bindings, remaining_filters)
-
-    # -- fixed-strategy helpers -----------------------------------------
+    # -- source selection and fixed conjunct ordering --------------------
 
     def _relevant(self, tp: TriplePattern) -> List[PeerEndpoint]:
         return [
@@ -1000,31 +621,50 @@ class FederatedExecutor:
         return union
 
     def _evaluate_branch_local(
-        self, graph: Graph, branch: ConjunctiveBranch
-    ) -> List[_IDBinding]:
-        filters = self._compile_filters(branch.filters)
-        bindings: List[_IDBinding] = [{}]
+        self, graph: Graph, branch: PreparedBranch
+    ) -> List[IDBinding]:
+        filters = list(branch.filters)
+        bindings: List[IDBinding] = [{}]
         bound: Set[Variable] = set()
         for tp in branch.patterns:
             bindings = self._extend_local(graph, tp, bindings)
             bound.update(tp.variables())
-            ready, filters = _split_filters(filters, bound)
-            bindings = _apply_filters(bindings, ready)
+            ready, filters = split_filters(filters, bound)
+            bindings = apply_filters(bindings, ready)
             if not bindings:
                 return []
-        return _apply_filters(bindings, filters)
+        for block in branch.optionals:
+            optional_rows: List[IDBinding] = []
+            for opt_patterns, opt_filters in block.branches:
+                rows = [{}]
+                opt_remaining = list(opt_filters)
+                opt_bound: Set[Variable] = set()
+                for tp in opt_patterns:
+                    rows = self._extend_local(graph, tp, rows)
+                    opt_bound.update(tp.variables())
+                    ready, opt_remaining = split_filters(
+                        opt_remaining, opt_bound
+                    )
+                    rows = apply_filters(rows, ready)
+                    if not rows:
+                        break
+                optional_rows.extend(apply_filters(rows, opt_remaining))
+            bindings = left_join(
+                bindings, dedupe(optional_rows), block.condition
+            )
+        return apply_filters(bindings, filters)
 
     @staticmethod
     def _extend_local(
-        graph: Graph, tp: TriplePattern, bindings: List[_IDBinding]
-    ) -> List[_IDBinding]:
+        graph: Graph, tp: TriplePattern, bindings: List[IDBinding]
+    ) -> List[IDBinding]:
         slots = compile_conjunct(graph, tp)
         if slots is None:
             return []
-        out: List[_IDBinding] = []
+        out: List[IDBinding] = []
         for partial in bindings:
             out.extend(extend_id_bindings(graph, slots, partial))
-        return _dedupe(out)
+        return dedupe(out)
 
 
 def execute_federated(
@@ -1038,115 +678,3 @@ def execute_federated(
     """One-shot convenience wrapper around :class:`FederatedExecutor`."""
     executor = FederatedExecutor(system, network, batch_size)
     return executor.execute(query, strategy, nsm)
-
-
-# ---------------------------------------------------------------------------
-# ID-binding plumbing
-# ---------------------------------------------------------------------------
-
-
-def _canonical(binding: _IDBinding) -> Tuple[Tuple[str, int], ...]:
-    return tuple(sorted((v.name, tid) for v, tid in binding.items()))
-
-
-def _dedupe(bindings: List[_IDBinding]) -> List[_IDBinding]:
-    seen: Set[Tuple[Tuple[str, int], ...]] = set()
-    out: List[_IDBinding] = []
-    for binding in bindings:
-        key = _canonical(binding)
-        if key not in seen:
-            seen.add(key)
-            out.append(binding)
-    return out
-
-
-def _sorted_bindings(bindings: List[_IDBinding]) -> List[_IDBinding]:
-    """Deterministic batch order, so message accounting is reproducible."""
-    return sorted(bindings, key=_canonical)
-
-
-def _batches(bindings: List[_IDBinding], size: int) -> List[List[_IDBinding]]:
-    return [bindings[i : i + size] for i in range(0, len(bindings), size)]
-
-
-def _project(
-    bindings: List[_IDBinding], head: Tuple[Variable, ...]
-) -> Set[Tuple[Optional[int], ...]]:
-    """Project bindings onto the head; unbound cells become ``None``."""
-    return {tuple(b.get(v) for v in head) for b in bindings}
-
-
-def _split_filters(
-    filters: List[_CompiledFilter], bound: Set[Variable]
-) -> Tuple[List[_CompiledFilter], List[_CompiledFilter]]:
-    """Partition filters into (decidable under ``bound``, the rest)."""
-    ready: List[_CompiledFilter] = []
-    rest: List[_CompiledFilter] = []
-    for f in filters:
-        (ready if f.variables <= bound else rest).append(f)
-    return ready, rest
-
-
-def _apply_filters(
-    bindings: List[_IDBinding], filters: Sequence[_CompiledFilter]
-) -> List[_IDBinding]:
-    if not filters:
-        return bindings
-    return [b for b in bindings if all(f.accept(b) for f in filters)]
-
-
-def _compose(
-    filters: Sequence[_CompiledFilter],
-) -> Optional[Callable[[_IDBinding], bool]]:
-    """AND-compose compiled filters into one endpoint-side predicate."""
-    if not filters:
-        return None
-    if len(filters) == 1:
-        return filters[0].accept
-    accepts = [f.accept for f in filters]
-    return lambda binding: all(accept(binding) for accept in accepts)
-
-
-def _group_by_domain(
-    bindings: List[_IDBinding],
-) -> Dict[FrozenSet[Variable], List[_IDBinding]]:
-    groups: Dict[FrozenSet[Variable], List[_IDBinding]] = {}
-    for binding in bindings:
-        groups.setdefault(frozenset(binding), []).append(binding)
-    return groups
-
-
-def _hash_join(
-    left: List[_IDBinding], right: List[_IDBinding]
-) -> List[_IDBinding]:
-    """Join two binding lists on their per-pair shared variables.
-
-    Under FILTER/UNION pushdown a side may mix binding *domains*
-    (endpoints can return partially-bound rows), so each side is grouped
-    by domain and every domain pair joins on its own shared-variable
-    set.  The previous implementation read the shared variables off the
-    first row of each side, which silently degenerated to a cross
-    product for heterogeneous inputs.  Domain pairs with no shared
-    variables are a genuine cross product (disconnected patterns).
-    """
-    if not left or not right:
-        return []
-    out: List[_IDBinding] = []
-    right_groups = _group_by_domain(right)
-    for left_domain, left_rows in _group_by_domain(left).items():
-        for right_domain, right_rows in right_groups.items():
-            shared = sorted(left_domain & right_domain, key=lambda v: v.name)
-            if not shared:
-                out.extend(
-                    {**lhs, **rhs} for lhs in left_rows for rhs in right_rows
-                )
-                continue
-            buckets: Dict[Tuple[int, ...], List[_IDBinding]] = {}
-            for binding in right_rows:
-                key = tuple(binding[v] for v in shared)
-                buckets.setdefault(key, []).append(binding)
-            for binding in left_rows:
-                key = tuple(binding[v] for v in shared)
-                for match in buckets.get(key, ()):
-                    out.append({**binding, **match})
-    return out

@@ -13,8 +13,8 @@ Time is accounted on two axes:
 
 * ``busy_seconds`` — summed wire time of every request, as if all were
   serial.  This is the total *work* placed on the network and the
-  historical meaning of the (still readable) ``simulated_seconds``
-  alias.
+  historical meaning of the ``simulated_seconds`` alias (deprecated:
+  reading or writing it warns).
 * ``elapsed_seconds`` — the makespan: what a wall clock would show.
   Serial strategies accumulate it in lockstep with ``busy_seconds``;
   the parallel execution mode overlaps requests on the discrete-event
@@ -24,6 +24,7 @@ Time is accounted on two axes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -60,14 +61,29 @@ class NetworkStats:
     def simulated_seconds(self) -> float:
         """Deprecated alias for :attr:`busy_seconds`.
 
-        Kept so pre-split baselines, reports and call sites keep
-        reading the quantity they always read (the serial wire-time
-        sum).
+        Kept so pre-split call sites keep reading the quantity they
+        always read (the serial wire-time sum), but reads and writes
+        now emit a :class:`DeprecationWarning` — migrate to
+        :attr:`busy_seconds` (summed wire time) or
+        :attr:`elapsed_seconds` (makespan).
         """
+        warnings.warn(
+            "NetworkStats.simulated_seconds is deprecated; read "
+            "busy_seconds (serial wire-time sum) or elapsed_seconds "
+            "(makespan) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.busy_seconds
 
     @simulated_seconds.setter
     def simulated_seconds(self, value: float) -> None:
+        warnings.warn(
+            "NetworkStats.simulated_seconds is deprecated; write "
+            "busy_seconds instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.busy_seconds = value
 
     @property

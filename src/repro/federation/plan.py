@@ -1,0 +1,1268 @@
+"""Federated physical-operator layer: one plan, two interpreters.
+
+PR 4 left the federation engine with four near-duplicate strategy
+monoliths inside the executor.  This module replaces them with a proper
+planner/operator split, mirroring the ID-native design of
+:mod:`repro.sparql.plan`:
+
+* **Operators** — small declarative nodes over ID bindings:
+  :class:`RemoteScan` (unbound sub-query fan-out),
+  :class:`ExclusiveGroupScan` (a FedX exclusive group fused into one
+  endpoint-side sub-query), :class:`BoundJoinStream` (batched bound
+  joins, *pipelined* under the runtime interpreter),
+  :class:`PullScan` (source-relation transfer into the shared relation
+  cache plus local extension), :class:`LocalHashJoin`,
+  :class:`LeftJoinNode` (federated ``OPTIONAL``), :class:`FilterNode`,
+  :class:`UnionNode` and :class:`ProjectDedupe`.
+
+* **Planner** (:class:`FederatedPlanner`) — builds operator trees from
+  the cost model's decisions.  ``naive`` and ``bound`` are static
+  plan shapes; ``adaptive`` and ``parallel`` build the tree
+  *incrementally*, one cost-model decision at a time, feeding each
+  operator's actual output cardinality back into the next decision
+  (the executor's cardinality feedback, now expressed as plan
+  construction).
+
+* **Interpreter** (:class:`PlanInterpreter`) — one memoised walker with
+  two modes.  *Serial* (no scheduler): every request charges
+  ``elapsed_seconds`` in lockstep with ``busy_seconds``.  *Runtime*
+  (an :class:`~repro.runtime.scheduler.OverlapScheduler` attached):
+  requests are priced the same but recorded onto the scheduler's
+  dependency DAG and replayed into a makespan, so independent fan-outs,
+  batch waves and UNION branches overlap.
+
+**Pipelined bound joins.**  Every produced row carries its *origin* —
+the recorded request that returned it.  Under ``streaming=True`` a
+:class:`BoundJoinStream` orders its input by origin (rows from
+earlier-submitted upstream requests first, canonical order within), and
+each batch's sub-query depends only on the origins of the rows it
+carries — the batch is *sent as soon as it fills*, overlapping the
+still-outstanding remainder of the upstream step within the channel's
+``max_in_flight`` window.  Under ``streaming=False`` the operator keeps
+PR 4's wave barriers: every batch waits for the entire upstream step.
+Batch count, message count and transferred solutions are identical in
+both modes (the same rows travel in the same number of envelopes); only
+the simulated timeline changes, which is what the ``streaming`` bench
+suite gates on.  The *choice* of operator is still made from the cost
+model's cardinality feedback at plan-construction time — like FedX, the
+plan is fixed before rows stream through it; the simulation's planning
+oracle sees counts the pipelined timeline only later "earns".
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.federation.bindings import (
+    CompiledFilter,
+    IDBinding,
+    canonical,
+    compose,
+    join_pairs,
+    merge_compatible,
+    split_filters,
+)
+from repro.federation.cost import (
+    Decision,
+    EndpointStats,
+    bound_variable_positions,
+    group_bound_positions,
+)
+from repro.federation.endpoint import PeerEndpoint
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
+from repro.runtime.scheduler import RequestHandle, peak_overlap
+
+__all__ = [
+    "BoundJoinStream",
+    "ExclusiveGroupScan",
+    "ExecContext",
+    "FederatedPlanner",
+    "FedOp",
+    "FilterNode",
+    "InputNode",
+    "LeftJoinNode",
+    "LocalHashJoin",
+    "PlanInterpreter",
+    "ProjectDedupe",
+    "PullScan",
+    "RelationCache",
+    "RemoteScan",
+    "Rows",
+    "UnionNode",
+    "explain_fed_plan",
+]
+
+_Origin = Tuple[RequestHandle, ...]
+_Accept = Optional[Callable[[IDBinding], bool]]
+
+
+class RelationCache:
+    """Source relations pulled so far, shared across one execution.
+
+    A pull lands ID triples in one local graph; ``(endpoint, relation)``
+    keys remember what has been paid for, so repeated conjuncts over the
+    same relation (and later branches of a UNION) answer locally for
+    free.  A full dump (``None`` key) subsumes every relation of that
+    endpoint.
+    """
+
+    def __init__(self, dictionary) -> None:
+        self.graph = Graph(name="pulled", dictionary=dictionary)
+        self._pulled: Dict[str, Set[Optional[int]]] = {}
+
+    def has(self, endpoint: str, key: Optional[int]) -> bool:
+        keys = self._pulled.get(endpoint)
+        if not keys:
+            return False
+        return key in keys or None in keys
+
+    def add(self, endpoint: str, key: Optional[int], ids, dictionary) -> None:
+        # The source dictionary travels with the IDs so a foreign-
+        # dictionary endpoint fails loudly instead of caching garbage.
+        self._pulled.setdefault(endpoint, set()).add(key)
+        self.graph.add_id_triples(ids, dictionary)
+
+
+class ExecContext:
+    """Everything one plan execution needs besides the plan itself.
+
+    Args:
+        network: the cost model charging every simulated exchange.
+        stats: the execution's accumulated statistics.
+        cache: the execution-wide relation cache (shared across UNION
+            branches and optional blocks).
+        scheduler: the runtime scheduler, or ``None`` for serial
+            interpretation (elapsed advances with busy).
+        streaming: pipelined bound-join batches (origin-scoped
+            dependencies) vs PR 4's wave barriers.  Only meaningful
+            with a scheduler attached.
+    """
+
+    def __init__(
+        self,
+        network,
+        stats,
+        cache: RelationCache,
+        scheduler=None,
+        streaming: bool = True,
+    ) -> None:
+        self.network = network
+        self.stats = stats
+        self.cache = cache
+        self.scheduler = scheduler
+        self.streaming = streaming
+
+    @property
+    def serial(self) -> bool:
+        return self.scheduler is None
+
+
+class Rows:
+    """One operator's materialised output.
+
+    Attributes:
+        bindings: the produced ID bindings (order is deterministic).
+        origins: per-row provenance, aligned with ``bindings`` — the
+            recorded request(s) whose completion makes the row
+            available.  Empty tuples for locally produced rows and for
+            serial interpretation.
+        wave: every request handle of the producing step (PR 4's wave):
+            what a wave-barrier dependent must wait for.
+    """
+
+    __slots__ = ("bindings", "origins", "wave")
+
+    def __init__(
+        self,
+        bindings: List[IDBinding],
+        origins: List[_Origin],
+        wave: _Origin = (),
+    ) -> None:
+        self.bindings = bindings
+        self.origins = origins
+        self.wave = wave
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+
+def _dedupe_rows(
+    bindings: List[IDBinding], origins: List[_Origin]
+) -> Tuple[List[IDBinding], List[_Origin]]:
+    """Row dedupe keeping first occurrences and their origins."""
+    seen: Set[Tuple[Tuple[str, int], ...]] = set()
+    out_b: List[IDBinding] = []
+    out_o: List[_Origin] = []
+    for binding, origin in zip(bindings, origins):
+        key = canonical(binding)
+        if key not in seen:
+            seen.add(key)
+            out_b.append(binding)
+            out_o.append(origin)
+    return out_b, out_o
+
+
+def _merge_origins(left: _Origin, right: _Origin) -> _Origin:
+    if not left:
+        return right
+    if not right:
+        return left
+    merged = {handle.index: handle for handle in left}
+    for handle in right:
+        merged.setdefault(handle.index, handle)
+    return tuple(merged.values())
+
+
+def _batch_dependencies(origins: Sequence[_Origin]) -> _Origin:
+    """Deterministic union of the origins of one batch's rows."""
+    merged: Dict[int, RequestHandle] = {}
+    for origin in origins:
+        for handle in origin:
+            merged.setdefault(handle.index, handle)
+    return tuple(handle for _, handle in sorted(merged.items()))
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+class FedOp:
+    """Base class of the federated physical operators.
+
+    Operators are declarative: they hold what to contact and which
+    filters ride along; the interpreter decides how charges map onto
+    the simulated timeline.  After execution a node carries its
+    recorded request handles (runtime mode) for explain traces.
+    """
+
+    kind = "FedOp"
+    decision: Optional[Decision] = None
+    handles: Tuple[RequestHandle, ...] = ()
+
+    def children(self) -> Tuple["FedOp", ...]:
+        return ()
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One explain line (children are rendered by the walker)."""
+        return self.kind
+
+    def explain(self, depth: int = 0) -> List[str]:
+        lines = [f"{'  ' * depth}{self.describe()}"]
+        for child in self.children():
+            lines.extend(child.explain(depth + 1))
+        return lines
+
+
+class InputNode(FedOp):
+    """The singleton seed: one empty binding (a branch's starting Ω)."""
+
+    kind = "Input"
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        return Rows([{}], [()])
+
+
+class RemoteScan(FedOp):
+    """Unbound sub-query fan-out: one pattern shipped to its endpoints.
+
+    Every relevant endpoint answers on its own channel; solutions are
+    concatenated in endpoint order and deduplicated keep-first.  Under
+    the runtime interpreter each request depends on the wave of
+    ``after`` (the plan step whose results triggered this decision) —
+    the coordinator cannot *decide* to ship before seeing them.
+    """
+
+    kind = "RemoteScan"
+
+    def __init__(
+        self,
+        patterns: Tuple[TriplePattern, ...],
+        endpoints: Tuple[PeerEndpoint, ...],
+        accept: _Accept = None,
+        pushed: Tuple[CompiledFilter, ...] = (),
+        decision: Optional[Decision] = None,
+        after: Optional[FedOp] = None,
+        label: str = "",
+    ) -> None:
+        self.patterns = patterns
+        self.endpoints = endpoints
+        self.accept = accept
+        self.pushed = pushed
+        self.decision = decision
+        self.after = after
+        self.label = label
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return ()
+
+    def _solutions(self, endpoint: PeerEndpoint) -> List[IDBinding]:
+        return endpoint.pattern_solutions(self.patterns[0], self.accept)
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        deps: _Origin = ()
+        if ctx.scheduler is not None and self.after is not None:
+            deps = interp.run(self.after).wave
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        handles: List[RequestHandle] = []
+        for endpoint in self.endpoints:
+            solutions = self._solutions(endpoint)
+            seconds = ctx.network.charge_query(
+                ctx.stats, endpoint.name, len(solutions), serial=ctx.serial
+            )
+            origin: _Origin = ()
+            if ctx.scheduler is not None:
+                handle = ctx.scheduler.submit(
+                    endpoint.name, seconds, after=deps, label=self.label
+                )
+                handles.append(handle)
+                origin = (handle,)
+            bindings.extend(solutions)
+            origins.extend([origin] * len(solutions))
+        self.handles = tuple(handles)
+        bindings, origins = _dedupe_rows(bindings, origins)
+        return Rows(bindings, origins, wave=self.handles)
+
+    def describe(self) -> str:
+        shape = " ".join(tp.n3() for tp in self.patterns)
+        targets = ",".join(ep.name for ep in self.endpoints) or "-"
+        note = f" +{len(self.pushed)}f" if self.pushed else ""
+        return f"{self.kind} {shape} -> {targets}{note}"
+
+
+class ExclusiveGroupScan(RemoteScan):
+    """A FedX exclusive group: the owning endpoint joins the conjuncts
+    locally and only joined solutions travel — one round trip for the
+    whole group."""
+
+    kind = "ExclusiveGroupScan"
+
+    def _solutions(self, endpoint: PeerEndpoint) -> List[IDBinding]:
+        return endpoint.group_solutions(self.patterns, self.accept)
+
+
+class BoundJoinStream(FedOp):
+    """FedX-style bound join, batched and (optionally) pipelined.
+
+    The child's rows are shipped in batches of ``batch_size`` as
+    bindings for the pattern(s); endpoints return only extensions.
+    Under the runtime interpreter with ``streaming=True`` the input is
+    ordered by row origin and each batch depends only on the requests
+    that produced its own rows — successive batches overlap the
+    upstream step instead of waiting for its wave barrier.
+    """
+
+    kind = "BoundJoinStream"
+
+    def __init__(
+        self,
+        child: FedOp,
+        patterns: Tuple[TriplePattern, ...],
+        endpoints: Tuple[PeerEndpoint, ...],
+        accept: _Accept = None,
+        batch_size: int = 64,
+        pushed: Tuple[CompiledFilter, ...] = (),
+        exclusive: bool = False,
+        decision: Optional[Decision] = None,
+        label: str = "",
+    ) -> None:
+        self.child = child
+        self.patterns = patterns
+        self.endpoints = endpoints
+        self.accept = accept
+        self.batch_size = batch_size
+        self.pushed = pushed
+        self.exclusive = exclusive
+        self.decision = decision
+        self.label = label
+        self.n_batches = 0
+        self.mode = "serial"
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.child,)
+
+    def _solutions(
+        self, endpoint: PeerEndpoint, batch: List[IDBinding]
+    ) -> List[IDBinding]:
+        if self.exclusive:
+            return endpoint.bound_group_solutions(
+                self.patterns, batch, self.accept
+            )
+        return endpoint.bound_solutions(self.patterns[0], batch, self.accept)
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        rows = interp.run(self.child)
+        if not rows.bindings:
+            self.handles = ()
+            self.n_batches = 0
+            return Rows([], [], wave=())
+        pipelined = ctx.scheduler is not None and ctx.streaming
+        if ctx.serial:
+            self.mode = "serial"
+        elif pipelined:
+            self.mode = "pipelined"
+        else:
+            self.mode = "waves"
+        pairs = list(zip(rows.bindings, rows.origins))
+        if pipelined:
+            # Rows from earlier-submitted upstream requests batch first:
+            # the simulated arrival order of a streaming consumer.
+            pairs.sort(
+                key=lambda pair: (
+                    max((h.index for h in pair[1]), default=-1),
+                    canonical(pair[0]),
+                )
+            )
+        else:
+            pairs.sort(key=lambda pair: canonical(pair[0]))
+        chunks = [
+            pairs[i : i + self.batch_size]
+            for i in range(0, len(pairs), self.batch_size)
+        ]
+        self.n_batches = len(chunks)
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        handles: List[RequestHandle] = []
+        for chunk in chunks:
+            batch = [binding for binding, _ in chunk]
+            if ctx.serial:
+                deps: _Origin = ()
+            elif pipelined:
+                deps = _batch_dependencies([origin for _, origin in chunk])
+            else:
+                deps = rows.wave
+            for endpoint in self.endpoints:
+                solutions = self._solutions(endpoint, batch)
+                seconds = ctx.network.charge_query(
+                    ctx.stats, endpoint.name, len(solutions), serial=ctx.serial
+                )
+                origin = ()
+                if ctx.scheduler is not None:
+                    handle = ctx.scheduler.submit(
+                        endpoint.name, seconds, after=deps, label=self.label
+                    )
+                    handles.append(handle)
+                    origin = (handle,)
+                bindings.extend(solutions)
+                origins.extend([origin] * len(solutions))
+        self.handles = tuple(handles)
+        bindings, origins = _dedupe_rows(bindings, origins)
+        return Rows(bindings, origins, wave=self.handles)
+
+    def describe(self) -> str:
+        shape = " ".join(tp.n3() for tp in self.patterns)
+        targets = ",".join(ep.name for ep in self.endpoints) or "-"
+        group = f"[group {len(self.patterns)}] " if self.exclusive else ""
+        note = f" +{len(self.pushed)}f" if self.pushed else ""
+        line = (
+            f"{self.kind} {group}{shape} -> {targets}"
+            f" batch={self.batch_size}{note}"
+        )
+        if self.n_batches:
+            line += f" batches={self.n_batches} mode={self.mode}"
+            if self.handles:
+                line += f" in_flight={peak_overlap(self.handles)}"
+        return line
+
+
+class PullScan(FedOp):
+    """Pull the pattern's source relation(s), then extend locally.
+
+    Uncached relevant endpoints dump the relation once into the shared
+    :class:`RelationCache`; the child's rows then extend against the
+    cache graph for free.  With every relation already cached this is
+    the cost model's ``local`` action (zero network).
+    """
+
+    kind = "PullScan"
+
+    def __init__(
+        self,
+        child: FedOp,
+        pattern: TriplePattern,
+        endpoints: Tuple[PeerEndpoint, ...],
+        decision: Optional[Decision] = None,
+        label: str = "",
+    ) -> None:
+        self.child = child
+        self.pattern = pattern
+        self.endpoints = endpoints
+        self.decision = decision
+        self.label = label
+        self.pulled: Tuple[str, ...] = ()
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.child,)
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        rows = interp.run(self.child)
+        deps: _Origin = () if ctx.serial else rows.wave
+        handles: List[RequestHandle] = []
+        pulled: List[str] = []
+        for endpoint in self.endpoints:
+            key = endpoint.relation_key(self.pattern)
+            if ctx.cache.has(endpoint.name, key):
+                continue
+            ids = endpoint.relation_ids(self.pattern)
+            if not ids:
+                continue
+            seconds = ctx.network.charge_dump(
+                ctx.stats, endpoint.name, len(ids), serial=ctx.serial
+            )
+            if ctx.scheduler is not None:
+                handles.append(
+                    ctx.scheduler.submit(
+                        endpoint.name, seconds, after=deps, label=self.label
+                    )
+                )
+            pulled.append(endpoint.name)
+            ctx.cache.add(endpoint.name, key, ids, endpoint.graph.dictionary)
+        self.handles = tuple(handles)
+        self.pulled = tuple(pulled)
+        pull_origin = self.handles
+        slots = compile_conjunct(ctx.cache.graph, self.pattern)
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        if slots is not None:
+            for binding, origin in zip(rows.bindings, rows.origins):
+                for extended in extend_id_bindings(
+                    ctx.cache.graph, slots, binding
+                ):
+                    bindings.append(extended)
+                    origins.append(_merge_origins(origin, pull_origin))
+        bindings, origins = _dedupe_rows(bindings, origins)
+        wave = self.handles if self.handles else rows.wave
+        return Rows(bindings, origins, wave=wave)
+
+    def describe(self) -> str:
+        targets = ",".join(ep.name for ep in self.endpoints) or "-"
+        line = f"{self.kind} {self.pattern.n3()} -> {targets}"
+        if self.pulled:
+            line += f" pulled={','.join(self.pulled)}"
+        elif self.handles == () and self.decision is not None:
+            line += f" [{self.decision.action}]"
+        return line
+
+
+class LocalHashJoin(FedOp):
+    """Join two sub-plans locally on their per-pair shared variables.
+
+    Delegates to :func:`repro.federation.bindings.join_pairs` (the one
+    domain-aware join algorithm), tracking row origins so a merged row
+    depends on both parents' requests.
+    """
+
+    kind = "LocalHashJoin"
+
+    def __init__(self, left: FedOp, right: FedOp) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.left, self.right)
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        left = interp.run(self.left)
+        right = interp.run(self.right)
+        wave = right.wave if right.wave else left.wave
+        if not left.bindings or not right.bindings:
+            return Rows([], [], wave=wave)
+        left_origin = dict(zip(map(id, left.bindings), left.origins))
+        right_origin = dict(zip(map(id, right.bindings), right.origins))
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        for lhs, rhs, merged in join_pairs(left.bindings, right.bindings):
+            bindings.append(merged)
+            origins.append(
+                _merge_origins(left_origin[id(lhs)], right_origin[id(rhs)])
+            )
+        return Rows(bindings, origins, wave=wave)
+
+
+class FilterNode(FedOp):
+    """Apply compiled FILTER predicates that just became decidable."""
+
+    kind = "Filter"
+
+    def __init__(
+        self, child: FedOp, filters: Sequence[CompiledFilter]
+    ) -> None:
+        self.child = child
+        self.filters = tuple(filters)
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.child,)
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        rows = interp.run(self.child)
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        for binding, origin in zip(rows.bindings, rows.origins):
+            if all(f.accept(binding) for f in self.filters):
+                bindings.append(binding)
+                origins.append(origin)
+        return Rows(bindings, origins, wave=rows.wave)
+
+    def describe(self) -> str:
+        return f"{self.kind} [{len(self.filters)} expr(s)]"
+
+
+class LeftJoinNode(FedOp):
+    """Federated ``OPTIONAL``: extend left rows with compatible optional
+    rows that pass the block condition; keep unmatched rows unchanged.
+
+    The optional side is an independent sub-plan (typically a
+    :class:`UnionNode` over the block's conjunctive branches) whose
+    requests carry no dependency on the required side — under the
+    runtime interpreter both sides overlap.  The condition (the optional
+    group's top-level FILTER) evaluates on the merged row, per the
+    SPARQL translation; an empty required side skips the optional
+    sub-plan entirely.
+    """
+
+    kind = "LeftJoin"
+
+    def __init__(
+        self,
+        left: FedOp,
+        optional: FedOp,
+        condition: _Accept = None,
+    ) -> None:
+        self.left = left
+        self.optional = optional
+        self.condition = condition
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.left, self.optional)
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        left = interp.run(self.left)
+        if not left.bindings:
+            return Rows([], [], wave=left.wave)
+        optional = interp.run(self.optional)
+        condition = self.condition
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        for binding, origin in zip(left.bindings, left.origins):
+            extended = 0
+            for opt, opt_origin in zip(optional.bindings, optional.origins):
+                merged = merge_compatible(binding, opt)
+                if merged is None:
+                    continue
+                if condition is not None and not condition(merged):
+                    continue
+                bindings.append(merged)
+                origins.append(_merge_origins(origin, opt_origin))
+                extended += 1
+            if not extended:
+                bindings.append(binding)
+                origins.append(origin)
+        bindings, origins = _dedupe_rows(bindings, origins)
+        return Rows(bindings, origins, wave=left.wave)
+
+    def describe(self) -> str:
+        cond = " cond" if self.condition is not None else ""
+        return f"{self.kind}{cond}"
+
+
+class UnionNode(FedOp):
+    """Concatenate branch outputs, deduplicating across branches."""
+
+    kind = "Union"
+
+    def __init__(self, branches: Sequence[FedOp]) -> None:
+        self.branches = tuple(branches)
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return self.branches
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        for branch in self.branches:
+            rows = interp.run(branch)
+            bindings.extend(rows.bindings)
+            origins.extend(rows.origins)
+        bindings, origins = _dedupe_rows(bindings, origins)
+        return Rows(bindings, origins)
+
+    def describe(self) -> str:
+        return f"{self.kind} [{len(self.branches)} branch(es)]"
+
+
+class ProjectDedupe(FedOp):
+    """Project onto the query head and deduplicate the projected rows."""
+
+    kind = "Project"
+
+    def __init__(self, child: FedOp, head: Tuple[Variable, ...]) -> None:
+        self.child = child
+        self.head = head
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.child,)
+
+    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+        rows = interp.run(self.child)
+        head = self.head
+        bindings: List[IDBinding] = []
+        origins: List[_Origin] = []
+        for binding, origin in zip(rows.bindings, rows.origins):
+            bindings.append({v: binding[v] for v in head if v in binding})
+            origins.append(origin)
+        bindings, origins = _dedupe_rows(bindings, origins)
+        return Rows(bindings, origins)
+
+    def describe(self) -> str:
+        head = " ".join(f"?{v.name}" for v in self.head) or "(ask)"
+        return f"{self.kind} {head} distinct"
+
+
+class PlanInterpreter:
+    """Memoised plan walker: each node executes exactly once.
+
+    The interpreter is what makes incremental plan construction cheap —
+    the adaptive planner extends the tree one operator at a time and
+    re-runs the root; already-executed sub-trees return their cached
+    :class:`Rows` without re-charging the network.
+    """
+
+    def __init__(self, ctx: ExecContext) -> None:
+        self.ctx = ctx
+        # Keyed by the node itself (identity hash): the memo then also
+        # keeps every executed node alive, so a recycled object id can
+        # never alias a dead node's cached result.
+        self._memo: Dict[FedOp, Rows] = {}
+
+    def run(self, node: FedOp) -> Rows:
+        cached = self._memo.get(node)
+        if cached is None:
+            cached = node._execute(self.ctx, self)
+            self._memo[node] = cached
+        return cached
+
+
+def explain_fed_plan(root: FedOp) -> str:
+    """Render one plan tree deterministically (one line per operator)."""
+    return "\n".join(root.explain())
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+class _Unit:
+    """One schedulable step of the parallel pipeline: a single conjunct
+    or a FedX exclusive group (every conjunct owned by one endpoint,
+    fused so the join runs endpoint-side in one round trip)."""
+
+    __slots__ = ("index", "patterns", "endpoints", "exclusive")
+
+    def __init__(
+        self,
+        index: int,
+        patterns: Tuple[TriplePattern, ...],
+        endpoints: Tuple[PeerEndpoint, ...],
+        exclusive: bool,
+    ) -> None:
+        self.index = index
+        self.patterns = patterns
+        self.endpoints = endpoints
+        self.exclusive = exclusive
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: Set[Variable] = set()
+        for tp in self.patterns:
+            out.update(tp.variables())
+        return frozenset(out)
+
+
+class FederatedPlanner:
+    """Builds federated operator plans from the cost model's decisions.
+
+    ``host`` is the owning :class:`~repro.federation.executor.
+    FederatedExecutor` — the planner reads its endpoints, cost model,
+    statistics catalog and batch size, so every strategy is a
+    plan-construction policy over the same operator vocabulary.
+    """
+
+    def __init__(self, host) -> None:
+        self.host = host
+
+    # -- shared pruning --------------------------------------------------
+
+    def _active(
+        self,
+        endpoints: Sequence[PeerEndpoint],
+        stats_now: Sequence[EndpointStats],
+    ) -> Tuple[PeerEndpoint, ...]:
+        """Endpoints a ship/bound action actually contacts.
+
+        With live statistics an exact zero count prunes the endpoint;
+        stale statistics must contact every relevant endpoint (a stale
+        zero may hide fresh matches — correctness never depends on the
+        catalog's age).
+        """
+        if not self.host.catalog.live:
+            return tuple(endpoints)
+        return tuple(
+            ep
+            for ep, stat in zip(endpoints, stats_now)
+            if stat.pattern_count > 0
+        )
+
+    # -- static plan shapes: the fixed baselines -------------------------
+
+    def plan_naive(
+        self,
+        patterns: Sequence[TriplePattern],
+        filters: List[CompiledFilter],
+    ) -> Tuple[FedOp, List[CompiledFilter]]:
+        """Per-pattern shipping: every pattern to every peer, join local.
+
+        Naive ships unconditionally — every scan runs even when an
+        earlier join already emptied the intermediate result.
+        """
+        remaining = list(filters)
+        scans: List[RemoteScan] = []
+        for tp in patterns:
+            push, remaining = split_filters(remaining, set(tp.variables()))
+            scans.append(
+                RemoteScan(
+                    (tp,),
+                    tuple(self.host.endpoints),
+                    compose(push),
+                    pushed=tuple(push),
+                )
+            )
+        root: FedOp = scans[0]
+        bound: Set[Variable] = set(patterns[0].variables())
+        ready, remaining = split_filters(remaining, bound)
+        if ready:
+            root = FilterNode(root, ready)
+        for tp, scan in zip(patterns[1:], scans[1:]):
+            root = LocalHashJoin(root, scan)
+            bound.update(tp.variables())
+            ready, remaining = split_filters(remaining, bound)
+            if ready:
+                root = FilterNode(root, ready)
+        return root, remaining
+
+    def plan_bound(
+        self,
+        patterns: Sequence[TriplePattern],
+        filters: List[CompiledFilter],
+    ) -> Tuple[FedOp, List[CompiledFilter]]:
+        """FedX-style bound joins over the greedy conjunct order."""
+        remaining = list(filters)
+        root: Optional[FedOp] = None
+        bound: Set[Variable] = set()
+        for position, tp in enumerate(self.host._order_conjuncts(patterns)):
+            relevant = tuple(self.host._relevant(tp))
+            # At position 0 ``bound`` is empty, so the sub-query scope is
+            # just the pattern's own variables; later it includes every
+            # coordinator-bound variable the batch carries along.
+            scope = bound | tp.variables()
+            push, remaining = split_filters(remaining, scope)
+            accept = compose(push)
+            if position == 0:
+                root = RemoteScan((tp,), relevant, accept, pushed=tuple(push))
+            else:
+                root = BoundJoinStream(
+                    root,
+                    (tp,),
+                    relevant,
+                    accept,
+                    batch_size=self.host.batch_size,
+                    pushed=tuple(push),
+                )
+            bound.update(tp.variables())
+            ready, remaining = split_filters(remaining, bound)
+            if ready:
+                root = FilterNode(root, ready)
+        assert root is not None
+        return root, remaining
+
+    # -- incremental construction: the cost-model-driven strategies ------
+
+    def run_adaptive(
+        self,
+        interp: PlanInterpreter,
+        patterns: Sequence[TriplePattern],
+        filters: List[CompiledFilter],
+        decisions: List[Decision],
+        branch_index: int,
+        label: str = "",
+    ) -> Tuple[FedOp, List[CompiledFilter]]:
+        """Build and run the adaptive plan one decision at a time.
+
+        Each step asks the cost model to price ship/bound/pull from the
+        endpoint cardinalities and the *actual* intermediate binding
+        count (the memoised interpreter makes re-running the extended
+        root free), then appends the chosen operator to the tree.
+        """
+        host = self.host
+        prefix = label or f"b{branch_index}"
+        remaining_filters = list(filters)
+        remaining = list(enumerate(patterns))
+        relevant: Dict[int, List[PeerEndpoint]] = {
+            i: host._relevant(tp) for i, tp in remaining
+        }
+        counts: Dict[int, List[Tuple[PeerEndpoint, int, int]]] = {
+            i: [
+                (
+                    ep,
+                    host.catalog.pattern_count(ep, tp),
+                    host.catalog.relation_count(ep, tp),
+                )
+                for ep in relevant[i]
+            ]
+            for i, tp in remaining
+        }
+        root: FedOp = InputNode()
+        rows = interp.run(root)
+        bound: FrozenSet[Variable] = frozenset()
+        # Memoised per conjunct: endpoint counts are static for the whole
+        # execution and only the `cached` flags can change — and only
+        # after a pull, which invalidates the memo wholesale.  Keeps the
+        # dynamic ordering's min() key O(1) per (round, conjunct).
+        stats_memo: Dict[int, List[EndpointStats]] = {}
+
+        def endpoint_stats(i: int, tp: TriplePattern) -> List[EndpointStats]:
+            memoised = stats_memo.get(i)
+            if memoised is None:
+                memoised = [
+                    EndpointStats(
+                        ep.name,
+                        pattern_count,
+                        relation_count,
+                        interp.ctx.cache.has(ep.name, ep.relation_key(tp)),
+                    )
+                    for ep, pattern_count, relation_count in counts[i]
+                ]
+                stats_memo[i] = memoised
+            return memoised
+
+        while remaining:
+            def order_key(pair: Tuple[int, TriplePattern]):
+                i, tp = pair
+                estimate, free = host.cost_model.order_estimate(
+                    endpoint_stats(i, tp), bound, tp
+                )
+                return (estimate, free, i)
+
+            best = min(remaining, key=order_key)
+            remaining.remove(best)
+            index, tp = best
+            stats_now = endpoint_stats(index, tp)
+            bound_after = bound | tp.variables()
+            ship_filters = sum(
+                1 for f in remaining_filters if f.variables <= tp.variables()
+            )
+            bound_filters = sum(
+                1 for f in remaining_filters if f.variables <= bound_after
+            )
+            decision = host.cost_model.decide(
+                tp,
+                stats_now,
+                len(rows.bindings),
+                bound_variable_positions(tp, bound),
+                branch_index,
+                ship_filters=ship_filters,
+                bound_filters=bound_filters,
+            )
+            decisions.append(decision)
+            active = self._active(relevant[index], stats_now)
+            if decision.action == "ship":
+                push, remaining_filters = split_filters(
+                    remaining_filters, set(tp.variables())
+                )
+                scan = RemoteScan(
+                    (tp,),
+                    active,
+                    compose(push),
+                    pushed=tuple(push),
+                    decision=decision,
+                    after=root,
+                    label=f"{prefix} ship",
+                )
+                root = LocalHashJoin(root, scan)
+            elif decision.action == "bound":
+                push, remaining_filters = split_filters(
+                    remaining_filters, set(bound_after)
+                )
+                root = BoundJoinStream(
+                    root,
+                    (tp,),
+                    active,
+                    compose(push),
+                    batch_size=host.batch_size,
+                    pushed=tuple(push),
+                    decision=decision,
+                    label=f"{prefix} bound",
+                )
+            else:  # pull / local: answer from the relation cache
+                if decision.action == "pull":
+                    pull_from = tuple(relevant[index])
+                else:
+                    pull_from = ()
+                root = PullScan(
+                    root,
+                    tp,
+                    pull_from,
+                    decision=decision,
+                    label=f"{prefix} pull",
+                )
+            rows = interp.run(root)
+            if decision.action == "pull":
+                stats_memo.clear()  # cached flags changed
+            bound = bound_after
+            ready, remaining_filters = split_filters(
+                remaining_filters, set(bound)
+            )
+            if ready:
+                root = FilterNode(root, ready)
+                rows = interp.run(root)
+            if not rows.bindings:
+                break
+        return root, remaining_filters
+
+    # -- exclusive groups (parallel mode) --------------------------------
+
+    def exclusive_units(
+        self, patterns: Sequence[TriplePattern]
+    ) -> List[_Unit]:
+        """Partition a branch into exclusive groups and plain units.
+
+        Conjuncts whose schema-based source selection names exactly one
+        endpoint are grouped by that endpoint; owners with two or more
+        such conjuncts yield one fused group unit (FedX exclusive
+        group).  Everything else stays a single-pattern unit.  Units
+        keep branch order via their first pattern's index.
+        """
+        relevant = [tuple(self.host._relevant(tp)) for tp in patterns]
+        owners: Dict[str, List[int]] = {}
+        for i, endpoints in enumerate(relevant):
+            if len(endpoints) == 1:
+                owners.setdefault(endpoints[0].name, []).append(i)
+        fused: Set[int] = set()
+        units: List[_Unit] = []
+        for name in sorted(owners):
+            indices = owners[name]
+            if len(indices) < 2:
+                continue
+            units.append(
+                _Unit(
+                    index=min(indices),
+                    patterns=tuple(patterns[i] for i in indices),
+                    endpoints=relevant[indices[0]],
+                    exclusive=True,
+                )
+            )
+            fused.update(indices)
+        for i, tp in enumerate(patterns):
+            if i not in fused:
+                units.append(
+                    _Unit(
+                        index=i,
+                        patterns=(tp,),
+                        endpoints=relevant[i],
+                        exclusive=False,
+                    )
+                )
+        units.sort(key=lambda unit: unit.index)
+        return units
+
+    def _unit_counts(
+        self, unit: _Unit
+    ) -> List[Tuple[PeerEndpoint, int, int]]:
+        """Catalog cardinalities for one unit, read once per execution.
+
+        A group's result cardinality is estimated from its most
+        selective member (pulling is not offered for groups, so the
+        relation count is zero).
+        """
+        catalog = self.host.catalog
+        counts: List[Tuple[PeerEndpoint, int, int]] = []
+        for ep in unit.endpoints:
+            if unit.exclusive:
+                pattern_count = min(
+                    catalog.pattern_count(ep, tp) for tp in unit.patterns
+                )
+                relation_count = 0
+            else:
+                tp = unit.patterns[0]
+                pattern_count = catalog.pattern_count(ep, tp)
+                relation_count = catalog.relation_count(ep, tp)
+            counts.append((ep, pattern_count, relation_count))
+        return counts
+
+    def run_parallel(
+        self,
+        interp: PlanInterpreter,
+        patterns: Sequence[TriplePattern],
+        filters: List[CompiledFilter],
+        decisions: List[Decision],
+        branch_index: int,
+        label: str = "",
+    ) -> Tuple[FedOp, List[CompiledFilter]]:
+        """The adaptive construction over exclusive-group units with
+        makespan-priced decisions (``parallel=True``)."""
+        host = self.host
+        prefix = label or f"b{branch_index}"
+        remaining_filters = list(filters)
+        remaining = self.exclusive_units(patterns)
+        counts = {unit.index: self._unit_counts(unit) for unit in remaining}
+        root: FedOp = InputNode()
+        rows = interp.run(root)
+        bound: FrozenSet[Variable] = frozenset()
+        # Counts are read once above; only the `cached` flags can change
+        # — and only after a pull, which clears this memo wholesale.
+        stats_memo: Dict[int, List[EndpointStats]] = {}
+
+        def unit_stats(unit: _Unit) -> List[EndpointStats]:
+            memoised = stats_memo.get(unit.index)
+            if memoised is None:
+                if unit.exclusive:
+                    memoised = [
+                        EndpointStats(ep.name, pc, rc)
+                        for ep, pc, rc in counts[unit.index]
+                    ]
+                else:
+                    tp = unit.patterns[0]
+                    memoised = [
+                        EndpointStats(
+                            ep.name,
+                            pc,
+                            rc,
+                            interp.ctx.cache.has(
+                                ep.name, ep.relation_key(tp)
+                            ),
+                        )
+                        for ep, pc, rc in counts[unit.index]
+                    ]
+                stats_memo[unit.index] = memoised
+            return memoised
+
+        def order_key(unit: _Unit):
+            if unit.exclusive:
+                estimate, free = host.cost_model.order_estimate_group(
+                    unit_stats(unit), bound, unit.patterns
+                )
+            else:
+                estimate, free = host.cost_model.order_estimate(
+                    unit_stats(unit), bound, unit.patterns[0]
+                )
+            return (estimate, free, unit.index)
+
+        while remaining:
+            best = min(remaining, key=order_key)
+            remaining.remove(best)
+            stats_now = unit_stats(best)
+            unit_vars = best.variables()
+            bound_after = bound | unit_vars
+            ship_filters = sum(
+                1 for f in remaining_filters if f.variables <= unit_vars
+            )
+            bound_filters = sum(
+                1 for f in remaining_filters if f.variables <= bound_after
+            )
+            if best.exclusive:
+                decision = host.cost_model.decide_group(
+                    best.patterns,
+                    stats_now,
+                    len(rows.bindings),
+                    group_bound_positions(best.patterns, bound),
+                    branch_index,
+                    ship_filters=ship_filters,
+                    bound_filters=bound_filters,
+                    parallel=True,
+                )
+            else:
+                decision = host.cost_model.decide(
+                    best.patterns[0],
+                    stats_now,
+                    len(rows.bindings),
+                    bound_variable_positions(best.patterns[0], bound),
+                    branch_index,
+                    ship_filters=ship_filters,
+                    bound_filters=bound_filters,
+                    parallel=True,
+                )
+            decisions.append(decision)
+            targets = self._active(best.endpoints, stats_now)
+            if decision.action == "ship":
+                push, remaining_filters = split_filters(
+                    remaining_filters, set(unit_vars)
+                )
+                if best.exclusive:
+                    scan_cls = ExclusiveGroupScan
+                else:
+                    scan_cls = RemoteScan
+                scan = scan_cls(
+                    best.patterns,
+                    targets,
+                    compose(push),
+                    pushed=tuple(push),
+                    decision=decision,
+                    after=root,
+                    label=f"{prefix} ship",
+                )
+                root = LocalHashJoin(root, scan)
+            elif decision.action == "bound":
+                push, remaining_filters = split_filters(
+                    remaining_filters, set(bound_after)
+                )
+                root = BoundJoinStream(
+                    root,
+                    best.patterns,
+                    targets,
+                    compose(push),
+                    batch_size=host.batch_size,
+                    pushed=tuple(push),
+                    exclusive=best.exclusive,
+                    decision=decision,
+                    label=f"{prefix} bound",
+                )
+            else:  # pull / local: answer from the relation cache
+                if decision.action == "pull":
+                    pull_from = tuple(best.endpoints)
+                else:
+                    pull_from = ()
+                root = PullScan(
+                    root,
+                    best.patterns[0],
+                    pull_from,
+                    decision=decision,
+                    label=f"{prefix} pull",
+                )
+            rows = interp.run(root)
+            if decision.action == "pull":
+                stats_memo.clear()  # cached flags changed
+            bound = bound_after
+            ready, remaining_filters = split_filters(
+                remaining_filters, set(bound)
+            )
+            if ready:
+                root = FilterNode(root, ready)
+                rows = interp.run(root)
+            if not rows.bindings:
+                break
+        return root, remaining_filters

@@ -35,7 +35,12 @@ from repro.errors import SimulationError
 from repro.runtime.channel import Channel, ChannelStats, Request
 from repro.runtime.kernel import SimKernel
 
-__all__ = ["OverlapScheduler", "RequestHandle", "DEFAULT_CONCURRENCY"]
+__all__ = [
+    "OverlapScheduler",
+    "RequestHandle",
+    "DEFAULT_CONCURRENCY",
+    "peak_overlap",
+]
 
 #: Default per-endpoint service concurrency (a small worker pool, the
 #: shape of a public SPARQL endpoint behind a connection limit).
@@ -66,6 +71,31 @@ class RequestHandle:
     arrived_at: float = -1.0
     started_at: float = -1.0
     completed_at: float = -1.0
+
+
+def peak_overlap(handles: Sequence[RequestHandle]) -> int:
+    """Maximum number of the given requests simultaneously in service.
+
+    Reads the ``started_at``/``completed_at`` timelines filled by the
+    last replay (:meth:`OverlapScheduler.makespan`); handles that never
+    replayed are ignored.  The federated plan layer uses this to report
+    how many of one operator's requests — e.g. the batches of a
+    pipelined bound join — actually overlapped.
+    """
+    events: List[Tuple[float, int]] = []
+    for handle in handles:
+        if handle.completed_at < 0:
+            continue
+        events.append((handle.started_at, 1))
+        events.append((handle.completed_at, -1))
+    # Completions sort before starts at the same instant: a request that
+    # ends exactly when another begins does not overlap it.
+    events.sort(key=lambda event: (event[0], event[1]))
+    peak = current = 0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak
 
 
 @dataclass

@@ -1,8 +1,12 @@
 """SPARQL algebra: translation from the AST and evaluation over a graph.
 
-The algebra has five operators — ``BGP``, ``Join``, ``Union``, ``Filter``
-and ``Project`` (plus the ``Distinct``/``Slice``/``OrderBy`` solution
-modifiers applied at result construction).
+The algebra has six operators — ``BGP``, ``Join``, ``Union``,
+``LeftJoin`` (the ``OPTIONAL`` construct), ``Filter`` and ``Project``
+(plus the ``Distinct``/``Slice``/``OrderBy`` solution modifiers applied
+at result construction).  Per the SPARQL translation, filters at the
+top level of an ``OPTIONAL`` group become the ``LeftJoin``'s embedded
+condition and are evaluated over the *merged* solution, so they may
+reference variables of the required side.
 
 :func:`evaluate_algebra` is the *reference* evaluator: it materialises
 sets of :class:`~repro.gpq.bindings.SolutionMapping` at every node,
@@ -16,7 +20,7 @@ this module stays deliberately naive so it can serve as the oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 from typing import Union as TypingUnion
 
 from repro.errors import SparqlEvaluationError
@@ -31,6 +35,7 @@ from repro.sparql.ast import (
     Comparison,
     FilterExpr,
     GroupPattern,
+    OptionalPattern,
     UnionPattern,
 )
 
@@ -39,6 +44,7 @@ __all__ = [
     "Bgp",
     "Join",
     "Union",
+    "LeftJoin",
     "Filter",
     "translate_group",
     "evaluate_algebra",
@@ -77,6 +83,24 @@ class Union:
 
 
 @dataclass(frozen=True)
+class LeftJoin:
+    """``OPTIONAL``: extend left solutions with compatible right ones.
+
+    ``expr`` is the optional group's top-level FILTER condition (``None``
+    for unconditional extension); per the SPARQL translation it is
+    evaluated on the *merged* solution, unlike filters nested deeper in
+    the optional group, which scope to their own group.
+    """
+
+    left: "AlgebraNode"
+    right: "AlgebraNode"
+    expr: Optional[FilterExpr] = None
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
 class Filter:
     expr: FilterExpr
     child: "AlgebraNode"
@@ -85,7 +109,7 @@ class Filter:
         return self.child.variables()
 
 
-AlgebraNode = TypingUnion[Bgp, Join, Union, Filter]
+AlgebraNode = TypingUnion[Bgp, Join, Union, LeftJoin, Filter]
 
 
 def translate_group(group: GroupPattern) -> AlgebraNode:
@@ -93,7 +117,10 @@ def translate_group(group: GroupPattern) -> AlgebraNode:
 
     Adjacent triple patterns merge into one BGP (so the optimizer can
     reorder them); nested groups and unions join with what came before;
-    filters wrap the whole group (SPARQL filters scope to their group).
+    ``OPTIONAL`` left-joins everything accumulated so far (the SPARQL
+    left-to-right translation), hoisting the optional group's top-level
+    filters into the ``LeftJoin`` condition; filters of the group itself
+    wrap the whole group (SPARQL filters scope to their group).
     """
     filters: List[FilterExpr] = []
     operands: List[AlgebraNode] = []
@@ -103,6 +130,15 @@ def translate_group(group: GroupPattern) -> AlgebraNode:
         if bgp_buffer:
             operands.append(Bgp(tuple(bgp_buffer)))
             bgp_buffer.clear()
+
+    def fold() -> AlgebraNode:
+        if not operands:
+            # Empty group matches the empty mapping.
+            return Bgp(())
+        node = operands[0]
+        for operand in operands[1:]:
+            node = Join(node, operand)
+        return node
 
     for element in group.elements:
         if isinstance(element, TriplePattern):
@@ -116,19 +152,42 @@ def translate_group(group: GroupPattern) -> AlgebraNode:
             for alt in element.alternatives[1:]:
                 node = Union(node, translate_group(alt))
             operands.append(node)
+        elif isinstance(element, OptionalPattern):
+            flush_bgp()
+            # Only the optional group's *direct* filters become the
+            # LeftJoin condition (they see the merged solution, per the
+            # SPARQL translation's FS collection); a filter inside a
+            # nested group keeps that group's scope and stays a Filter
+            # node in the translated sub-tree — peeling Filter wrappers
+            # off the translated tree instead would wrongly hoist it.
+            direct = [
+                e
+                for e in element.group.elements
+                if isinstance(e, (Comparison, BooleanExpr))
+            ]
+            rest = GroupPattern(
+                tuple(
+                    e
+                    for e in element.group.elements
+                    if not isinstance(e, (Comparison, BooleanExpr))
+                )
+            )
+            inner = translate_group(rest)
+            expr: Optional[FilterExpr] = None
+            for condition in direct:
+                expr = (
+                    condition
+                    if expr is None
+                    else BooleanExpr("&&", expr, condition)
+                )
+            operands[:] = [LeftJoin(fold(), inner, expr)]
         elif isinstance(element, (Comparison, BooleanExpr)):
             filters.append(element)
         else:  # pragma: no cover - parser guarantees element types
             raise SparqlEvaluationError(f"unknown group element {element!r}")
     flush_bgp()
 
-    if not operands:
-        # Empty group matches the empty mapping.
-        node: AlgebraNode = Bgp(())
-    else:
-        node = operands[0]
-        for operand in operands[1:]:
-            node = Join(node, operand)
+    node = fold()
     for expr in filters:
         node = Filter(expr, node)
     return node
@@ -175,6 +234,27 @@ def evaluate_algebra(graph: Graph, node: AlgebraNode) -> Set[SolutionMapping]:
             evaluate_algebra(graph, node.left),
             evaluate_algebra(graph, node.right),
         )
+    if isinstance(node, LeftJoin):
+        left = evaluate_algebra(graph, node.left)
+        if not left:
+            return set()
+        right = evaluate_algebra(graph, node.right)
+        out: Set[SolutionMapping] = set()
+        for mu1 in left:
+            extended = [
+                mu1.merge(mu2)
+                for mu2 in right
+                if mu1.compatible_with(mu2)
+            ]
+            if node.expr is not None:
+                extended = [
+                    mu for mu in extended if _eval_filter_expr(node.expr, mu)
+                ]
+            if extended:
+                out.update(extended)
+            else:
+                out.add(mu1)
+        return out
     if isinstance(node, Filter):
         child = evaluate_algebra(graph, node.child)
         return {mu for mu in child if _eval_filter_expr(node.expr, mu)}

@@ -4,7 +4,8 @@ The AST mirrors the grammar accepted by :mod:`repro.sparql.parser`:
 
 * a query is ``SELECT`` (with projection, modifiers) or ``ASK``;
 * the ``WHERE`` clause is a *group*: a sequence of triple patterns,
-  nested groups, ``UNION`` alternatives and ``FILTER`` constraints.
+  nested groups, ``UNION`` alternatives, ``OPTIONAL`` extensions and
+  ``FILTER`` constraints.
 
 Nodes are immutable dataclasses; the algebra translation lives in
 :mod:`repro.sparql.algebra`.
@@ -24,6 +25,7 @@ __all__ = [
     "FilterExpr",
     "GroupPattern",
     "UnionPattern",
+    "OptionalPattern",
     "PatternElement",
     "SelectQuery",
     "AskQuery",
@@ -76,8 +78,23 @@ class UnionPattern:
         return frozenset(out)
 
 
-PatternElement = Union[TriplePattern, "GroupPattern", UnionPattern, Comparison,
-                       BooleanExpr]
+@dataclass(frozen=True)
+class OptionalPattern:
+    """``OPTIONAL { ... }`` — a left-join extension of what precedes it.
+
+    SPARQL semantics: solutions of the group so far are extended with
+    compatible solutions of ``group`` where any exist and kept unchanged
+    where none do (the algebra's ``LeftJoin``).
+    """
+
+    group: "GroupPattern"
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.group.variables()
+
+
+PatternElement = Union[TriplePattern, "GroupPattern", UnionPattern,
+                       OptionalPattern, Comparison, BooleanExpr]
 
 
 @dataclass(frozen=True)

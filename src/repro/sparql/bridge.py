@@ -11,11 +11,21 @@ vice versa".  This module is that translation:
 * :func:`sparql_union_to_gpqs` — a UNION of BGPs becomes a list of graph
   pattern queries (used by the rewriting output, which produces UCQs);
 * :func:`sparql_to_branches` — the general form: any SELECT/ASK in the
-  supported fragment (BGP + UNION + FILTER, arbitrarily nested) becomes
-  a projection head plus a *union of conjunctive branches*, each branch
-  a BGP with its FILTER constraints.  This is the shape the federated
-  executor runs: UNION branches become independent per-endpoint
-  sub-queries and branch filters are pushed into them.
+  supported fragment (BGP + UNION + FILTER + OPTIONAL, arbitrarily
+  nested) becomes a projection head plus a *union of conjunctive
+  branches*, each branch a BGP with its FILTER constraints and a
+  sequence of :class:`OptionalBlock` left-join extensions.  This is the
+  shape the federated executor runs: UNION branches become independent
+  per-endpoint sub-queries, branch filters are pushed into them, and
+  optional blocks become federated ``LeftJoin`` operators evaluated
+  after the required part.
+
+``OPTIONAL`` is supported for *well-designed* patterns (Pérez et al.):
+a variable occurring inside an optional group and outside it must also
+occur in the group's required side.  Distributing joins over the left
+side of a ``LeftJoin`` is exact only under that restriction, so
+non-well-designed queries are rejected rather than silently answered
+wrong.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from repro.sparql.algebra import (
     Bgp,
     Filter,
     Join,
+    LeftJoin,
     translate_group,
 )
 from repro.sparql.algebra import Union as AlgebraUnion
@@ -43,6 +54,7 @@ from repro.sparql.ast import (
     Comparison,
     FilterExpr,
     GroupPattern,
+    OptionalPattern,
     Query,
     SelectQuery,
     UnionPattern,
@@ -51,6 +63,7 @@ from repro.sparql.parser import parse_query
 
 __all__ = [
     "ConjunctiveBranch",
+    "OptionalBlock",
     "sparql_to_gpq",
     "gpq_to_sparql",
     "sparql_union_to_gpqs",
@@ -76,6 +89,10 @@ def _flatten_bgp(group: GroupPattern) -> List:
         elif isinstance(element, UnionPattern):
             raise UnsupportedSparqlError(
                 "UNION cannot be translated to a single graph pattern query"
+            )
+        elif isinstance(element, OptionalPattern):
+            raise UnsupportedSparqlError(
+                "OPTIONAL cannot be translated to a graph pattern query"
             )
         elif hasattr(element, "op"):  # Comparison / BooleanExpr
             raise UnsupportedSparqlError(
@@ -152,23 +169,66 @@ def gpq_to_sparql(
 
 
 @dataclass(frozen=True)
+class OptionalBlock:
+    """One ``OPTIONAL`` extension attached to a conjunctive branch.
+
+    Attributes:
+        branches: the optional group normalised to its own union of
+            conjunctive branches (a UNION inside OPTIONAL stays *inside*
+            the block — left joins do not distribute over their right
+            side).  Optional branches carry no nested optionals.
+        expr: the optional group's top-level FILTER condition, evaluated
+            on the *merged* row (required ∪ optional bindings), or
+            ``None`` for unconditional extension.
+    """
+
+    branches: Tuple["ConjunctiveBranch", ...]
+    expr: Optional[FilterExpr] = None
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables the optional side itself can bind."""
+        out: set = set()
+        for branch in self.branches:
+            out.update(branch.variables())
+        return frozenset(out)
+
+    def condition_variables(self) -> FrozenSet[Variable]:
+        """Variables the block's LeftJoin condition mentions."""
+        if self.expr is None:
+            return frozenset()
+        return frozenset(self.expr.variables())
+
+
+@dataclass(frozen=True)
 class ConjunctiveBranch:
     """One disjunct of a normalised WHERE clause.
 
     Attributes:
-        patterns: the branch's BGP (conjunction of triple patterns).
+        patterns: the branch's required BGP (conjunction of patterns).
         filters: FILTER expressions scoped to this branch.  A filter
             mentioning a variable the branch never binds keeps SPARQL's
-            error semantics: the comparison evaluates to false.
+            error semantics: the comparison evaluates to false.  A
+            filter mentioning an optional variable is decidable only
+            after the optional extension ran.
+        optionals: left-join extensions applied, in order, after the
+            required part (and before filters that need their
+            variables).
     """
 
     patterns: Tuple[TriplePattern, ...]
     filters: Tuple[FilterExpr, ...] = ()
+    optionals: Tuple[OptionalBlock, ...] = ()
 
-    def variables(self) -> FrozenSet[Variable]:
+    def required_variables(self) -> FrozenSet[Variable]:
         out: set = set()
         for tp in self.patterns:
             out.update(tp.variables())
+        return frozenset(out)
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: set = set(self.required_variables())
+        for block in self.optionals:
+            out.update(block.variables())
         return frozenset(out)
 
 
@@ -226,15 +286,44 @@ def _dnf(node: AlgebraNode) -> List[ConjunctiveBranch]:
                 f"query normalises to more than {MAX_BRANCHES} conjunctive "
                 "branches"
             )
-        return [
-            ConjunctiveBranch(
-                lhs.patterns + rhs.patterns, lhs.filters + rhs.filters
-            )
-            for lhs in left
-            for rhs in right
-        ]
+        out = []
+        for lhs in left:
+            for rhs in right:
+                _check_well_designed(lhs, rhs)
+                _check_well_designed(rhs, lhs)
+                out.append(
+                    ConjunctiveBranch(
+                        lhs.patterns + rhs.patterns,
+                        lhs.filters + rhs.filters,
+                        lhs.optionals + rhs.optionals,
+                    )
+                )
+        return out
     if isinstance(node, AlgebraUnion):
         return _dnf(node.left) + _dnf(node.right)
+    if isinstance(node, LeftJoin):
+        left = _dnf(node.left)
+        right = _dnf(node.right)
+        if len(right) > MAX_BRANCHES:
+            raise UnsupportedSparqlError(
+                f"OPTIONAL group normalises to more than {MAX_BRANCHES} "
+                "conjunctive branches"
+            )
+        for branch in right:
+            if branch.optionals:
+                raise UnsupportedSparqlError(
+                    "nested OPTIONAL is outside the supported fragment"
+                )
+        block = OptionalBlock(tuple(right), node.expr)
+        # LeftJoin distributes over a UNION on its *left* side (each
+        # solution of the union extends independently), so each left
+        # branch carries its own copy of the block.
+        return [
+            ConjunctiveBranch(
+                lhs.patterns, lhs.filters, lhs.optionals + (block,)
+            )
+            for lhs in left
+        ]
     if isinstance(node, Filter):
         out = []
         for branch in _dnf(node.child):
@@ -242,10 +331,44 @@ def _dnf(node: AlgebraNode) -> List[ConjunctiveBranch]:
             if expr is False:
                 continue  # statically false: the branch yields nothing
             out.append(
-                ConjunctiveBranch(branch.patterns, branch.filters + (expr,))
+                ConjunctiveBranch(
+                    branch.patterns, branch.filters + (expr,), branch.optionals
+                )
             )
         return out
     raise UnsupportedSparqlError(f"cannot normalise {type(node).__name__}")
+
+
+def _check_well_designed(
+    lhs: ConjunctiveBranch, rhs: ConjunctiveBranch
+) -> None:
+    """Reject a join that would break ``lhs``'s optional blocks.
+
+    Evaluating a branch's optionals after its whole required join is
+    exact only when the pattern is *well-designed*: a variable occurring
+    inside an optional block — in its patterns *or* its hoisted FILTER
+    condition — and not bound by the block's own required side may not
+    also occur in the other join operand (``Join(LeftJoin(A, B), C)``
+    equals ``LeftJoin(Join(A, C), B)`` only when
+    ``var(B) ∩ var(C) ⊆ var(A)``).  The condition variables matter
+    because the algebra evaluates the condition *at* the inner LeftJoin,
+    where a variable the outer join would later bind is still unbound
+    (error-collapsing the comparison to false).
+    """
+    required = lhs.required_variables()
+    other = set(rhs.variables())
+    for block in rhs.optionals:
+        other |= block.condition_variables()
+    for block in lhs.optionals:
+        block_vars = block.variables() | block.condition_variables()
+        leaked = (block_vars - required) & other
+        if leaked:
+            names = ", ".join(sorted(f"?{v.name}" for v in leaked))
+            raise UnsupportedSparqlError(
+                f"OPTIONAL pattern is not well-designed: {names} occur(s) "
+                "inside an optional group and in a pattern joined from "
+                "outside it"
+            )
 
 
 def sparql_to_branches(
@@ -260,8 +383,9 @@ def sparql_to_branches(
 
     Raises:
         UnsupportedSparqlError: for non-SELECT/ASK queries, solution
-            modifiers (ORDER BY/LIMIT/OFFSET), or queries whose DNF
-            exceeds :data:`MAX_BRANCHES`.
+            modifiers (ORDER BY/LIMIT/OFFSET), queries whose DNF
+            exceeds :data:`MAX_BRANCHES`, nested OPTIONAL, or
+            non-well-designed OPTIONAL patterns.
     """
     ast = parse_query(query, nsm) if isinstance(query, str) else query
     if isinstance(ast, SelectQuery):

@@ -9,12 +9,14 @@ Grammar (informal):
     SelectQuery  := SELECT (DISTINCT|REDUCED)? (Var+ | *) WHERE? Group
                     (ORDER BY OrderCond+)? (LIMIT n)? (OFFSET n)?
     AskQuery     := ASK WHERE? Group
-    Group        := { (TriplesBlock | Group (UNION Group)* | FILTER Expr)* }
+    Group        := { (TriplesBlock | Group (UNION Group)*
+                       | OPTIONAL Group | FILTER Expr)* }
     TriplesBlock := Term Term Term (';' Term Term)* ('.' ...)*
 
-Property paths, OPTIONAL, GRAPH, subqueries, aggregation and BIND are out
-of scope (the paper's language is the conjunctive fragment plus UNION);
-encountering them raises :class:`UnsupportedSparqlError`.
+Property paths, GRAPH, subqueries, aggregation and BIND are out of
+scope (the paper's language is the conjunctive fragment plus UNION;
+OPTIONAL is supported as the algebra's left join); encountering an
+unsupported feature raises :class:`UnsupportedSparqlError`.
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ from repro.sparql.ast import (
     Comparison,
     FilterExpr,
     GroupPattern,
+    OptionalPattern,
     OrderCondition,
     PatternElement,
     Query,
@@ -58,7 +61,6 @@ __all__ = ["parse_query", "SparqlParser"]
 
 _UNSUPPORTED_KEYWORDS = frozenset(
     {
-        "OPTIONAL",
         "GRAPH",
         "SERVICE",
         "MINUS",
@@ -242,6 +244,9 @@ class SparqlParser:
                 raise self.error(token, "unterminated group (missing '}')")
             if token.kind == "punct" and token.value == "{":
                 elements.append(self.parse_group_or_union())
+            elif self.at_keyword("OPTIONAL"):
+                self.next()
+                elements.append(OptionalPattern(self.parse_group()))
             elif self.at_keyword("FILTER"):
                 self.next()
                 elements.append(self.parse_filter())
@@ -387,7 +392,7 @@ def parse_query(text: str, nsm: Optional[NamespaceManager] = None) -> Query:
 
     Raises:
         SparqlSyntaxError: on malformed syntax.
-        UnsupportedSparqlError: on features outside the conjunctive
-            fragment (OPTIONAL, GRAPH, property paths, ...).
+        UnsupportedSparqlError: on features outside the supported
+            fragment (GRAPH, property paths, aggregation, ...).
     """
     return SparqlParser(text, nsm).parse()

@@ -18,6 +18,9 @@ Physical operators:
   (falling back to a nested loop when UNION branches make binding
   domains heterogeneous);
 * :class:`UnionScan` — streams each branch, deduplicating on the fly;
+* :class:`LeftJoinOp` — the ``OPTIONAL`` construct: left rows extend
+  with compatible right rows where any pass the embedded condition and
+  stream through unchanged where none do;
 * :class:`FilterScan` — evaluates FILTER expressions entirely on IDs
   (ground comparison terms are resolved to IDs at compile time;
   constants absent from the dictionary get fresh sentinel IDs that can
@@ -53,7 +56,7 @@ from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
-from repro.sparql.algebra import AlgebraNode, Bgp, Filter, Join
+from repro.sparql.algebra import AlgebraNode, Bgp, Filter, Join, LeftJoin
 from repro.sparql.algebra import Union as AlgebraUnion
 from repro.sparql.ast import BooleanExpr, Comparison, FilterExpr
 
@@ -62,6 +65,7 @@ __all__ = [
     "BgpScan",
     "HashJoin",
     "UnionScan",
+    "LeftJoinOp",
     "FilterScan",
     "EmptyScan",
     "SingletonScan",
@@ -311,6 +315,64 @@ class HashJoin(PhysicalOp):
         return lines
 
 
+class LeftJoinOp(PhysicalOp):
+    """``OPTIONAL``: left rows extend with compatible right rows.
+
+    The right (optional) side is materialised; every left row streams
+    through extended by each compatible right row that passes the
+    embedded condition (evaluated on the merged row, per the SPARQL
+    translation), or unchanged when none does.  Optional variables may
+    stay unbound, so the operator never claims ``binds_all``.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        expr: Optional[FilterExpr] = None,
+        predicate: Optional[Callable[[_IDBinding], bool]] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.expr = expr
+        self.predicate = predicate
+        self.variables = left.variables | right.variables
+        self.binds_all = False
+        denominator = max(
+            1.0,
+            _BOUND_SELECTIVITY ** len(left.variables & right.variables),
+        )
+        self.cardinality = max(
+            left.cardinality,
+            min(left.cardinality * right.cardinality / denominator, 1e18),
+        )
+
+    def execute(self) -> Iterator[_IDBinding]:
+        built = list(self.right.execute())
+        predicate = self.predicate
+        for probe in self.left.execute():
+            extended: List[_IDBinding] = []
+            for binding in built:
+                merged = HashJoin._merge(probe, binding)
+                if merged is None:
+                    continue
+                if predicate is not None and not predicate(merged):
+                    continue
+                extended.append(merged)
+            if extended:
+                yield from extended
+            else:
+                yield probe
+
+    def explain(self, depth: int = 0) -> List[str]:
+        pad = "  " * depth
+        cond = " cond" if self.predicate is not None else ""
+        lines = [f"{pad}LeftJoin{cond} est={self.cardinality:.0f}"]
+        lines.extend(self.left.explain(depth + 1))
+        lines.extend(self.right.explain(depth + 1))
+        return lines
+
+
 class UnionScan(PhysicalOp):
     """Stream the branches of a UNION, deduplicating across branches."""
 
@@ -532,6 +594,14 @@ def _build(
             else:
                 branches.append(_build(graph, current, sentinels))
         return UnionScan(branches)
+    if isinstance(node, LeftJoin):
+        left = _build(graph, node.left, sentinels)
+        right = _build(graph, node.right, sentinels)
+        if node.expr is not None:
+            predicate = _compile_filter(graph, node.expr, sentinels)
+        else:
+            predicate = None
+        return LeftJoinOp(left, right, node.expr, predicate)
     if isinstance(node, Filter):
         child = _build(graph, node.child, sentinels)
         predicate = _compile_filter(graph, node.expr, sentinels)

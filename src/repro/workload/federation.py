@@ -27,6 +27,8 @@ __all__ = [
     "SHARED",
     "federated_rps",
     "federated_exclusive_query",
+    "federated_optional_filter_sparql",
+    "federated_optional_sparql",
     "federated_path_query",
     "federated_selective_query",
     "federated_union_filter_sparql",
@@ -192,6 +194,40 @@ def grow_knows_relation(
         a, b = rng.choice(entities), rng.choice(entities)
         graph.add(Triple(a, knows, b))
     return len(graph) - before
+
+
+def federated_optional_sparql() -> str:
+    """A SPARQL query with a federated OPTIONAL across two peers.
+
+    Peer 0's ``knows`` edges, optionally extended with peer 1's ``age``
+    of the target entity.  Peer 1 only stores ages for entities its own
+    ``knows`` relation mentions, so some rows extend and some keep the
+    age cell unbound — exercising the federated ``LeftJoin`` operator's
+    keep-unmatched path against the single-graph evaluator.
+    """
+    p0 = peer_namespace(0).knows.n3()
+    a1 = peer_namespace(1).age.n3()
+    return (
+        "SELECT ?x ?y ?a WHERE { "
+        f"?x {p0} ?y OPTIONAL {{ ?y {a1} ?a }} }}"
+    )
+
+
+def federated_optional_filter_sparql(entity: int = 3) -> str:
+    """A federated OPTIONAL whose group carries a top-level FILTER.
+
+    Per the SPARQL translation the filter becomes the ``LeftJoin``
+    condition and is evaluated on the *merged* row — it references the
+    required side's ``?y`` — so rows whose only extensions fail the
+    condition fall back to the unextended row instead of disappearing.
+    """
+    p0 = peer_namespace(0).knows.n3()
+    p1 = peer_namespace(1).knows.n3()
+    anchor = SHARED.term(f"e{entity}").n3()
+    return (
+        "SELECT ?x ?y ?z WHERE { "
+        f"?x {p0} ?y OPTIONAL {{ ?y {p1} ?z FILTER(?z != {anchor}) }} }}"
+    )
 
 
 def federated_union_filter_sparql() -> str:

@@ -24,6 +24,13 @@ PARALLEL_WORKLOADS = (
     "path3@5p",
 )
 
+STREAMING_WORKLOADS = (
+    "deep_sel@3p",
+    "deep_sel@5p",
+    "optional@3p",
+    "optional_filter@3p",
+)
+
 EXPECTED_BENCHMARKS = {
     "match/by_subject",
     "match/by_predicate",
@@ -53,6 +60,10 @@ EXPECTED_BENCHMARKS = {
     f"parallel/{workload}:{mode}"
     for workload in PARALLEL_WORKLOADS
     for mode in ("serial", "parallel")
+} | {
+    f"streaming/{workload}:{mode}"
+    for workload in STREAMING_WORKLOADS
+    for mode in ("wave", "pipelined")
 }
 
 
@@ -109,7 +120,7 @@ def test_federation_rows_account_messages(report):
         # Only the collect baseline dumps every triple.
         assert collect["triples_transferred"] > 0
         assert naive["triples_transferred"] == 0
-        assert naive["simulated_seconds"] > 0
+        assert naive["busy_seconds"] > 0
 
 
 def test_adaptive_rows_never_pareto_dominated(report):
@@ -267,6 +278,66 @@ def test_check_fails_when_adaptive_plan_is_dominated(report, committed):
     outcome = check_against(doctored, fresh=fresh)
     assert not outcome.ok
     assert any("dominated by" in failure for failure in outcome.failures)
+
+
+def test_streaming_rows_keep_traffic_and_win_wall_clock(report):
+    data, _ = report
+    rows = {
+        row["name"]: row["meta"]
+        for row in data["benchmarks"]
+        if row["name"].startswith("streaming/")
+    }
+    assert rows
+    strict_win = False
+    for workload in STREAMING_WORKLOADS:
+        wave = rows[f"streaming/{workload}:wave"]
+        pipelined = rows[f"streaming/{workload}:pipelined"]
+        assert pipelined["results"] == wave["results"]
+        # Pipelining changes the timeline, never the traffic.
+        assert pipelined["messages"] == wave["messages"]
+        assert (
+            pipelined["solutions_transferred"]
+            == wave["solutions_transferred"]
+        )
+        assert (
+            pipelined["elapsed_seconds"] <= wave["elapsed_seconds"] + 1e-9
+        )
+        if pipelined["elapsed_seconds"] < wave["elapsed_seconds"] - 1e-9:
+            strict_win = True
+    assert strict_win
+
+
+def test_check_fails_when_pipelining_loses_wall_clock(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    # Doctor fresh and committed identically so only the pipelining
+    # invariant trips, not the deterministic-metric comparison.
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "streaming/deep_sel@3p:pipelined":
+                row["meta"]["elapsed_seconds"] = 10_000.0
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "exceeds the wave barrier" in failure for failure in outcome.failures
+    )
+
+
+def test_check_fails_when_pipelining_changes_messages(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "streaming/deep_sel@3p:pipelined":
+                row["meta"]["messages"] += 7
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "changed the message count" in failure
+        for failure in outcome.failures
+    )
 
 
 def test_check_fails_when_bound_loses_message_advantage(report, committed):

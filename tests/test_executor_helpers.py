@@ -1,12 +1,12 @@
-"""Executor helper edge cases and explain-trace determinism."""
+"""Shared binding-helper edge cases and explain-trace determinism."""
 
 import random
 
 from repro.federation import FederatedExecutor
-from repro.federation.executor import (
-    _batches,
-    _dedupe,
-    _sorted_bindings,
+from repro.federation.bindings import (
+    batches as _batches,
+    dedupe as _dedupe,
+    sorted_bindings as _sorted_bindings,
 )
 from repro.rdf.terms import Variable
 from repro.workload.federation import (

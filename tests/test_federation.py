@@ -12,7 +12,7 @@ from repro.federation import (
     NetworkStats,
     execute_federated,
 )
-from repro.federation.executor import _hash_join
+from repro.federation.bindings import hash_join as _hash_join
 from repro.gpq.evaluation import evaluate_query_star
 from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
@@ -239,7 +239,7 @@ def test_network_model_charges_latency_and_volume():
     assert stats.messages == 2
     assert stats.solutions_transferred == 4
     assert stats.triples_transferred == 8
-    assert stats.simulated_seconds == pytest.approx(1 + 4 * 0.5 + 1 + 8 * 0.25)
+    assert stats.busy_seconds == pytest.approx(1 + 4 * 0.5 + 1 + 8 * 0.25)
     assert stats.per_endpoint_messages == {"p0": 1, "p1": 1}
 
 
@@ -267,7 +267,7 @@ def test_custom_network_model_scales_simulated_time(
         network=NetworkModel(latency_seconds=0.001),
     )
     assert slow.stats.messages == fast.stats.messages
-    assert slow.stats.simulated_seconds > fast.stats.simulated_seconds
+    assert slow.stats.busy_seconds > fast.stats.busy_seconds
 
 
 # ---------------------------------------------------------------------------

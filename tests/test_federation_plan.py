@@ -1,0 +1,299 @@
+"""The federated physical-operator layer: plans, explain, pipelining."""
+
+import pytest
+
+from repro.federation import (
+    ADAPTIVE,
+    PARALLEL,
+    STRATEGIES,
+    FederatedExecutor,
+    NetworkModel,
+    PreparedQuery,
+)
+from repro.federation.plan import (
+    BoundJoinStream,
+    FedOp,
+    LeftJoinNode,
+    ProjectDedupe,
+    PullScan,
+    RemoteScan,
+)
+from repro.gpq.evaluation import evaluate_query_star
+from repro.workload.federation import (
+    federated_exclusive_query,
+    federated_optional_sparql,
+    federated_path_query,
+    federated_rps,
+    federated_selective_query,
+)
+
+#: Cheap round trips, expensive transfer: prices consecutive bound
+#: joins cheaper than shipping/pulling, so plans produce multi-batch
+#: pipelines (mirrors the streaming bench suite's network).
+DEEP_NET = dict(
+    latency_seconds=0.01, per_solution_seconds=0.01, per_triple_seconds=0.05
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return federated_rps(peers=3, entities=20, facts=60, seed=7)
+
+
+def _deep_executors(system, streaming):
+    return FederatedExecutor(
+        system,
+        network=NetworkModel(**DEEP_NET),
+        batch_size=1,
+        concurrency=4,
+        streaming=streaming,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The monolith is gone; results carry operator plans
+# ---------------------------------------------------------------------------
+
+
+def test_strategy_monolith_methods_are_gone():
+    for name in (
+        "_branch_naive",
+        "_branch_bound",
+        "_branch_adaptive",
+        "_branch_parallel",
+    ):
+        assert not hasattr(FederatedExecutor, name)
+
+
+@pytest.mark.parametrize("strategy", ["adaptive", "parallel", "naive", "bound"])
+def test_results_carry_an_operator_plan(system, strategy):
+    result = FederatedExecutor(system).execute(
+        federated_path_query(hops=2), strategy
+    )
+    assert len(result.plans) == 1
+    root = result.plans[0]
+    assert isinstance(root, ProjectDedupe)
+    assert isinstance(root, FedOp)
+
+
+def test_collect_baseline_has_no_federated_plan(system):
+    result = FederatedExecutor(system).execute(
+        federated_path_query(hops=2), "collect"
+    )
+    assert result.plans == ()
+
+
+def test_plan_operator_kinds_reflect_decisions(system):
+    executor = _deep_executors(system, streaming=True)
+    result = executor.execute(
+        federated_selective_query(entity=3, hops=3), PARALLEL
+    )
+    kinds = set()
+
+    def walk(node):
+        kinds.add(type(node))
+        for child in node.children():
+            walk(child)
+
+    walk(result.plans[0])
+    assert RemoteScan in kinds  # the anchored first hop ships
+    assert BoundJoinStream in kinds  # later hops bound-join
+    # Decision trace and plan agree on the constructed operators.
+    for decision in result.decisions:
+        assert decision.operator() in {
+            "RemoteScan",
+            "ExclusiveGroupScan",
+            "BoundJoinStream",
+            "PullScan",
+        }
+
+
+# ---------------------------------------------------------------------------
+# Explain over the plan layer
+# ---------------------------------------------------------------------------
+
+
+def test_serial_and_parallel_explains_render_plan_deterministically(system):
+    executor = FederatedExecutor(system)
+    query = federated_exclusive_query(hops=1)
+    for strategy in (ADAPTIVE, PARALLEL):
+        traces = {executor.explain(query, strategy=strategy) for _ in range(3)}
+        assert len(traces) == 1
+        trace = traces.pop()
+        assert "plan:" in trace
+        assert "Project" in trace
+        # One operator line per plan node, indented under "plan:".
+        assert any(
+            line.startswith("  ") for line in trace.split("\n")[2:]
+        )
+
+
+def test_parallel_explain_of_exclusive_group_names_the_operator(system):
+    trace = FederatedExecutor(system).explain(
+        federated_exclusive_query(hops=1), strategy=PARALLEL
+    )
+    assert "ExclusiveGroupScan" in trace or "[group 2]" in trace
+
+
+def test_pipelined_bound_join_explain_shows_batch_overlap(system):
+    # Multi-batch workload (batch_size=1, fan-out >> 1): the pipelined
+    # bound join's explain must report in-flight overlap above 1.
+    executor = _deep_executors(system, streaming=True)
+    trace = executor.explain(
+        federated_selective_query(entity=3, hops=3), strategy=PARALLEL
+    )
+    assert "BoundJoinStream" in trace
+    assert "mode=pipelined" in trace
+    in_flights = [
+        int(token.split("=", 1)[1])
+        for line in trace.split("\n")
+        for token in line.split()
+        if token.startswith("in_flight=")
+    ]
+    assert in_flights and max(in_flights) > 1
+
+
+def test_wave_barrier_explain_reports_wave_mode(system):
+    executor = _deep_executors(system, streaming=False)
+    trace = executor.explain(
+        federated_selective_query(entity=3, hops=3), strategy=PARALLEL
+    )
+    assert "mode=waves" in trace
+    assert "mode=pipelined" not in trace
+
+
+# ---------------------------------------------------------------------------
+# Pipelining invariants
+# ---------------------------------------------------------------------------
+
+
+def test_pipelining_never_changes_answers_or_traffic(system):
+    query = federated_selective_query(entity=3, hops=3)
+    expected = evaluate_query_star(system.stored_database(), query)
+    wave = _deep_executors(system, streaming=False).execute(query, PARALLEL)
+    pipelined = _deep_executors(system, streaming=True).execute(
+        query, PARALLEL
+    )
+    assert wave.rows == pipelined.rows == expected
+    assert wave.stats.messages == pipelined.stats.messages
+    assert (
+        wave.stats.solutions_transferred
+        == pipelined.stats.solutions_transferred
+    )
+    assert wave.stats.busy_seconds == pytest.approx(
+        pipelined.stats.busy_seconds
+    )
+
+
+def test_pipelining_strictly_beats_wave_barriers_on_multi_batch(system):
+    query = federated_selective_query(entity=3, hops=3)
+    wave = _deep_executors(system, streaming=False).execute(query, PARALLEL)
+    pipelined = _deep_executors(system, streaming=True).execute(
+        query, PARALLEL
+    )
+    assert (
+        pipelined.stats.elapsed_seconds
+        < wave.stats.elapsed_seconds - 1e-9
+    )
+
+
+@pytest.mark.parametrize("hops", [1, 2, 3])
+def test_pipelining_never_slower_across_depths(system, hops):
+    query = federated_selective_query(entity=3, hops=hops)
+    wave = _deep_executors(system, streaming=False).execute(query, PARALLEL)
+    pipelined = _deep_executors(system, streaming=True).execute(
+        query, PARALLEL
+    )
+    assert (
+        pipelined.stats.elapsed_seconds
+        <= wave.stats.elapsed_seconds + 1e-9
+    )
+    # Elapsed can never exceed the summed serial durations.
+    assert (
+        pipelined.stats.elapsed_seconds
+        <= pipelined.stats.busy_seconds + 1e-9
+    )
+
+
+def test_streaming_is_deterministic(system):
+    query = federated_selective_query(entity=3, hops=3)
+    elapsed = {
+        _deep_executors(system, streaming=True)
+        .execute(query, PARALLEL)
+        .stats.elapsed_seconds
+        for _ in range(3)
+    }
+    assert len(elapsed) == 1
+
+
+# ---------------------------------------------------------------------------
+# Prepared queries: normalisation runs once per run_all_strategies
+# ---------------------------------------------------------------------------
+
+
+def test_run_all_strategies_normalises_once(system, monkeypatch):
+    import repro.federation.executor as executor_module
+
+    calls = []
+    original = executor_module.sparql_to_branches
+
+    def counting(query, nsm=None):
+        calls.append(query)
+        return original(query, nsm)
+
+    monkeypatch.setattr(executor_module, "sparql_to_branches", counting)
+    executor = FederatedExecutor(system)
+    results = executor.run_all_strategies(federated_optional_sparql())
+    assert set(results) == set(STRATEGIES)
+    # One normalisation for five strategy executions.
+    assert len(calls) == 1
+
+
+def test_prepared_query_is_reusable_across_strategies(system):
+    executor = FederatedExecutor(system)
+    query = federated_path_query(hops=2)
+    prepared = executor.prepare(query)
+    assert isinstance(prepared, PreparedQuery)
+    direct = executor.execute(query, ADAPTIVE)
+    via_prepared = executor.execute(prepared, ADAPTIVE)
+    assert via_prepared.rows == direct.rows
+    assert via_prepared.stats.messages == direct.stats.messages
+
+
+# ---------------------------------------------------------------------------
+# Operator-level behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_pull_scan_records_pulled_endpoints(system):
+    # The plain path query's cost model pulls small relations.
+    result = FederatedExecutor(system).execute(
+        federated_path_query(hops=2), ADAPTIVE
+    )
+    pulls = []
+
+    def walk(node):
+        if isinstance(node, PullScan):
+            pulls.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(result.plans[0])
+    pull_decisions = [d for d in result.decisions if d.action == "pull"]
+    assert len([p for p in pulls if p.pulled]) == len(pull_decisions)
+
+
+def test_left_join_node_appears_for_optional(system):
+    result = FederatedExecutor(system).execute(
+        federated_optional_sparql(), ADAPTIVE
+    )
+    found = []
+
+    def walk(node):
+        if isinstance(node, LeftJoinNode):
+            found.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(result.plans[0])
+    assert len(found) == 1

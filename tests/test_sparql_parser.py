@@ -162,7 +162,6 @@ def test_syntax_error_carries_position():
 @pytest.mark.parametrize(
     "text",
     [
-        "SELECT ?x WHERE { OPTIONAL { ?x <http://e.org/p> ?y } }",
         "SELECT ?x WHERE { GRAPH <http://e.org/g> { ?x <http://e.org/p> ?y } }",
         "SELECT ?x WHERE { BIND(?x) }",
         "BASE <http://e.org/> SELECT ?x WHERE { }",
@@ -171,6 +170,20 @@ def test_syntax_error_carries_position():
 def test_unsupported_features_raise_unsupported(text):
     with pytest.raises(UnsupportedSparqlError):
         parse_query(text)
+
+
+def test_optional_parses_into_optional_pattern():
+    from repro.sparql.ast import OptionalPattern
+
+    ast = parse_query(
+        "SELECT ?x ?a WHERE { ?x <http://e.org/p> ?y "
+        "OPTIONAL { ?y <http://e.org/age> ?a } }"
+    )
+    optionals = [
+        e for e in ast.where.elements if isinstance(e, OptionalPattern)
+    ]
+    assert len(optionals) == 1
+    assert len(optionals[0].group.triple_patterns()) == 1
 
 
 def test_literal_subject_parses_but_matches_nothing():
