@@ -11,8 +11,10 @@ Two modes:
   drift, behaviour-invariant violations (bound < naive messages,
   adaptive never Pareto-dominated, parallel makespan never above
   serial, pipelined bound joins never above wave barriers with
-  identical messages) or >``--tolerance``x median speedup regressions
-  against ``--against``.  Used as the CI gate.
+  identical messages, LIMIT/ASK demand caps strictly cutting messages
+  and makespan on the deep bound-join workloads) or >``--tolerance``x
+  median speedup regressions against ``--against``.  Used as the CI
+  gate.
 """
 
 from __future__ import annotations

@@ -23,16 +23,19 @@ classes of quantity that survive a machine change:
   (default 2x), i.e. on a reproducible >2x relative slowdown of a
   suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts four behaviour invariants on the fresh
+The gate also re-asserts five behaviour invariants on the fresh
 records: bound joins ship strictly fewer messages than naive shipping,
 the adaptive plan is never Pareto-dominated by a fixed strategy (worse
 on messages *and* transfer simultaneously) on any adaptive-suite
 workload, the parallel mode's makespan (``elapsed_seconds``) never
 exceeds the serial adaptive plan's on any parallel-suite workload —
-with exclusive groups cutting messages on at least one of them — and
+with exclusive groups cutting messages on at least one of them —
 pipelined bound joins never lose wall clock to wave barriers on any
 streaming-suite workload while shipping the same messages, with a
-strict makespan win on at least one.
+strict makespan win on at least one, and a solution-modifier cap never
+costs messages on any limit-suite workload while strictly cutting both
+messages and makespan on the deep bound-join workloads (demand
+propagation actually stops the pipeline).
 """
 
 from __future__ import annotations
@@ -203,6 +206,7 @@ def check_against(
     failures.extend(_adaptive_invariant(fresh_rows))
     failures.extend(_parallel_invariant(fresh_rows))
     failures.extend(_streaming_invariant(fresh_rows))
+    failures.extend(_limit_invariant(fresh_rows))
     return CheckOutcome(
         ok=not failures,
         failures=failures,
@@ -366,6 +370,60 @@ def _streaming_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
             "streaming suite: no workload showed a strict pipelining win "
             "(pipelined elapsed < wave elapsed)"
         )
+    return failures
+
+
+def _limit_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """A solution-modifier cap must never cost work, and must save it.
+
+    For every limit-suite workload the ``:limited`` run's message count
+    may not exceed its ``:unlimited`` twin's, and on the deep
+    multi-batch workloads (``deep_*``, ``ask*`` — where demand
+    propagation is supposed to stop the bound-join pipeline early) both
+    messages and ``elapsed_seconds`` must be *strictly* lower.  All
+    comparisons pair rows of the same fresh run, so the check is
+    machine-independent.
+    """
+    failures = []
+    workloads = {
+        name[len("limit/") :].rsplit(":", 1)[0]
+        for name in fresh_rows
+        if name.startswith("limit/") and ":" in name
+    }
+    for workload in sorted(workloads):
+        unlimited = fresh_rows.get(f"limit/{workload}:unlimited")
+        limited = fresh_rows.get(f"limit/{workload}:limited")
+        if unlimited is None or limited is None:
+            continue
+        full_meta = unlimited.get("meta", {})
+        cut_meta = limited.get("meta", {})
+        full_messages = full_meta.get("messages")
+        cut_messages = cut_meta.get("messages")
+        if full_messages is None or cut_messages is None:
+            continue
+        if cut_messages > full_messages:
+            failures.append(
+                f"limit@{workload}: the capped run shipped more messages "
+                f"({cut_messages} > {full_messages})"
+            )
+        deep = workload.startswith(("deep_", "ask"))
+        if not deep:
+            continue
+        if cut_messages >= full_messages:
+            failures.append(
+                f"limit@{workload}: no strict message win "
+                f"({cut_messages} >= {full_messages}); demand propagation "
+                f"did not stop the pipeline"
+            )
+        full_elapsed = full_meta.get("elapsed_seconds")
+        cut_elapsed = cut_meta.get("elapsed_seconds")
+        if full_elapsed is None or cut_elapsed is None:
+            continue
+        if cut_elapsed >= full_elapsed - 1e-9:
+            failures.append(
+                f"limit@{workload}: no strict makespan win "
+                f"({cut_elapsed:.6f}s >= {full_elapsed:.6f}s)"
+            )
     return failures
 
 

@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Eight suites:
+Nine suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -32,7 +32,14 @@ Eight suites:
   asserting answer-set equality with the single-graph evaluator,
   identical message counts and transferred solutions in both modes,
   ``pipelined elapsed <= wave elapsed`` everywhere, and a strict
-  makespan win on at least one workload.
+  makespan win on at least one workload;
+* ``limit/*`` — demand propagation: every workload runs once with a
+  solution modifier (``LIMIT``, ``ORDER BY … LIMIT``, ``ASK``) and
+  once without, hard asserting the limited run never ships more
+  messages, that on the deep multi-batch bound-join workloads it ships
+  *strictly fewer* messages and finishes strictly earlier, and that
+  the limited answers are a correct window of the single-graph answer
+  set (exact for the ordered top-k).
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
@@ -67,18 +74,25 @@ from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.peers.chase import chase_universal_solution
 from repro.peers.system import RPS
-from repro.sparql.algebra import evaluate_algebra, translate_group
+from repro.sparql.algebra import (
+    evaluate_algebra,
+    reference_select,
+    translate_group,
+)
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import select_rows
 from repro.federation.network import NetworkModel
 from repro.workload.federation import (
+    federated_ask_sparql,
     federated_exclusive_query,
+    federated_limit_sparql,
     federated_optional_filter_sparql,
     federated_optional_sparql,
     federated_path_query,
     federated_rps,
     federated_selective_query,
+    federated_topk_sparql,
     federated_union_filter_sparql,
 )
 from repro.workload.generators import GeneratorConfig, random_entity_graph
@@ -699,6 +713,131 @@ def bench_streaming(repeat: int) -> List[BenchRecord]:
     return records
 
 
+#: Workload labels of the ``limit`` suite.  The ``deep_*`` and ``ask``
+#: workloads are deep multi-batch bound-join pipelines where demand
+#: propagation must show a *strict* message and makespan win; ``topk``
+#: orders before slicing, so it legitimately drains fully and only the
+#: never-worse bound applies.
+LIMIT_WORKLOADS = ("deep_bound@3p", "deep_pipelined@3p", "topk@3p", "ask@3p")
+
+
+def bench_limit(repeat: int) -> List[BenchRecord]:
+    """Early termination: modifier-capped runs vs their unlimited twins.
+
+    Every workload executes the same WHERE clause twice — once with a
+    solution modifier (``LIMIT 10``, ``ORDER BY … LIMIT``, ``ASK``) and
+    once bare — under the strategy named in its label.  Hard
+    assertions, re-checked by the CI gate from the recorded metas: the
+    unlimited run reproduces the single-graph answer set exactly; the
+    limited answers are a correct window of it (exact for the ordered
+    top-k, presence/absence for ASK); the limited run never ships more
+    messages; and on the deep multi-batch workloads it ships strictly
+    fewer messages *and* finishes strictly earlier — the pipeline
+    demonstrably stopped, it did not just throw rows away.
+    """
+    three = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    union = three.stored_database()
+    network = NetworkModel(**STREAMING_NETWORK)
+    # (label, strategy, unlimited text, limited text, deep?)
+    workloads: List[Tuple[str, str, str, str, bool]] = [
+        ("deep_bound@3p", "bound",
+         federated_limit_sparql(hops=3),
+         federated_limit_sparql(hops=3, limit=10), True),
+        ("deep_pipelined@3p", PARALLEL,
+         federated_limit_sparql(hops=3, anchor=3),
+         federated_limit_sparql(hops=3, limit=10, anchor=3), True),
+        ("topk@3p", PARALLEL,
+         federated_limit_sparql(hops=2),
+         federated_topk_sparql(hops=2, limit=5), False),
+        ("ask@3p", "bound",
+         federated_limit_sparql(hops=3),
+         federated_ask_sparql(hops=3), True),
+    ]
+    records = []
+    for label, strategy, unlimited_text, limited_text, deep in workloads:
+        executor = FederatedExecutor(
+            three, network=network, batch_size=1, concurrency=4
+        )
+        expected = _single_graph_rows(three, unlimited_text)
+        outcomes: Dict[str, Any] = {}
+        for kind, text in (
+            ("unlimited", unlimited_text),
+            ("limited", limited_text),
+        ):
+
+            def run(text: str = text):
+                return executor.execute(text, strategy)
+
+            seconds, result = _best_time(run, repeat)
+            outcomes[kind] = result
+            stats = result.stats
+            records.append(
+                BenchRecord(
+                    name=f"limit/{label}:{kind}",
+                    seconds=seconds,
+                    meta={
+                        "strategy": strategy,
+                        "messages": stats.messages,
+                        "solutions_transferred": stats.solutions_transferred,
+                        "triples_transferred": stats.triples_transferred,
+                        "busy_seconds": stats.busy_seconds,
+                        "elapsed_seconds": stats.elapsed_seconds,
+                        "results": len(result.rows),
+                    },
+                )
+            )
+        if outcomes["unlimited"].rows != expected:
+            raise AssertionError(
+                f"limit suite {label!r}: unlimited run returned "
+                f"{len(outcomes['unlimited'].rows)} answers, single-graph "
+                f"has {len(expected)}"
+            )
+        limited_rows = outcomes["limited"].rows
+        if label.startswith("ask"):
+            if bool(limited_rows) != bool(expected):
+                raise AssertionError(
+                    f"limit suite {label!r}: ASK answered "
+                    f"{bool(limited_rows)}, single-graph says "
+                    f"{bool(expected)}"
+                )
+        elif label.startswith("topk"):
+            oracle = set(reference_select(union, parse_query(limited_text)))
+            if limited_rows != oracle:
+                raise AssertionError(
+                    f"limit suite {label!r}: top-k answers diverge from "
+                    f"the reference window ({len(limited_rows)} vs "
+                    f"{len(oracle)})"
+                )
+        else:
+            if len(limited_rows) != 10 or not limited_rows <= expected:
+                raise AssertionError(
+                    f"limit suite {label!r}: limited run is not a 10-row "
+                    f"window of the full answer set "
+                    f"({len(limited_rows)} rows)"
+                )
+        cut = outcomes["limited"].stats
+        full = outcomes["unlimited"].stats
+        if cut.messages > full.messages:
+            raise AssertionError(
+                f"limit suite {label!r}: the capped run shipped MORE "
+                f"messages: {cut.messages} > {full.messages}"
+            )
+        if deep:
+            if cut.messages >= full.messages:
+                raise AssertionError(
+                    f"limit suite {label!r}: no strict message win "
+                    f"({cut.messages} >= {full.messages}); demand did not "
+                    f"stop the pipeline"
+                )
+            if cut.elapsed_seconds >= full.elapsed_seconds - 1e-9:
+                raise AssertionError(
+                    f"limit suite {label!r}: no strict makespan win "
+                    f"({cut.elapsed_seconds:.6f}s >= "
+                    f"{full.elapsed_seconds:.6f}s)"
+                )
+    return records
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -726,6 +865,7 @@ def build_report(
     records.extend(bench_adaptive(repeat))
     records.extend(bench_parallel(repeat))
     records.extend(bench_streaming(repeat))
+    records.extend(bench_limit(repeat))
 
     return {
         "suite": "core",

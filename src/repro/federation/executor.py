@@ -59,9 +59,19 @@ replayed into a makespan).  Five strategies, chosen per call:
     The centralised baseline: dump every peer's database (one transfer
     each), union locally, evaluate locally.
 
+Solution modifiers (``ORDER BY``/``LIMIT``/``OFFSET``) and ``ASK``
+execute *federally*: an unordered ``LIMIT`` caps the interpreter's
+demand so upstream operators stop issuing sub-queries once the window
+can be filled, ``ORDER BY`` runs a :class:`~repro.federation.plan.
+TopKNode` over full solutions (a non-projected sort variable is fine),
+and ``ASK`` is the degenerate ``LIMIT 1`` — the first surviving row
+short-circuits the whole pipeline.
+
 All strategies compute the same answer set — the projection of the
 query over the union of the peer databases, equal to the single-graph
-planner's — which the benchmark suite and tests assert.  Joining
+planner's — which the benchmark suite and tests assert.  (For an
+*unordered* ``LIMIT``/``OFFSET`` the answer is any legal subset of the
+right cardinality; strategies may pick different rows.)  Joining
 happens on dictionary IDs, which requires all peer graphs to share one
 term dictionary (the library default); a mixed system raises
 :class:`~repro.errors.FederationError`.
@@ -104,6 +114,8 @@ from repro.federation.plan import (
     PlanInterpreter,
     ProjectDedupe,
     RelationCache,
+    SliceNode,
+    TopKNode,
     UnionNode,
     explain_fed_plan,
 )
@@ -117,9 +129,10 @@ from repro.rdf.triples import TriplePattern
 from repro.peers.system import RPS
 from repro.runtime.channel import ChannelStats
 from repro.runtime.scheduler import DEFAULT_CONCURRENCY, OverlapScheduler
-from repro.sparql.ast import AskQuery, FilterExpr, SelectQuery
+from repro.sparql.ast import AskQuery, FilterExpr, OrderCondition, SelectQuery
 from repro.sparql.bridge import ConjunctiveBranch, sparql_to_branches
-from repro.sparql.plan import compile_filter
+from repro.sparql.parser import parse_query
+from repro.sparql.plan import OrderKey, compile_filter
 
 __all__ = [
     "ADAPTIVE",
@@ -181,10 +194,19 @@ class PreparedQuery:
     it, so the four strategies don't each re-run
     :func:`~repro.sparql.bridge.sparql_to_branches` and filter
     compilation on the same query text.
+
+    Solution modifiers ride along: ``order``/``limit``/``offset`` are
+    read off the AST (the branches describe the WHERE clause only) and
+    ``ask`` marks an ASK query, executed federally as ``LIMIT 1`` over
+    the empty projection.
     """
 
     head: Tuple[Variable, ...]
     branches: Tuple[PreparedBranch, ...]
+    order: Tuple[OrderCondition, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    ask: bool = False
 
 
 @dataclass
@@ -303,12 +325,12 @@ class FederatedExecutor:
         filter compilation — :meth:`run_all_strategies` does exactly
         that for its four executions.
         """
-        head, branches = self._normalize(query, nsm)
+        head, branches, order, limit, offset, ask = self._normalize(query, nsm)
         sentinels: Dict[Term, int] = {}
         prepared = tuple(
             self._compile_branch(branch, sentinels) for branch in branches
         )
-        return PreparedQuery(head, prepared)
+        return PreparedQuery(head, prepared, order, limit, offset, ask)
 
     def execute(
         self,
@@ -332,11 +354,35 @@ class FederatedExecutor:
         channels: Dict[str, ChannelStats] = {}
         plans: Tuple[FedOp, ...] = ()
         id_rows: Set[Tuple[Optional[int], ...]] = set()
+        modified = bool(
+            prepared.order
+            or prepared.limit is not None
+            or prepared.offset
+            or prepared.ask
+        )
+        # The planning-time demand cap: an unordered LIMIT can never
+        # emit more than offset+limit distinct rows, and ASK needs one.
+        # ORDER BY drains fully (sorting is a pipeline breaker), so it
+        # plans without a cap.  Streams are resumable — if projection
+        # collapses rows, the final slice simply pulls deeper.
+        demand: Optional[int] = None
+        if prepared.ask:
+            demand = 1
+        elif not prepared.order and prepared.limit is not None:
+            demand = max(1, prepared.offset + prepared.limit)
         if strategy == "collect":
             union = self._collect_union(stats)
-            for branch in prepared.branches:
-                bindings = self._evaluate_branch_local(union, branch)
-                id_rows |= project(bindings, prepared.head)
+            if modified:
+                all_bindings: List[IDBinding] = []
+                for branch in prepared.branches:
+                    all_bindings.extend(
+                        self._evaluate_branch_local(union, branch)
+                    )
+                id_rows = self._modified_id_rows(all_bindings, prepared)
+            else:
+                for branch in prepared.branches:
+                    bindings = self._evaluate_branch_local(union, branch)
+                    id_rows |= project(bindings, prepared.head)
         else:
             scheduler: Optional[OverlapScheduler] = None
             if strategy == PARALLEL:
@@ -350,14 +396,33 @@ class FederatedExecutor:
                 RelationCache(self.dictionary),
                 scheduler,
                 self.streaming,
+                demand=demand,
             )
             interp = PlanInterpreter(ctx)
             roots = [
-                self._run_branch(branch, strategy, interp, decisions, index)
+                self._run_branch(
+                    branch, strategy, interp, decisions, index, demand
+                )
                 for index, branch in enumerate(prepared.branches)
             ]
             union_node = roots[0] if len(roots) == 1 else UnionNode(roots)
-            root = ProjectDedupe(union_node, prepared.head)
+            if prepared.order:
+                root: FedOp = TopKNode(
+                    union_node,
+                    prepared.head,
+                    prepared.order,
+                    prepared.offset,
+                    prepared.limit,
+                    self.dictionary,
+                )
+            elif modified:
+                root = SliceNode(
+                    ProjectDedupe(union_node, prepared.head),
+                    offset=0 if prepared.ask else prepared.offset,
+                    limit=1 if prepared.ask else prepared.limit,
+                )
+            else:
+                root = ProjectDedupe(union_node, prepared.head)
             rows_out = interp.run(root)
             id_rows = project(rows_out.bindings, prepared.head)
             plans = (root,)
@@ -394,8 +459,21 @@ class FederatedExecutor:
             for strategy in STRATEGIES
         }
         reference = results[STRATEGIES[0]].rows
+        # An unordered LIMIT/OFFSET admits *any* subset of the right
+        # cardinality — strategies legitimately pick different rows, so
+        # only the cardinality is comparable.  Ordered (and unmodified,
+        # and ASK) queries must agree exactly.
+        sliced_unordered = (
+            not prepared.order
+            and not prepared.ask
+            and (prepared.limit is not None or prepared.offset > 0)
+        )
         for strategy, result in results.items():
-            if result.rows != reference:
+            if sliced_unordered:
+                agree = len(result.rows) == len(reference)
+            else:
+                agree = result.rows == reference
+            if not agree:
                 raise FederationError(
                     f"strategy {strategy!r} disagrees: "
                     f"{len(result.rows)} vs {len(reference)} answers"
@@ -445,10 +523,29 @@ class FederatedExecutor:
 
     def _normalize(
         self, query: _Query, nsm: Optional[NamespaceManager]
-    ) -> Tuple[Tuple[Variable, ...], List[ConjunctiveBranch]]:
+    ) -> Tuple[
+        Tuple[Variable, ...],
+        List[ConjunctiveBranch],
+        Tuple[OrderCondition, ...],
+        Optional[int],
+        int,
+        bool,
+    ]:
         if isinstance(query, GraphPatternQuery):
-            return query.head, [ConjunctiveBranch(tuple(query.conjuncts()))]
-        return sparql_to_branches(query, nsm)
+            branches = [ConjunctiveBranch(tuple(query.conjuncts()))]
+            return query.head, branches, (), None, 0, False
+        ast = parse_query(query, nsm) if isinstance(query, str) else query
+        head, branches = sparql_to_branches(ast, nsm)
+        if isinstance(ast, SelectQuery):
+            return (
+                head,
+                branches,
+                tuple(ast.order),
+                ast.limit,
+                ast.offset or 0,
+                False,
+            )
+        return head, branches, (), None, 0, isinstance(ast, AskQuery)
 
     def _compile_branch(
         self, branch: ConjunctiveBranch, sentinels: Dict[Term, int]
@@ -504,6 +601,7 @@ class FederatedExecutor:
         decisions: List[Decision],
         branch_index: int,
         label: str = "",
+        demand: Optional[int] = None,
     ) -> Tuple[FedOp, List[CompiledFilter]]:
         """Build (and, for the adaptive strategies, run) the plan of one
         conjunctive block under the given strategy."""
@@ -515,10 +613,11 @@ class FederatedExecutor:
             return self.planner.plan_bound(patterns, filters)
         if strategy == PARALLEL:
             return self.planner.run_parallel(
-                interp, patterns, filters, decisions, branch_index, label
+                interp, patterns, filters, decisions, branch_index, label,
+                demand,
             )
         return self.planner.run_adaptive(
-            interp, patterns, filters, decisions, branch_index, label
+            interp, patterns, filters, decisions, branch_index, label, demand
         )
 
     def _run_branch(
@@ -528,6 +627,7 @@ class FederatedExecutor:
         interp: PlanInterpreter,
         decisions: List[Decision],
         branch_index: int,
+        demand: Optional[int] = None,
     ) -> FedOp:
         root, leftovers = self._plan_required(
             branch.patterns,
@@ -536,8 +636,9 @@ class FederatedExecutor:
             interp,
             decisions,
             branch_index,
+            demand=demand,
         )
-        rows = interp.run(root)
+        rows = interp.run(root, demand)
         if rows.bindings:
             for block in branch.optionals:
                 if not block.branches:
@@ -556,6 +657,7 @@ class FederatedExecutor:
                         decisions,
                         branch_index,
                         label=f"b{branch_index} opt",
+                        demand=demand,
                     )
                     if sub_left:
                         sub_root = FilterNode(sub_root, sub_left)
@@ -565,12 +667,12 @@ class FederatedExecutor:
                 else:
                     optional_root = UnionNode(sub_roots)
                 root = LeftJoinNode(root, optional_root, block.condition)
-                rows = interp.run(root)
+                rows = interp.run(root, demand)
                 if not rows.bindings:
                     break
         if leftovers:
             root = FilterNode(root, leftovers)
-            interp.run(root)
+            interp.run(root, demand)
         return root
 
     # -- source selection and fixed conjunct ordering --------------------
@@ -653,6 +755,60 @@ class FederatedExecutor:
                 bindings, dedupe(optional_rows), block.condition
             )
         return apply_filters(bindings, filters)
+
+    def _modified_id_rows(
+        self, bindings: List[IDBinding], prepared: PreparedQuery
+    ) -> Set[Tuple[Optional[int], ...]]:
+        """Apply solution modifiers to the collect baseline's solutions.
+
+        ORDER BY mirrors :class:`~repro.federation.plan.TopKNode`
+        exactly (same comparator, same dedupe) so ordered answer sets
+        match the federated strategies; an unordered slice takes the
+        canonical-order window — a deterministic representative of the
+        many legal subsets.
+        """
+        head = prepared.head
+        if prepared.ask:
+            return {()} if bindings else set()
+        decode = self.dictionary.decode
+        key_cache: Dict[int, Tuple] = {}
+
+        def cell_key(tid: Optional[int]) -> Tuple:
+            if tid is None:
+                return (0,)
+            cached = key_cache.get(tid)
+            if cached is None:
+                cached = (1,) + decode(tid).sort_key()
+                key_cache[tid] = cached
+            return cached
+
+        if prepared.order:
+            flags = tuple(c.descending for c in prepared.order)
+            order_vars = tuple(c.variable for c in prepared.order)
+            best: Dict[Tuple[Optional[int], ...], OrderKey] = {}
+            for binding in bindings:
+                row = tuple(binding.get(v) for v in head)
+                key = OrderKey(
+                    tuple(cell_key(binding.get(v)) for v in order_vars),
+                    flags,
+                    tuple(cell_key(cell) for cell in row),
+                )
+                current = best.get(row)
+                if current is None or key < current:
+                    best[row] = key
+            ordered = [
+                row
+                for row, _ in sorted(best.items(), key=lambda item: item[1])
+            ]
+        else:
+            ordered = sorted(
+                project(bindings, head),
+                key=lambda row: tuple(cell_key(cell) for cell in row),
+            )
+        sliced = ordered[prepared.offset :]
+        if prepared.limit is not None:
+            sliced = sliced[: prepared.limit]
+        return set(sliced)
 
     @staticmethod
     def _extend_local(

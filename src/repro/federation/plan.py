@@ -47,6 +47,28 @@ suite gates on.  The *choice* of operator is still made from the cost
 model's cardinality feedback at plan-construction time — like FedX, the
 plan is fixed before rows stream through it; the simulation's planning
 oracle sees counts the pipelined timeline only later "earns".
+
+**Demand propagation (PR 6).**  Operators produce rows through
+generators; the interpreter wraps each node in a memoised
+:class:`_Stream` cursor, so a consumer pulls exactly as many rows as it
+needs and the cursor is resumable — a later consumer (or a later pull
+with higher demand) continues where the last one stopped, never
+re-charging the network for rows already materialised.  A ``LIMIT k``
+query runs its plan under ``demand = offset + k``: :class:`SliceNode`
+stops pulling once the window is full, which ripples *against* the
+dataflow — :class:`ProjectDedupe` stops pulling its child,
+:class:`BoundJoinStream` stops filling batches (unsent batches are
+never charged), :class:`RemoteScan` stops contacting later endpoints —
+while the memoised prefix keeps already-paid rows available to every
+consumer.  Operators that need their input's *cardinality* or wave
+(:class:`LocalHashJoin` build sides, :class:`LeftJoinNode`,
+:class:`TopKNode`, wave-barrier batching) drain their children fully,
+exactly as before; a full drain reproduces the eager interpreter's
+charges byte for byte, so unlimited queries are unchanged.
+:class:`TopKNode` (federated ``ORDER BY``) sorts full solutions with
+the same comparator as the local engine's ``TopKOp`` and federated
+``ASK`` runs as ``SliceNode(limit=1)`` — the first surviving row
+short-circuits the whole pipeline.
 """
 
 from __future__ import annotations
@@ -55,6 +77,8 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Generator,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -81,6 +105,8 @@ from repro.federation.endpoint import PeerEndpoint
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Variable
 from repro.rdf.triples import TriplePattern
+from repro.sparql.ast import OrderCondition
+from repro.sparql.plan import OrderKey
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
 from repro.runtime.scheduler import RequestHandle, peak_overlap
 
@@ -100,6 +126,8 @@ __all__ = [
     "RelationCache",
     "RemoteScan",
     "Rows",
+    "SliceNode",
+    "TopKNode",
     "UnionNode",
     "explain_fed_plan",
 ]
@@ -148,6 +176,12 @@ class ExecContext:
         streaming: pipelined bound-join batches (origin-scoped
             dependencies) vs PR 4's wave barriers.  Only meaningful
             with a scheduler attached.
+        demand: the query-level row cap (``offset + limit``, or ``1``
+            for ASK), ``None`` when the query is unbounded.  Operators
+            only read its *presence*: a bounded execution switches
+            :class:`BoundJoinStream` to lazy arrival-order batching so
+            early termination can leave batches unsent; an unbounded
+            one reproduces the eager interpreter exactly.
     """
 
     def __init__(
@@ -157,12 +191,14 @@ class ExecContext:
         cache: RelationCache,
         scheduler=None,
         streaming: bool = True,
+        demand: Optional[int] = None,
     ) -> None:
         self.network = network
         self.stats = stats
         self.cache = cache
         self.scheduler = scheduler
         self.streaming = streaming
+        self.demand = demand
 
     @property
     def serial(self) -> bool:
@@ -234,6 +270,56 @@ def _batch_dependencies(origins: Sequence[_Origin]) -> _Origin:
     return tuple(handle for _, handle in sorted(merged.items()))
 
 
+#: An operator's row generator: yields ``(binding, origin)`` pairs and
+#: returns the step's wave (every recorded request handle) on exhaustion.
+_RowGen = Generator[Tuple[IDBinding, _Origin], None, _Origin]
+
+
+class _Stream:
+    """A memoised, resumable cursor over one operator's row generator.
+
+    ``pull(demand)`` extends the materialised prefix to ``demand`` rows
+    (or drains on ``None``); already-produced rows stay indexable, so
+    multiple consumers — and repeated interpretations of a growing plan
+    — read the same prefix without re-executing the operator.  ``wave``
+    is only meaningful once ``exhausted`` is set: wave consumers drain
+    their child fully before reading it.
+    """
+
+    __slots__ = ("_gen", "bindings", "origins", "exhausted", "wave")
+
+    def __init__(self, gen: _RowGen) -> None:
+        self._gen = gen
+        self.bindings: List[IDBinding] = []
+        self.origins: List[_Origin] = []
+        self.exhausted = False
+        self.wave: _Origin = ()
+
+    def pull(self, demand: Optional[int] = None) -> None:
+        while not self.exhausted and (
+            demand is None or len(self.bindings) < demand
+        ):
+            try:
+                binding, origin = next(self._gen)
+            except StopIteration as stop:
+                self.exhausted = True
+                self.wave = stop.value or ()
+            else:
+                self.bindings.append(binding)
+                self.origins.append(origin)
+
+
+def _rows_of(stream: _Stream) -> Iterator[Tuple[IDBinding, _Origin]]:
+    """Iterate a stream one row at a time, pulling lazily."""
+    pos = 0
+    while True:
+        stream.pull(pos + 1)
+        if pos >= len(stream.bindings):
+            return
+        yield stream.bindings[pos], stream.origins[pos]
+        pos += 1
+
+
 # ---------------------------------------------------------------------------
 # Operators
 # ---------------------------------------------------------------------------
@@ -255,7 +341,7 @@ class FedOp:
     def children(self) -> Tuple["FedOp", ...]:
         return ()
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -274,8 +360,9 @@ class InputNode(FedOp):
 
     kind = "Input"
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
-        return Rows([{}], [()])
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        yield {}, ()
+        return ()
 
 
 class RemoteScan(FedOp):
@@ -286,6 +373,10 @@ class RemoteScan(FedOp):
     the runtime interpreter each request depends on the wave of
     ``after`` (the plan step whose results triggered this decision) —
     the coordinator cannot *decide* to ship before seeing them.
+
+    The fan-out is demand-aware: endpoints are contacted one at a time,
+    so a consumer that stops pulling (a full LIMIT window, a satisfied
+    ASK) never charges the remaining endpoints.
     """
 
     kind = "RemoteScan"
@@ -314,13 +405,13 @@ class RemoteScan(FedOp):
     def _solutions(self, endpoint: PeerEndpoint) -> List[IDBinding]:
         return endpoint.pattern_solutions(self.patterns[0], self.accept)
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
         deps: _Origin = ()
         if ctx.scheduler is not None and self.after is not None:
+            # Waves require exhaustion: drain the triggering step fully.
             deps = interp.run(self.after).wave
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
         handles: List[RequestHandle] = []
+        seen: Set[Tuple[Tuple[str, int], ...]] = set()
         for endpoint in self.endpoints:
             solutions = self._solutions(endpoint)
             seconds = ctx.network.charge_query(
@@ -332,12 +423,15 @@ class RemoteScan(FedOp):
                     endpoint.name, seconds, after=deps, label=self.label
                 )
                 handles.append(handle)
+                self.handles = tuple(handles)
                 origin = (handle,)
-            bindings.extend(solutions)
-            origins.extend([origin] * len(solutions))
-        self.handles = tuple(handles)
-        bindings, origins = _dedupe_rows(bindings, origins)
-        return Rows(bindings, origins, wave=self.handles)
+            for binding in solutions:
+                key = canonical(binding)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield binding, origin
+        return tuple(handles)
 
     def describe(self) -> str:
         shape = " ".join(tp.n3() for tp in self.patterns)
@@ -366,6 +460,14 @@ class BoundJoinStream(FedOp):
     ordered by row origin and each batch depends only on the requests
     that produced its own rows — successive batches overlap the
     upstream step instead of waiting for its wave barrier.
+
+    Under a demand cap (``ctx.demand`` set: the query carries a LIMIT
+    or is an ASK) the operator instead pulls its child lazily and fills
+    batches in arrival order, sending each batch before pulling the
+    next — downstream demand that dries up leaves the remaining batches
+    unsent and the upstream sub-queries that would have fed them
+    unissued.  Unbounded executions keep the sorted batch composition,
+    so their traffic and timelines are exactly the eager interpreter's.
     """
 
     kind = "BoundJoinStream"
@@ -406,21 +508,13 @@ class BoundJoinStream(FedOp):
             )
         return endpoint.bound_solutions(self.patterns[0], batch, self.accept)
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+    def _chunks_eager(
+        self, ctx: ExecContext, interp: "PlanInterpreter"
+    ) -> Iterator[List[Tuple[IDBinding, _Origin]]]:
+        """PR 5's batching: drain the child, sort, chunk."""
         rows = interp.run(self.child)
-        if not rows.bindings:
-            self.handles = ()
-            self.n_batches = 0
-            return Rows([], [], wave=())
-        pipelined = ctx.scheduler is not None and ctx.streaming
-        if ctx.serial:
-            self.mode = "serial"
-        elif pipelined:
-            self.mode = "pipelined"
-        else:
-            self.mode = "waves"
         pairs = list(zip(rows.bindings, rows.origins))
-        if pipelined:
+        if ctx.scheduler is not None and ctx.streaming:
             # Rows from earlier-submitted upstream requests batch first:
             # the simulated arrival order of a streaming consumer.
             pairs.sort(
@@ -431,39 +525,74 @@ class BoundJoinStream(FedOp):
             )
         else:
             pairs.sort(key=lambda pair: canonical(pair[0]))
-        chunks = [
-            pairs[i : i + self.batch_size]
-            for i in range(0, len(pairs), self.batch_size)
-        ]
-        self.n_batches = len(chunks)
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
+        for i in range(0, len(pairs), self.batch_size):
+            yield pairs[i : i + self.batch_size]
+
+    def _chunks_lazy(
+        self, ctx: ExecContext, interp: "PlanInterpreter"
+    ) -> Iterator[List[Tuple[IDBinding, _Origin]]]:
+        """Demand-bounded batching: pull the child one batch at a time."""
+        child = interp.stream(self.child)
+        if ctx.scheduler is not None and not ctx.streaming:
+            # Wave barriers: every batch depends on the entire upstream
+            # step, so the child must exhaust before the first send.
+            interp.run(self.child)
+        pos = 0
+        while True:
+            chunk: List[Tuple[IDBinding, _Origin]] = []
+            while len(chunk) < self.batch_size:
+                child.pull(pos + 1)
+                if pos >= len(child.bindings):
+                    break
+                chunk.append((child.bindings[pos], child.origins[pos]))
+                pos += 1
+            if not chunk:
+                return
+            yield chunk
+
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        pipelined = ctx.scheduler is not None and ctx.streaming
+        if ctx.serial:
+            self.mode = "serial"
+        elif pipelined:
+            self.mode = "pipelined"
+        else:
+            self.mode = "waves"
+        if ctx.demand is None:
+            chunks = self._chunks_eager(ctx, interp)
+        else:
+            chunks = self._chunks_lazy(ctx, interp)
         handles: List[RequestHandle] = []
+        seen: Set[Tuple[Tuple[str, int], ...]] = set()
         for chunk in chunks:
+            self.n_batches += 1
             batch = [binding for binding, _ in chunk]
             if ctx.serial:
                 deps: _Origin = ()
             elif pipelined:
                 deps = _batch_dependencies([origin for _, origin in chunk])
             else:
-                deps = rows.wave
+                deps = interp.stream(self.child).wave
             for endpoint in self.endpoints:
                 solutions = self._solutions(endpoint, batch)
                 seconds = ctx.network.charge_query(
                     ctx.stats, endpoint.name, len(solutions), serial=ctx.serial
                 )
-                origin = ()
+                origin: _Origin = ()
                 if ctx.scheduler is not None:
                     handle = ctx.scheduler.submit(
                         endpoint.name, seconds, after=deps, label=self.label
                     )
                     handles.append(handle)
+                    self.handles = tuple(handles)
                     origin = (handle,)
-                bindings.extend(solutions)
-                origins.extend([origin] * len(solutions))
-        self.handles = tuple(handles)
-        bindings, origins = _dedupe_rows(bindings, origins)
-        return Rows(bindings, origins, wave=self.handles)
+                for binding in solutions:
+                    key = canonical(binding)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield binding, origin
+        return tuple(handles)
 
     def describe(self) -> str:
         shape = " ".join(tp.n3() for tp in self.patterns)
@@ -510,9 +639,18 @@ class PullScan(FedOp):
     def children(self) -> Tuple[FedOp, ...]:
         return (self.child,)
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
-        rows = interp.run(self.child)
-        deps: _Origin = () if ctx.serial else rows.wave
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        if ctx.serial:
+            # No wave to depend on: the relation dump is charged up
+            # front (as before) but the child extends lazily, so a
+            # satisfied LIMIT stops pulling upstream rows.
+            deps: _Origin = ()
+            child = interp.stream(self.child)
+            source = _rows_of(child)
+        else:
+            rows = interp.run(self.child)
+            deps = rows.wave
+            source = iter(zip(rows.bindings, rows.origins))
         handles: List[RequestHandle] = []
         pulled: List[str] = []
         for endpoint in self.endpoints:
@@ -537,18 +675,20 @@ class PullScan(FedOp):
         self.pulled = tuple(pulled)
         pull_origin = self.handles
         slots = compile_conjunct(ctx.cache.graph, self.pattern)
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
+        seen: Set[Tuple[Tuple[str, int], ...]] = set()
         if slots is not None:
-            for binding, origin in zip(rows.bindings, rows.origins):
+            for binding, origin in source:
                 for extended in extend_id_bindings(
                     ctx.cache.graph, slots, binding
                 ):
-                    bindings.append(extended)
-                    origins.append(_merge_origins(origin, pull_origin))
-        bindings, origins = _dedupe_rows(bindings, origins)
-        wave = self.handles if self.handles else rows.wave
-        return Rows(bindings, origins, wave=wave)
+                    key = canonical(extended)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield extended, _merge_origins(origin, pull_origin)
+        if self.handles:
+            return self.handles
+        return () if ctx.serial else rows.wave
 
     def describe(self) -> str:
         targets = ",".join(ep.name for ep in self.endpoints) or "-"
@@ -577,22 +717,22 @@ class LocalHashJoin(FedOp):
     def children(self) -> Tuple[FedOp, ...]:
         return (self.left, self.right)
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        # Both sides drain fully: the hash join needs its build side
+        # complete, and the charge/submission order must match the
+        # eager interpreter's.
         left = interp.run(self.left)
         right = interp.run(self.right)
         wave = right.wave if right.wave else left.wave
         if not left.bindings or not right.bindings:
-            return Rows([], [], wave=wave)
+            return wave
         left_origin = dict(zip(map(id, left.bindings), left.origins))
         right_origin = dict(zip(map(id, right.bindings), right.origins))
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
         for lhs, rhs, merged in join_pairs(left.bindings, right.bindings):
-            bindings.append(merged)
-            origins.append(
-                _merge_origins(left_origin[id(lhs)], right_origin[id(rhs)])
+            yield merged, _merge_origins(
+                left_origin[id(lhs)], right_origin[id(rhs)]
             )
-        return Rows(bindings, origins, wave=wave)
+        return wave
 
 
 class FilterNode(FedOp):
@@ -609,15 +749,12 @@ class FilterNode(FedOp):
     def children(self) -> Tuple[FedOp, ...]:
         return (self.child,)
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
-        rows = interp.run(self.child)
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
-        for binding, origin in zip(rows.bindings, rows.origins):
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        child = interp.stream(self.child)
+        for binding, origin in _rows_of(child):
             if all(f.accept(binding) for f in self.filters):
-                bindings.append(binding)
-                origins.append(origin)
-        return Rows(bindings, origins, wave=rows.wave)
+                yield binding, origin
+        return child.wave
 
     def describe(self) -> str:
         return f"{self.kind} [{len(self.filters)} expr(s)]"
@@ -651,14 +788,15 @@ class LeftJoinNode(FedOp):
     def children(self) -> Tuple[FedOp, ...]:
         return (self.left, self.optional)
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        # Both sides drain fully: every left row must see the complete
+        # optional side before it can stream through unmatched.
         left = interp.run(self.left)
         if not left.bindings:
-            return Rows([], [], wave=left.wave)
+            return left.wave
         optional = interp.run(self.optional)
         condition = self.condition
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
+        seen: Set[Tuple[Tuple[str, int], ...]] = set()
         for binding, origin in zip(left.bindings, left.origins):
             extended = 0
             for opt, opt_origin in zip(optional.bindings, optional.origins):
@@ -667,14 +805,18 @@ class LeftJoinNode(FedOp):
                     continue
                 if condition is not None and not condition(merged):
                     continue
-                bindings.append(merged)
-                origins.append(_merge_origins(origin, opt_origin))
                 extended += 1
+                key = canonical(merged)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield merged, _merge_origins(origin, opt_origin)
             if not extended:
-                bindings.append(binding)
-                origins.append(origin)
-        bindings, origins = _dedupe_rows(bindings, origins)
-        return Rows(bindings, origins, wave=left.wave)
+                key = canonical(binding)
+                if key not in seen:
+                    seen.add(key)
+                    yield binding, origin
+        return left.wave
 
     def describe(self) -> str:
         cond = " cond" if self.condition is not None else ""
@@ -692,15 +834,16 @@ class UnionNode(FedOp):
     def children(self) -> Tuple[FedOp, ...]:
         return self.branches
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        seen: Set[Tuple[Tuple[str, int], ...]] = set()
         for branch in self.branches:
-            rows = interp.run(branch)
-            bindings.extend(rows.bindings)
-            origins.extend(rows.origins)
-        bindings, origins = _dedupe_rows(bindings, origins)
-        return Rows(bindings, origins)
+            for binding, origin in _rows_of(interp.stream(branch)):
+                key = canonical(binding)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield binding, origin
+        return ()
 
     def describe(self) -> str:
         return f"{self.kind} [{len(self.branches)} branch(es)]"
@@ -718,44 +861,184 @@ class ProjectDedupe(FedOp):
     def children(self) -> Tuple[FedOp, ...]:
         return (self.child,)
 
-    def _execute(self, ctx: ExecContext, interp: "PlanInterpreter") -> Rows:
-        rows = interp.run(self.child)
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
         head = self.head
-        bindings: List[IDBinding] = []
-        origins: List[_Origin] = []
-        for binding, origin in zip(rows.bindings, rows.origins):
-            bindings.append({v: binding[v] for v in head if v in binding})
-            origins.append(origin)
-        bindings, origins = _dedupe_rows(bindings, origins)
-        return Rows(bindings, origins)
+        seen: Set[Tuple[Tuple[str, int], ...]] = set()
+        for binding, origin in _rows_of(interp.stream(self.child)):
+            projected = {v: binding[v] for v in head if v in binding}
+            key = canonical(projected)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield projected, origin
+        return ()
 
     def describe(self) -> str:
         head = " ".join(f"?{v.name}" for v in self.head) or "(ask)"
         return f"{self.kind} {head} distinct"
 
 
+class SliceNode(FedOp):
+    """OFFSET/LIMIT over a distinct projected stream — the demand sink.
+
+    Pulls its child one row at a time and stops dead once ``limit``
+    rows survive past ``offset``; federated ``ASK`` is the degenerate
+    ``SliceNode(offset=0, limit=1)`` — one surviving row short-circuits
+    every upstream sub-query.
+    """
+
+    kind = "Slice"
+
+    def __init__(
+        self, child: FedOp, offset: int = 0, limit: Optional[int] = None
+    ) -> None:
+        self.child = child
+        self.offset = offset
+        self.limit = limit
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.child,)
+
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        if self.limit == 0:
+            return ()
+        skipped = 0
+        emitted = 0
+        for binding, origin in _rows_of(interp.stream(self.child)):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            yield binding, origin
+            emitted += 1
+            if self.limit is not None and emitted >= self.limit:
+                break
+        return ()
+
+    def describe(self) -> str:
+        note = f" offset={self.offset}" if self.offset else ""
+        if self.limit is not None:
+            note += f" limit={self.limit}"
+        return f"{self.kind}{note}"
+
+
+class TopKNode(FedOp):
+    """Federated ``ORDER BY`` (+ OFFSET/LIMIT): sort, project, dedupe.
+
+    Sorting is a pipeline breaker — the child drains fully — but the
+    comparator is shared with the local engine's
+    :class:`repro.sparql.plan.TopKOp`: keys are built from *full*
+    solutions (ORDER BY may name non-projected variables), per distinct
+    projected row the minimal-key solution wins, and ties break on the
+    projected row's canonical term order, so every strategy and the
+    reference evaluator agree on the emitted order.
+    """
+
+    kind = "TopK"
+
+    def __init__(
+        self,
+        child: FedOp,
+        head: Tuple[Variable, ...],
+        order: Tuple[OrderCondition, ...],
+        offset: int,
+        limit: Optional[int],
+        dictionary,
+    ) -> None:
+        self.child = child
+        self.head = tuple(head)
+        self.order = tuple(order)
+        self.offset = offset
+        self.limit = limit
+        self.dictionary = dictionary
+
+    def children(self) -> Tuple[FedOp, ...]:
+        return (self.child,)
+
+    def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        rows = interp.run(self.child)
+        decode = self.dictionary.decode
+        key_cache: Dict[int, Tuple] = {}
+
+        def cell_key(tid: Optional[int]) -> Tuple:
+            if tid is None:
+                return (0,)
+            cached = key_cache.get(tid)
+            if cached is None:
+                cached = (1,) + decode(tid).sort_key()
+                key_cache[tid] = cached
+            return cached
+
+        flags = tuple(condition.descending for condition in self.order)
+        order_vars = tuple(condition.variable for condition in self.order)
+        head = self.head
+        best: Dict[
+            Tuple[Tuple[str, int], ...], Tuple[OrderKey, IDBinding, _Origin]
+        ] = {}
+        for binding, origin in zip(rows.bindings, rows.origins):
+            projected = {v: binding[v] for v in head if v in binding}
+            row_key = canonical(projected)
+            key = OrderKey(
+                tuple(cell_key(binding.get(v)) for v in order_vars),
+                flags,
+                tuple(cell_key(binding.get(v)) for v in head),
+            )
+            current = best.get(row_key)
+            if current is None or key < current[0]:
+                best[row_key] = (key, projected, origin)
+        ordered = sorted(best.values(), key=lambda item: item[0])
+        sliced = ordered[self.offset :]
+        if self.limit is not None:
+            sliced = sliced[: self.limit]
+        for _, projected, origin in sliced:
+            yield projected, origin
+        return ()
+
+    def describe(self) -> str:
+        order = ",".join(
+            f"desc(?{c.variable.name})" if c.descending
+            else f"?{c.variable.name}"
+            for c in self.order
+        )
+        head = " ".join(f"?{v.name}" for v in self.head) or "(ask)"
+        note = f" order={order}"
+        if self.offset:
+            note += f" offset={self.offset}"
+        if self.limit is not None:
+            note += f" limit={self.limit}"
+        return f"{self.kind} {head}{note}"
+
+
 class PlanInterpreter:
-    """Memoised plan walker: each node executes exactly once.
+    """Memoised plan walker: each node's generator starts exactly once.
 
     The interpreter is what makes incremental plan construction cheap —
     the adaptive planner extends the tree one operator at a time and
-    re-runs the root; already-executed sub-trees return their cached
-    :class:`Rows` without re-charging the network.
+    re-runs the root; already-started sub-trees resume their cached
+    :class:`_Stream` without re-charging the network for materialised
+    rows.  ``run(node, demand)`` pulls at most ``demand`` rows
+    (``None`` drains the node — byte-identical to the pre-demand eager
+    interpreter); the returned :class:`Rows` is a live view of the
+    stream's materialised prefix.
     """
 
     def __init__(self, ctx: ExecContext) -> None:
         self.ctx = ctx
         # Keyed by the node itself (identity hash): the memo then also
         # keeps every executed node alive, so a recycled object id can
-        # never alias a dead node's cached result.
-        self._memo: Dict[FedOp, Rows] = {}
+        # never alias a dead node's cached stream.
+        self._memo: Dict[FedOp, _Stream] = {}
 
-    def run(self, node: FedOp) -> Rows:
+    def stream(self, node: FedOp) -> _Stream:
         cached = self._memo.get(node)
         if cached is None:
-            cached = node._execute(self.ctx, self)
+            cached = _Stream(node._stream(self.ctx, self))
             self._memo[node] = cached
         return cached
+
+    def run(self, node: FedOp, demand: Optional[int] = None) -> Rows:
+        stream = self.stream(node)
+        stream.pull(demand)
+        return Rows(stream.bindings, stream.origins, wave=stream.wave)
 
 
 def explain_fed_plan(root: FedOp) -> str:
@@ -910,6 +1193,7 @@ class FederatedPlanner:
         decisions: List[Decision],
         branch_index: int,
         label: str = "",
+        demand: Optional[int] = None,
     ) -> Tuple[FedOp, List[CompiledFilter]]:
         """Build and run the adaptive plan one decision at a time.
 
@@ -917,6 +1201,11 @@ class FederatedPlanner:
         endpoint cardinalities and the *actual* intermediate binding
         count (the memoised interpreter makes re-running the extended
         root free), then appends the chosen operator to the tree.
+
+        ``demand`` caps how many rows each step materialises — a
+        LIMIT-bearing query plans against (at most) the rows it can
+        ever emit; the streams stay resumable, so a downstream consumer
+        needing more simply pulls deeper.
         """
         host = self.host
         prefix = label or f"b{branch_index}"
@@ -937,7 +1226,7 @@ class FederatedPlanner:
             for i, tp in remaining
         }
         root: FedOp = InputNode()
-        rows = interp.run(root)
+        rows = interp.run(root, demand)
         bound: FrozenSet[Variable] = frozenset()
         # Memoised per conjunct: endpoint counts are static for the whole
         # execution and only the `cached` flags can change — and only
@@ -1030,7 +1319,7 @@ class FederatedPlanner:
                     decision=decision,
                     label=f"{prefix} pull",
                 )
-            rows = interp.run(root)
+            rows = interp.run(root, demand)
             if decision.action == "pull":
                 stats_memo.clear()  # cached flags changed
             bound = bound_after
@@ -1039,7 +1328,7 @@ class FederatedPlanner:
             )
             if ready:
                 root = FilterNode(root, ready)
-                rows = interp.run(root)
+                rows = interp.run(root, demand)
             if not rows.bindings:
                 break
         return root, remaining_filters
@@ -1122,6 +1411,7 @@ class FederatedPlanner:
         decisions: List[Decision],
         branch_index: int,
         label: str = "",
+        demand: Optional[int] = None,
     ) -> Tuple[FedOp, List[CompiledFilter]]:
         """The adaptive construction over exclusive-group units with
         makespan-priced decisions (``parallel=True``)."""
@@ -1131,7 +1421,7 @@ class FederatedPlanner:
         remaining = self.exclusive_units(patterns)
         counts = {unit.index: self._unit_counts(unit) for unit in remaining}
         root: FedOp = InputNode()
-        rows = interp.run(root)
+        rows = interp.run(root, demand)
         bound: FrozenSet[Variable] = frozenset()
         # Counts are read once above; only the `cached` flags can change
         # — and only after a pull, which clears this memo wholesale.
@@ -1253,7 +1543,7 @@ class FederatedPlanner:
                     decision=decision,
                     label=f"{prefix} pull",
                 )
-            rows = interp.run(root)
+            rows = interp.run(root, demand)
             if decision.action == "pull":
                 stats_memo.clear()  # cached flags changed
             bound = bound_after
@@ -1262,7 +1552,7 @@ class FederatedPlanner:
             )
             if ready:
                 root = FilterNode(root, ready)
-                rows = interp.run(root)
+                rows = interp.run(root, demand)
             if not rows.bindings:
                 break
         return root, remaining_filters

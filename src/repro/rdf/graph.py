@@ -17,6 +17,14 @@ lookups scan it.  All mutation goes through :meth:`Graph.add` /
 :meth:`Graph.remove` so the indexes can never drift from the triple set
 (a property-tested invariant).
 
+The triple set and the index leaves are insertion-ordered mappings, not
+hash sets, so every iteration order is a pure function of the sequence
+of ``add`` calls.  With hash sets of integers the order would follow
+the ID *values*, which depend on what else was interned into the shared
+process-wide dictionary first — and that turned demand-driven
+(order-sensitive) federated executions into functions of unrelated
+earlier work in the same process.
+
 The public API is term-level and unchanged from the pre-dictionary store:
 callers pass and receive :class:`~repro.rdf.triples.Triple` objects and
 never see IDs.  The ID-level access path (:meth:`Graph.triples_ids`,
@@ -34,11 +42,15 @@ from repro.rdf.triples import Triple, TriplePattern
 
 __all__ = ["Graph"]
 
-_Index = Dict[int, Dict[int, Set[int]]]
+# The leaf level is an insertion-ordered Dict[int, None] used as an
+# ordered set: iteration must not depend on the ID values (see module
+# docstring).
+_Leaf = Dict[int, None]
+_Index = Dict[int, Dict[int, _Leaf]]
 
 
 def _index_add(index: _Index, a: int, b: int, c: int) -> None:
-    index.setdefault(a, {}).setdefault(b, set()).add(c)
+    index.setdefault(a, {}).setdefault(b, {})[c] = None
 
 
 def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
@@ -48,7 +60,7 @@ def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
     level2 = level1.get(b)
     if level2 is None:
         return
-    level2.discard(c)
+    level2.pop(c, None)
     if not level2:
         del level1[b]
         if not level1:
@@ -57,7 +69,8 @@ def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
 
 def _copy_index(index: _Index) -> _Index:
     return {
-        a: {b: set(c) for b, c in level1.items()} for a, level1 in index.items()
+        a: {b: dict(c) for b, c in level1.items()}
+        for a, level1 in index.items()
     }
 
 
@@ -87,7 +100,7 @@ class Graph:
         self._dict: TermDictionary = (
             dictionary if dictionary is not None else default_dictionary()
         )
-        self._ids: Set[IDTriple] = set()
+        self._ids: Dict[IDTriple, None] = {}
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
@@ -129,7 +142,7 @@ class Graph:
     def _add_ids(self, ids: IDTriple) -> bool:
         if ids in self._ids:
             return False
-        self._ids.add(ids)
+        self._ids[ids] = None
         s, p, o = ids
         _index_add(self._spo, s, p, o)
         _index_add(self._pos, p, o, s)
@@ -147,7 +160,7 @@ class Graph:
         ids = self._lookup_ids(triple)
         if ids is None or ids not in self._ids:
             return False
-        self._ids.discard(ids)
+        del self._ids[ids]
         s, p, o = ids
         _index_remove(self._spo, s, p, o)
         _index_remove(self._pos, p, o, s)
@@ -500,7 +513,7 @@ class Graph:
 
     def copy(self, name: str = "") -> "Graph":
         out = Graph(name=name or self.name, dictionary=self._dict)
-        out._ids = set(self._ids)
+        out._ids = dict(self._ids)
         out._spo = _copy_index(self._spo)
         out._pos = _copy_index(self._pos)
         out._osp = _copy_index(self._osp)
@@ -522,18 +535,24 @@ class Graph:
             small, large = (
                 (self, other) if len(self) <= len(other) else (other, self)
             )
-            return self._from_ids(small._ids & large._ids)
-        small, large = (self, other) if len(self) <= len(other) else (other, self)
+            return self._from_ids(
+                t for t in small._ids if t in large._ids
+            )
+        small, large = (
+            (self, other) if len(self) <= len(other) else (other, self)
+        )
         return Graph(t for t in small if t in large)
 
     def __sub__(self, other: "Graph") -> "Graph":
         if other._dict is self._dict:
-            return self._from_ids(self._ids - other._ids)
+            return self._from_ids(
+                t for t in self._ids if t not in other._ids
+            )
         return Graph(t for t in self if t not in other)
 
     def issubset(self, other: "Graph") -> bool:
         if other._dict is self._dict:
-            return self._ids <= other._ids
+            return self._ids.keys() <= other._ids.keys()
         return all(t in other for t in self)
 
     # ------------------------------------------------------------------
@@ -579,4 +598,5 @@ class Graph:
             for s, preds in by_s.items()
             for p in preds
         }
-        return spo == self._ids and pos == self._ids and osp == self._ids
+        ids = set(self._ids)
+        return spo == ids and pos == ids and osp == ids

@@ -48,6 +48,7 @@ __all__ = [
     "Filter",
     "translate_group",
     "evaluate_algebra",
+    "reference_select",
 ]
 
 
@@ -191,6 +192,50 @@ def translate_group(group: GroupPattern) -> AlgebraNode:
     for expr in filters:
         node = Filter(expr, node)
     return node
+
+
+def reference_select(graph: Graph, ast) -> List[Tuple[Optional[Term], ...]]:
+    """Naive-but-correct SELECT with solution modifiers (the oracle).
+
+    Evaluates the WHERE clause with :func:`evaluate_algebra`, sorts the
+    *full* solution mappings (ORDER BY may name non-projected
+    variables), projects, deduplicates keeping the first occurrence, and
+    slices — a direct transcription of the SPARQL result-construction
+    pipeline, independent of the streaming operators it checks.
+
+    Returns the projected term rows in query order (``None`` = unbound).
+    """
+    solutions = list(evaluate_algebra(graph, translate_group(ast.where)))
+    variables = ast.projected()
+
+    def cell_key(term: Optional[Term]) -> Tuple:
+        return (0,) if term is None else (1,) + term.sort_key()
+
+    def projected_key(mu: SolutionMapping) -> Tuple:
+        return tuple(cell_key(mu.get(v)) for v in variables)
+
+    # Canonical tiebreak first, then each ORDER BY condition via stable
+    # sorts applied right-to-left — a deliberately different algorithm
+    # from the engines' comparator keys.
+    solutions.sort(key=projected_key)
+    for condition in reversed(ast.order):
+        solutions.sort(
+            key=lambda mu: cell_key(mu.get(condition.variable)),
+            reverse=condition.descending,
+        )
+    rows: List[Tuple[Optional[Term], ...]] = []
+    seen: Set[Tuple[Optional[Term], ...]] = set()
+    for mu in solutions:
+        row = tuple(mu.get(v) for v in variables)
+        if row in seen:
+            continue
+        seen.add(row)
+        rows.append(row)
+    offset = ast.offset or 0
+    rows = rows[offset:]
+    if ast.limit is not None:
+        rows = rows[: ast.limit]
+    return rows
 
 
 def _eval_filter_expr(expr: FilterExpr, mu: SolutionMapping) -> bool:

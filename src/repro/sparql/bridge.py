@@ -381,19 +381,18 @@ def sparql_to_branches(
     bind a head variable leaves its cell unbound (``None`` in projected
     rows), matching the single-graph planner.
 
+    Solution modifiers (ORDER BY/LIMIT/OFFSET) are *not* applied here —
+    branches describe the WHERE clause only.  The federated executor
+    reads the modifiers off the AST itself and applies them through its
+    demand-aware operator layer (:mod:`repro.federation.plan`).
+
     Raises:
-        UnsupportedSparqlError: for non-SELECT/ASK queries, solution
-            modifiers (ORDER BY/LIMIT/OFFSET), queries whose DNF
-            exceeds :data:`MAX_BRANCHES`, nested OPTIONAL, or
+        UnsupportedSparqlError: for non-SELECT/ASK queries, queries
+            whose DNF exceeds :data:`MAX_BRANCHES`, nested OPTIONAL, or
             non-well-designed OPTIONAL patterns.
     """
     ast = parse_query(query, nsm) if isinstance(query, str) else query
     if isinstance(ast, SelectQuery):
-        if ast.order or ast.limit is not None or ast.offset is not None:
-            raise UnsupportedSparqlError(
-                "ORDER BY/LIMIT/OFFSET are not supported in federated "
-                "execution"
-            )
         head = ast.projected()
         where = ast.where
     elif isinstance(ast, AskQuery):

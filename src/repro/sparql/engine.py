@@ -23,7 +23,13 @@ from repro.rdf.terms import BlankNode
 from repro.sparql.algebra import translate_group
 from repro.sparql.ast import AskQuery, Query, SelectQuery
 from repro.sparql.parser import parse_query
-from repro.sparql.plan import evaluate_plan, select_rows
+from repro.sparql.plan import (
+    SliceOp,
+    TopKOp,
+    build_plan,
+    evaluate_plan,
+    select_rows,
+)
 from repro.sparql.results import AskResult, SelectResult
 
 __all__ = ["execute", "select", "ask_text"]
@@ -63,6 +69,36 @@ def _execute_select(
 ) -> SelectResult:
     node = translate_group(ast.where)
     variables = ast.projected()
+    if ast.order or ast.limit is not None or ast.offset is not None:
+        # Solution modifiers run over the streaming plan on ID rows:
+        # TopK sorts full solutions (ORDER BY may name non-projected
+        # variables) with bounded state; a bare slice stops pulling the
+        # plan once the window is full.
+        plan = build_plan(graph, node)
+        decode = graph.decode_id
+        keep = None
+        if not include_blanks:
+
+            def keep(row):
+                return not any(
+                    tid is not None and isinstance(decode(tid), BlankNode)
+                    for tid in row
+                )
+
+        offset = ast.offset or 0
+        if ast.order:
+            id_rows = TopKOp(
+                graph, plan, variables, ast.order, offset, ast.limit, keep
+            ).rows()
+        else:
+            id_rows = SliceOp(
+                plan, variables, offset, ast.limit, keep
+            ).rows()
+        decoded = [
+            tuple(None if tid is None else decode(tid) for tid in row)
+            for row in id_rows
+        ]
+        return SelectResult(variables, decoded)
     rows = select_rows(graph, node, variables)
     if not include_blanks:
         rows = {
@@ -70,28 +106,9 @@ def _execute_select(
             for row in rows
             if not any(isinstance(cell, BlankNode) for cell in row)
         }
-    # Set semantics first (the paper evaluates under set semantics), then
-    # solution modifiers.
-    unique_rows = sorted(rows, key=_row_sort_key)
-    if ast.order:
-        for condition in reversed(ast.order):
-            try:
-                index = variables.index(condition.variable)
-            except ValueError:
-                raise SparqlEvaluationError(
-                    f"ORDER BY variable ?{condition.variable.name} "
-                    "is not projected"
-                ) from None
-            unique_rows.sort(
-                key=lambda row: _cell_sort_key(row[index]),
-                reverse=condition.descending,
-            )
-    offset = ast.offset or 0
-    if offset:
-        unique_rows = unique_rows[offset:]
-    if ast.limit is not None:
-        unique_rows = unique_rows[: ast.limit]
-    return SelectResult(variables, unique_rows)
+    # Set semantics (the paper evaluates under set semantics); the
+    # canonical sort keeps unmodified results deterministic.
+    return SelectResult(variables, sorted(rows, key=_row_sort_key))
 
 
 def _cell_sort_key(cell):

@@ -223,14 +223,24 @@ class SparqlParser:
         limit: Optional[int] = None
         offset: Optional[int] = None
         while self.at_keyword("LIMIT", "OFFSET"):
+            keyword_token = self.peek()
             keyword = self.next().value
+            if (keyword == "LIMIT" and limit is not None) or (
+                keyword == "OFFSET" and offset is not None
+            ):
+                raise self.error(keyword_token, f"duplicate {keyword} clause")
             number = self.next()
             if number.kind != "integer":
                 raise self.error(number, f"expected integer after {keyword}")
+            value = int(number.value)
+            if value < 0:
+                raise self.error(
+                    number, f"{keyword} must be non-negative, got {value}"
+                )
             if keyword == "LIMIT":
-                limit = int(number.value)
+                limit = value
             else:
-                offset = int(number.value)
+                offset = value
         return limit, offset
 
     # -- group graph patterns ---------------------------------------------

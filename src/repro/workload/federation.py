@@ -26,11 +26,14 @@ from repro.workload.topologies import peer_namespace
 __all__ = [
     "SHARED",
     "federated_rps",
+    "federated_ask_sparql",
     "federated_exclusive_query",
+    "federated_limit_sparql",
     "federated_optional_filter_sparql",
     "federated_optional_sparql",
     "federated_path_query",
     "federated_selective_query",
+    "federated_topk_sparql",
     "federated_union_filter_sparql",
     "grow_knows_relation",
 ]
@@ -228,6 +231,76 @@ def federated_optional_filter_sparql(entity: int = 3) -> str:
         "SELECT ?x ?y ?z WHERE { "
         f"?x {p0} ?y OPTIONAL {{ ?y {p1} ?z FILTER(?z != {anchor}) }} }}"
     )
+
+
+def _path_sparql_body(hops: int, anchor: Optional[int] = None) -> str:
+    """The WHERE body of the cross-peer path query, as SPARQL text.
+
+    With ``anchor`` set, the first hop's subject is the ground entity
+    ``e{anchor}`` instead of a variable — the selective shape that makes
+    bound joins the winning plan even without a demand cap.
+    """
+    if hops < 1:
+        raise ValueError("path query needs at least one hop")
+    conjuncts = []
+    for i in range(hops):
+        subject = (
+            SHARED.term(f"e{anchor}").n3()
+            if i == 0 and anchor is not None
+            else f"?x{i}"
+        )
+        conjuncts.append(
+            f"{subject} {peer_namespace(i).knows.n3()} ?x{i + 1}"
+        )
+    return " . ".join(conjuncts)
+
+
+def federated_limit_sparql(
+    hops: int = 2,
+    limit: Optional[int] = None,
+    offset: int = 0,
+    anchor: Optional[int] = None,
+) -> str:
+    """The federated path query as SPARQL, with an optional slice.
+
+    Same shape as :func:`federated_path_query` — hop *i* uses peer i's
+    ``knows`` predicate, so every conjunct routes to one endpoint and
+    bound joins carry the intermediate bindings.  A ``LIMIT`` turns it
+    into the demand-propagation workload: the executor should stop
+    issuing sub-queries once the window fills.  ``anchor`` grounds the
+    first subject (see :func:`federated_selective_query`), keeping the
+    unlimited plan on bound joins so limited and unlimited runs ship
+    the *same kind* of messages and the slice's savings are isolated.
+    """
+    first = 0 if anchor is None else 1
+    head = " ".join(f"?x{i}" for i in range(first, hops + 1))
+    text = f"SELECT {head} WHERE {{ {_path_sparql_body(hops, anchor)} }}"
+    if offset:
+        text += f" OFFSET {offset}"
+    if limit is not None:
+        text += f" LIMIT {limit}"
+    return text
+
+
+def federated_topk_sparql(hops: int = 2, limit: int = 5) -> str:
+    """A federated top-k: the path query ordered before its slice.
+
+    ``ORDER BY`` names the path's *interior* variable (non-projected),
+    so the engine must sort full solutions before projecting; the sort
+    is a pipeline breaker, leaving the slice to trim a fully-drained
+    result — the contrast case to :func:`federated_limit_sparql`.
+    """
+    text = f"SELECT ?x0 ?x{hops} WHERE {{ {_path_sparql_body(hops)} }}"
+    return text + f" ORDER BY DESC(?x1) ?x0 LIMIT {limit}"
+
+
+def federated_ask_sparql(hops: int = 2) -> str:
+    """An ASK over the federated path: satisfiability, not enumeration.
+
+    The executor answers it with demand one — the first surviving row
+    short-circuits the whole bound-join pipeline.
+    """
+    return f"ASK {{ {_path_sparql_body(hops)} }}"
 
 
 def federated_union_filter_sparql() -> str:

@@ -31,6 +31,16 @@ STREAMING_WORKLOADS = (
     "optional_filter@3p",
 )
 
+LIMIT_WORKLOADS = (
+    "deep_bound@3p",
+    "deep_pipelined@3p",
+    "topk@3p",
+    "ask@3p",
+)
+
+#: Limit-suite workloads where the gate demands a *strict* win.
+DEEP_LIMIT_WORKLOADS = ("deep_bound@3p", "deep_pipelined@3p", "ask@3p")
+
 EXPECTED_BENCHMARKS = {
     "match/by_subject",
     "match/by_predicate",
@@ -64,6 +74,10 @@ EXPECTED_BENCHMARKS = {
     f"streaming/{workload}:{mode}"
     for workload in STREAMING_WORKLOADS
     for mode in ("wave", "pipelined")
+} | {
+    f"limit/{workload}:{kind}"
+    for workload in LIMIT_WORKLOADS
+    for kind in ("unlimited", "limited")
 }
 
 
@@ -321,6 +335,58 @@ def test_check_fails_when_pipelining_loses_wall_clock(report, committed):
     assert not outcome.ok
     assert any(
         "exceeds the wave barrier" in failure for failure in outcome.failures
+    )
+
+
+def test_limit_rows_cut_messages_and_makespan(report):
+    data, _ = report
+    rows = {
+        row["name"]: row["meta"]
+        for row in data["benchmarks"]
+        if row["name"].startswith("limit/")
+    }
+    assert rows
+    for workload in LIMIT_WORKLOADS:
+        full = rows[f"limit/{workload}:unlimited"]
+        cut = rows[f"limit/{workload}:limited"]
+        assert cut["messages"] <= full["messages"], workload
+        if workload in DEEP_LIMIT_WORKLOADS:
+            # Demand propagation must demonstrably stop the pipeline,
+            # not merely discard surplus rows after paying for them.
+            assert cut["messages"] < full["messages"], workload
+            assert cut["elapsed_seconds"] < full["elapsed_seconds"], workload
+
+
+def test_check_fails_when_limit_stops_saving_messages(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    # Doctor fresh and committed identically so only the demand
+    # invariant trips, not the deterministic-metric comparison.
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "limit/deep_bound@3p:limited":
+                row["meta"]["messages"] = 10_000
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "capped run shipped more messages" in failure
+        for failure in outcome.failures
+    )
+
+
+def test_check_fails_when_limit_loses_its_makespan_win(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "limit/ask@3p:limited":
+                row["meta"]["elapsed_seconds"] = 10_000.0
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "no strict makespan win" in failure for failure in outcome.failures
     )
 
 

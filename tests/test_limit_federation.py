@@ -1,0 +1,260 @@
+"""Early termination through the federated streaming layer (PR 6).
+
+Demand propagation must (a) leave answer sets correct — limited and
+ordered federated queries agree with the single-graph oracle across
+every strategy — and (b) actually save work: a ``LIMIT`` over a deep
+multi-batch bound-join pipeline ships strictly fewer messages and
+finishes strictly earlier than the unlimited run, and ``ASK``
+short-circuits after the first surviving row.
+"""
+
+import random
+
+import pytest
+
+from repro.federation.executor import STRATEGIES, FederatedExecutor
+from repro.federation.network import NetworkModel
+from repro.federation.plan import SliceNode, TopKNode
+from repro.sparql.algebra import (
+    evaluate_algebra,
+    reference_select,
+    translate_group,
+)
+from repro.sparql.parser import parse_query
+from repro.workload.federation import (
+    federated_ask_sparql,
+    federated_limit_sparql,
+    federated_rps,
+    federated_topk_sparql,
+)
+from repro.workload.topologies import peer_namespace
+
+#: Slow enough per-solution that shipped rows dominate the simulated
+#: clock; batch_size=1 makes every bound-join binding its own message,
+#: the deep multi-batch shape demand propagation exists to cut short.
+DEEP_NETWORK = dict(
+    latency_seconds=0.01, per_solution_seconds=0.01, per_triple_seconds=0.05
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return federated_rps(peers=3, entities=20, facts=60, seed=7)
+
+
+@pytest.fixture(scope="module")
+def merged(system):
+    return system.stored_database()
+
+
+def deep_executor(system):
+    return FederatedExecutor(
+        system,
+        network=NetworkModel(**DEEP_NETWORK),
+        batch_size=1,
+        concurrency=4,
+    )
+
+
+def stats_for(system, text, strategy):
+    result = deep_executor(system).execute(text, strategy)
+    return result, result.stats
+
+
+# ---------------------------------------------------------------------------
+# The work actually stops: messages and makespan
+# ---------------------------------------------------------------------------
+
+
+def test_limit_cuts_messages_and_time_on_deep_bound_join(system):
+    """Serial bound joins: LIMIT 10 must stop issuing sub-queries."""
+    unlimited, full = stats_for(
+        system, federated_limit_sparql(hops=3), "bound"
+    )
+    limited, cut = stats_for(
+        system, federated_limit_sparql(hops=3, limit=10), "bound"
+    )
+    assert len(limited.rows) == 10
+    assert len(unlimited.rows) > 10
+    assert cut.messages < full.messages
+    assert cut.elapsed_seconds < full.elapsed_seconds
+    # A deep pipeline's savings are large, not marginal.
+    assert cut.messages * 10 < full.messages
+
+
+def test_limit_cuts_messages_and_time_on_pipelined_runtime(system):
+    """PARALLEL strategy: demand flows through the recorded runtime.
+
+    The anchored path keeps the unlimited plan on bound joins too, so
+    both runs ship the same kind of messages and the comparison
+    isolates what the demand cap saves.
+    """
+    unlimited, full = stats_for(
+        system, federated_limit_sparql(hops=3, anchor=3), "parallel"
+    )
+    limited, cut = stats_for(
+        system, federated_limit_sparql(hops=3, limit=10, anchor=3), "parallel"
+    )
+    assert len(limited.rows) == 10
+    assert len(unlimited.rows) > 10
+    assert cut.messages < full.messages
+    assert cut.elapsed_seconds < full.elapsed_seconds
+
+
+def test_ask_short_circuits_the_pipeline(system):
+    """ASK plans with demand one: first surviving row ends the run."""
+    enumerate_all, full = stats_for(
+        system, federated_limit_sparql(hops=3), "bound"
+    )
+    asked, cut = stats_for(system, federated_ask_sparql(hops=3), "bound")
+    assert asked.rows == {()}
+    assert cut.messages < full.messages
+    assert cut.messages * 10 < full.messages
+
+
+def test_ask_agrees_with_oracle_for_empty_answers(system, merged):
+    # hops=4 names peer3's predicate, which no peer stores: provably
+    # empty, and the federated ASK must say so without inventing rows.
+    text = federated_ask_sparql(hops=4)
+    ast = parse_query(text)
+    expected = bool(evaluate_algebra(merged, translate_group(ast.where)))
+    for strategy in STRATEGIES:
+        result = deep_executor(system).execute(text, strategy)
+        assert bool(result.rows) == expected, strategy
+
+
+def test_unlimited_traffic_is_unchanged_by_the_demand_machinery(system):
+    """No cap, no behaviour change: a query without modifiers must cost
+    exactly what it did before demand propagation existed (the lazy
+    interpreter drains fully and reproduces the eager batch order)."""
+    text = federated_limit_sparql(hops=2)
+    first = deep_executor(system).execute(text, "parallel")
+    second = deep_executor(system).execute(text, "parallel")
+    assert first.stats.messages == second.stats.messages
+    assert first.stats.elapsed_seconds == second.stats.elapsed_seconds
+
+
+# ---------------------------------------------------------------------------
+# Answers stay right while stopping early
+# ---------------------------------------------------------------------------
+
+
+def test_limited_answers_are_a_window_of_the_oracle(system, merged):
+    text = federated_limit_sparql(hops=3, limit=10)
+    ast = parse_query(text)
+    full = set(reference_select(merged, parse_query(federated_limit_sparql(hops=3))))
+    for strategy in STRATEGIES:
+        result = deep_executor(system).execute(text, strategy)
+        assert len(result.rows) == 10, strategy
+        assert result.rows <= full, strategy
+
+
+def test_offset_past_end_and_limit_zero_are_empty(system):
+    for text in (
+        federated_limit_sparql(hops=2, limit=0),
+        federated_limit_sparql(hops=2, limit=3, offset=10_000),
+    ):
+        for strategy in STRATEGIES:
+            result = deep_executor(system).execute(text, strategy)
+            assert result.rows == set(), (strategy, text)
+
+
+def test_federated_topk_matches_oracle_exactly(system, merged):
+    """ORDER BY pins the window: every strategy must return exactly the
+    oracle's top-k rows (as a set; the executor reports sets)."""
+    text = federated_topk_sparql(hops=2, limit=5)
+    expected = set(reference_select(merged, parse_query(text)))
+    executor = deep_executor(system)
+    for strategy in STRATEGIES:
+        result = executor.execute(text, strategy)
+        assert result.rows == expected, strategy
+
+
+def test_run_all_strategies_accepts_divergent_unordered_windows(system):
+    # The built-in cross-checker must compare cardinality, not content,
+    # for unordered slices — different strategies legally pick
+    # different windows.
+    results = deep_executor(system).run_all_strategies(
+        federated_limit_sparql(hops=3, limit=7)
+    )
+    assert all(len(r.rows) == 7 for r in results.values())
+
+
+def test_plan_root_reflects_the_modifier(system):
+    executor = deep_executor(system)
+    sliced = executor.execute(federated_limit_sparql(hops=2, limit=4))
+    assert isinstance(sliced.plans[0], SliceNode)
+    ordered = executor.execute(federated_topk_sparql(hops=2, limit=4))
+    assert isinstance(ordered.plans[0], TopKNode)
+
+
+def test_explain_renders_slice_and_topk(system):
+    executor = deep_executor(system)
+    sliced = executor.explain(federated_limit_sparql(hops=2, limit=4, offset=1))
+    assert "Slice offset=1 limit=4" in sliced
+    ordered = executor.explain(federated_topk_sparql(hops=2, limit=4))
+    assert "TopK" in ordered
+    assert "desc(?x1)" in ordered
+
+
+# ---------------------------------------------------------------------------
+# Randomized modifier equivalence across every strategy
+# ---------------------------------------------------------------------------
+
+
+def _random_federated_modifier_queries(count, seed, peers=3):
+    rng = random.Random(seed)
+    names = ["a", "b", "c"]
+    predicates = [peer_namespace(k).knows.n3() for k in range(peers)] + [
+        peer_namespace(k).age.n3() for k in range(peers)
+    ]
+    for _ in range(count):
+        hops = rng.randint(1, 2)
+        body = " . ".join(
+            f"?{names[i]} {rng.choice(predicates)} ?{names[i + 1]}"
+            for i in range(hops)
+        )
+        variables = names[: hops + 1]
+        projected = rng.sample(variables, rng.randint(1, len(variables)))
+        head = " ".join(f"?{v}" for v in projected)
+        base = f"SELECT {head} WHERE {{ {body} }}"
+        ordered = rng.random() < 0.6
+        modifiers = ""
+        if ordered:
+            conditions = [
+                f"DESC(?{v})" if rng.random() < 0.5 else f"?{v}"
+                for v in rng.sample(variables, rng.randint(1, 2))
+            ]
+            modifiers += " ORDER BY " + " ".join(conditions)
+        shape = rng.randrange(4)
+        if shape == 1:
+            modifiers += f" LIMIT {rng.choice([0, 1, 5, 40])}"
+        elif shape == 2:
+            modifiers += f" OFFSET {rng.choice([2, 1000])}"
+        elif shape == 3:
+            modifiers += f" OFFSET {rng.choice([0, 3])} LIMIT {rng.randint(1, 9)}"
+        yield base, modifiers, ordered
+
+
+@pytest.mark.parametrize("seed", [5, 29])
+def test_randomized_federated_modifier_equivalence(system, merged, seed):
+    """Fuzz every strategy against the single-graph oracle.
+
+    Ordered queries must match the oracle's window exactly; unordered
+    slices admit any distinct window of the right size drawn from the
+    full answer set.
+    """
+    executor = deep_executor(system)
+    for base, modifiers, ordered in _random_federated_modifier_queries(
+        12, seed
+    ):
+        text = base + modifiers
+        expected = reference_select(merged, parse_query(text))
+        full = set(reference_select(merged, parse_query(base)))
+        for strategy in STRATEGIES:
+            got = executor.execute(text, strategy).rows
+            if ordered:
+                assert got == set(expected), (strategy, text)
+            else:
+                assert len(got) == len(expected), (strategy, text)
+                assert got <= full, (strategy, text)

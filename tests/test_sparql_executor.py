@@ -12,7 +12,13 @@ from repro.rdf.graph import Graph
 from repro.rdf.namespaces import Namespace
 from repro.rdf.terms import Literal
 from repro.rdf.triples import Triple
-from repro.sparql.algebra import evaluate_algebra, translate_group
+import random
+
+from repro.sparql.algebra import (
+    evaluate_algebra,
+    reference_select,
+    translate_group,
+)
 from repro.sparql.bridge import gpq_to_sparql
 from repro.sparql.engine import ask_text, select
 from repro.sparql.parser import parse_query
@@ -169,6 +175,43 @@ def test_select_modifiers_still_apply(small_graph):
     assert names == sorted(names, key=lambda t: t.sort_key(), reverse=True)
 
 
+def test_order_by_non_projected_variable(small_graph):
+    # ?y never appears in the projection, so the engine must sort the
+    # full solutions before projecting them away.
+    text = (
+        "SELECT ?x WHERE { ?x <http://example.org/p> ?y } "
+        "ORDER BY DESC(?y) ?x"
+    )
+    result = select(small_graph, text)
+    expected = reference_select(small_graph, parse_query(text))
+    assert result.rows == expected
+    # Sanity: the order differs from the canonical projected order, so
+    # the test would catch an engine that sorted after projection.
+    assert [row[0] for row in result.rows] != sorted(
+        (row[0] for row in result.rows), key=lambda t: t.sort_key()
+    )
+
+
+def test_limit_zero_and_offset_past_end(small_graph):
+    base = "SELECT ?x WHERE { ?x <http://example.org/p> ?y }"
+    assert select(small_graph, base + " LIMIT 0").rows == []
+    assert select(small_graph, base + " OFFSET 99").rows == []
+    assert select(small_graph, base + " ORDER BY ?x LIMIT 0").rows == []
+    assert select(small_graph, base + " ORDER BY ?x OFFSET 99").rows == []
+
+
+def test_order_by_ties_break_on_projected_row(small_graph):
+    # Every ?x shares the same (absent) value for ?missing: an all-ties
+    # sort, which must fall back to the deterministic canonical order of
+    # the projected rows — in both the engine and the oracle.
+    text = (
+        "SELECT ?x WHERE { ?x <http://example.org/p> ?y } "
+        "ORDER BY ?missing OFFSET 1 LIMIT 2"
+    )
+    result = select(small_graph, text)
+    assert result.rows == reference_select(small_graph, parse_query(text))
+
+
 # ---------------------------------------------------------------------------
 # Planner structure
 # ---------------------------------------------------------------------------
@@ -247,3 +290,69 @@ def test_randomized_engine_matches_reference_modifier_pipeline(seed):
         key=lambda t: t.sort_key(),
     )[:7]
     assert [row[0] for row in result.rows] == expected
+
+
+def random_modifier_queries(predicates, count, seed):
+    """Generated path queries with random solution-modifier combos.
+
+    Yields ``(text, ordered)`` pairs.  Shapes cover ORDER BY on
+    projected and non-projected variables, ASC/DESC mixes, DISTINCT,
+    LIMIT 0, offsets past the end, and bare slices with no ordering.
+    """
+    rng = random.Random(seed)
+    names = ["a", "b", "c", "d"]
+    for _ in range(count):
+        hops = rng.randint(1, 3)
+        body = " . ".join(
+            f"?{names[i]} {rng.choice(predicates)} ?{names[i + 1]}"
+            for i in range(hops)
+        )
+        variables = names[: hops + 1]
+        projected = rng.sample(variables, rng.randint(1, len(variables)))
+        head = " ".join(f"?{v}" for v in projected)
+        distinct = "DISTINCT " if rng.random() < 0.3 else ""
+        text = f"SELECT {distinct}{head} WHERE {{ {body} }}"
+        ordered = rng.random() < 0.7
+        if ordered:
+            conditions = []
+            for v in rng.sample(variables, rng.randint(1, 2)):
+                conditions.append(
+                    f"DESC(?{v})" if rng.random() < 0.5 else f"?{v}"
+                )
+            text += " ORDER BY " + " ".join(conditions)
+        slice_shape = rng.randrange(5)
+        if slice_shape == 1:
+            text += " LIMIT 0"
+        elif slice_shape == 2:
+            text += f" LIMIT {rng.randint(1, 12)}"
+        elif slice_shape == 3:
+            text += f" OFFSET {rng.choice([1, 3, 500])}"
+        elif slice_shape == 4:
+            text += (
+                f" OFFSET {rng.choice([0, 2, 500])}"
+                f" LIMIT {rng.randint(0, 12)}"
+            )
+        yield text, ordered
+
+
+@pytest.mark.parametrize("seed", [7, 19, 42])
+def test_randomized_modifier_equivalence(seed):
+    """Fuzz: the ID-native engine equals the oracle on modifier combos.
+
+    Ordered queries must reproduce the oracle's exact row sequence; an
+    unordered slice admits any distinct window, so those check subset-
+    of-full-answer plus exact cardinality.
+    """
+    graph = random_graph(triples=220, seed=seed)
+    predicates = [p.n3() for p in sorted(graph.predicates())[:4]]
+    for text, ordered in random_modifier_queries(predicates, 25, seed):
+        ast = parse_query(text)
+        expected = reference_select(graph, ast)
+        got = select(graph, text).rows
+        if ordered:
+            assert got == expected, text
+        else:
+            full = set(reference_rows(graph, ast))
+            assert len(got) == len(expected), text
+            assert len(set(got)) == len(got), text
+            assert set(got) <= full, text

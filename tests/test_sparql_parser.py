@@ -141,6 +141,10 @@ def test_parser_does_not_mutate_callers_namespace_manager():
         ("SELECT ?x WHERE { <http://e.org/p> ?y }", "object position"),
         ("SELECT ?x WHERE { ?x ?p ?y } ORDER BY", "ORDER BY needs"),
         ("SELECT ?x WHERE { ?x ?p ?y } LIMIT ?x", "expected integer"),
+        ("SELECT ?x WHERE { ?x ?p ?y } LIMIT -2", "non-negative"),
+        ("SELECT ?x WHERE { ?x ?p ?y } OFFSET -3", "non-negative"),
+        ("SELECT ?x WHERE { ?x ?p ?y } LIMIT 2 LIMIT 10", "duplicate LIMIT"),
+        ("SELECT ?x WHERE { ?x ?p ?y } OFFSET 1 OFFSET 2", "duplicate OFFSET"),
         ("SELECT ?x WHERE { FILTER(?x) }", "expected '=' or '!='"),
         ("PREFIX ex <http://e.org/> SELECT ?x WHERE { }", "unexpected identifier"),
         ("PREFIX ex: SELECT ?x WHERE { }", "namespace IRI"),
