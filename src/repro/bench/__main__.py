@@ -12,9 +12,11 @@ Two modes:
   adaptive never Pareto-dominated, parallel makespan never above
   serial, pipelined bound joins never above wave barriers with
   identical messages, LIMIT/ASK demand caps strictly cutting messages
-  and makespan on the deep bound-join workloads) or >``--tolerance``x
-  median speedup regressions against ``--against``.  Used as the CI
-  gate.
+  and makespan on the deep bound-join workloads, recoverable fault
+  scenarios matching the fault-free answers unflagged while
+  unrecoverable ones come back *flagged* partial within the retry
+  budget) or >``--tolerance``x median speedup regressions against
+  ``--against``.  Used as the CI gate.
 """
 
 from __future__ import annotations

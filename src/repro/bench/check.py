@@ -23,7 +23,7 @@ classes of quantity that survive a machine change:
   (default 2x), i.e. on a reproducible >2x relative slowdown of a
   suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts five behaviour invariants on the fresh
+The gate also re-asserts six behaviour invariants on the fresh
 records: bound joins ship strictly fewer messages than naive shipping,
 the adaptive plan is never Pareto-dominated by a fixed strategy (worse
 on messages *and* transfer simultaneously) on any adaptive-suite
@@ -35,7 +35,11 @@ streaming-suite workload while shipping the same messages, with a
 strict makespan win on at least one, and a solution-modifier cap never
 costs messages on any limit-suite workload while strictly cutting both
 messages and makespan on the deep bound-join workloads (demand
-propagation actually stops the pipeline).
+propagation actually stops the pipeline), and on every faults-suite
+scenario a recoverable faulty run returns exactly as many answers as
+its fault-free twin with no partial flag, an unrecoverable run is
+*flagged* partial (never an unflagged subset), and retry traffic stays
+within the ``messages * (1 + max_retries) * (1 + replicas)`` budget.
 """
 
 from __future__ import annotations
@@ -71,6 +75,12 @@ GATED_META = (
     "messages",
     "solutions_transferred",
     "triples_transferred",
+    "retries",
+    "failures",
+    "timeouts",
+    "failovers",
+    "partial",
+    "unreachable",
 )
 
 
@@ -207,6 +217,7 @@ def check_against(
     failures.extend(_parallel_invariant(fresh_rows))
     failures.extend(_streaming_invariant(fresh_rows))
     failures.extend(_limit_invariant(fresh_rows))
+    failures.extend(_faults_invariant(fresh_rows))
     return CheckOutcome(
         ok=not failures,
         failures=failures,
@@ -423,6 +434,69 @@ def _limit_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
             failures.append(
                 f"limit@{workload}: no strict makespan win "
                 f"({cut_elapsed:.6f}s >= {full_elapsed:.6f}s)"
+            )
+    return failures
+
+
+def _faults_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Fault recovery must be exact and degradation must be flagged.
+
+    For every faults-suite scenario the ``:faulty`` run is paired with
+    its ``:faultfree`` twin from the same fresh run.  A scenario marked
+    *recoverable* must return exactly as many answers as the fault-free
+    twin with no partial flag; an unrecoverable one must come back
+    flagged partial with at least one named unreachable endpoint and at
+    most the fault-free answer count — a flagged subset, never a
+    silently wrong one.  Every faulty run's message count must stay
+    within the recorded ``retry_budget``
+    (``faultfree messages * (1 + max_retries) * (1 + replicas)``).
+    """
+    failures = []
+    workloads = {
+        name[len("faults/") :].rsplit(":", 1)[0]
+        for name in fresh_rows
+        if name.startswith("faults/") and ":" in name
+    }
+    for workload in sorted(workloads):
+        faultfree = fresh_rows.get(f"faults/{workload}:faultfree")
+        faulty = fresh_rows.get(f"faults/{workload}:faulty")
+        if faultfree is None or faulty is None:
+            continue
+        free_meta = faultfree.get("meta", {})
+        fault_meta = faulty.get("meta", {})
+        free_results = free_meta.get("results")
+        fault_results = fault_meta.get("results")
+        partial = fault_meta.get("partial")
+        if None in (free_results, fault_results, partial):
+            continue
+        if fault_meta.get("recoverable"):
+            if fault_results != free_results or partial:
+                failures.append(
+                    f"faults@{workload}: recoverable run did not match the "
+                    f"fault-free answers unflagged ({fault_results} vs "
+                    f"{free_results} results, partial={partial})"
+                )
+        else:
+            if not partial or not fault_meta.get("unreachable"):
+                failures.append(
+                    f"faults@{workload}: unrecoverable run came back "
+                    f"unflagged — a silently wrong subset"
+                )
+            if fault_results > free_results:
+                failures.append(
+                    f"faults@{workload}: partial run produced more answers "
+                    f"({fault_results}) than fault-free ({free_results})"
+                )
+        budget = fault_meta.get("retry_budget")
+        messages = fault_meta.get("messages")
+        if (
+            budget is not None
+            and messages is not None
+            and messages > budget
+        ):
+            failures.append(
+                f"faults@{workload}: {messages} messages exceed the retry "
+                f"budget {budget}"
             )
     return failures
 

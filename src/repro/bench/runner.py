@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Nine suites:
+Ten suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -39,7 +39,18 @@ Nine suites:
   messages, that on the deep multi-batch bound-join workloads it ships
   *strictly fewer* messages and finishes strictly earlier, and that
   the limited answers are a correct window of the single-graph answer
-  set (exact for the ordered top-k).
+  set (exact for the ordered top-k);
+* ``faults/*`` — deterministic fault injection and recovery: each
+  scenario runs the same federated query fault-free and under a seeded
+  :class:`~repro.federation.faults.FaultModel` (transient flakiness, a
+  scripted outage window, an endpoint blackout with and without a
+  configured replica), hard asserting that recoverable runs return
+  exactly the fault-free answer set with no partial flag, that the
+  unrecoverable blackout comes back *flagged* partial naming exactly
+  the dead endpoint with answers that are a subset of the fault-free
+  set, that injected faults actually fired, that backoff shows up in
+  the makespan, and that retry traffic never exceeds the
+  ``messages * (1 + max_retries) * (1 + replicas)`` budget.
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
@@ -82,11 +93,15 @@ from repro.sparql.algebra import (
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import select_rows
+from repro.federation.faults import RetryPolicy
 from repro.federation.network import NetworkModel
 from repro.workload.federation import (
+    blackout_fault_model,
     federated_ask_sparql,
     federated_exclusive_query,
     federated_limit_sparql,
+    flaky_fault_model,
+    outage_fault_model,
     federated_optional_filter_sparql,
     federated_optional_sparql,
     federated_path_query,
@@ -838,6 +853,152 @@ def bench_limit(repeat: int) -> List[BenchRecord]:
     return records
 
 
+def bench_faults(repeat: int) -> List[BenchRecord]:
+    """Deterministic fault injection, recovery, and flagged degradation.
+
+    Each scenario runs the same 3-peer path query twice — fault-free
+    and under a seeded :class:`~repro.federation.faults.FaultModel` —
+    emitting a ``:faultfree``/``:faulty`` record pair.  The scenarios
+    cover transient flakiness (serial and parallel mode), a scripted
+    outage window the retry budget outlives, an endpoint blackout
+    rescued by a configured replica, and the same blackout with no
+    replica.  Hard assertions per scenario:
+
+    * the fault-free twin returns exactly the single-graph answer set
+      and carries no partial flag;
+    * the injected faults actually fired (``failures + timeouts > 0``);
+    * *recoverable* scenarios return exactly the fault-free answer set
+      with no partial flag, and every retry's backoff is visible in the
+      makespan (``faulty elapsed > fault-free elapsed``);
+    * the *unrecoverable* blackout comes back flagged partial naming
+      exactly the dead endpoint, and its answers are a subset of the
+      fault-free set — degraded, never silently wrong;
+    * retry traffic respects the budget: faulty ``messages`` never
+      exceed ``faultfree messages * (1 + max_retries) * (1 + replicas)``.
+    """
+    three = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    query = federated_path_query()
+    expected = _single_graph_rows(three, query)
+    flaky = flaky_fault_model(
+        "peer1", failure_rate=0.3, timeout_rate=0.1, seed=15
+    )
+    blackout = blackout_fault_model("peer1")
+    scenarios: List[
+        Tuple[str, str, Any, RetryPolicy, Optional[Dict[str, int]], bool]
+    ] = [
+        ("flaky@3p", ADAPTIVE, flaky, RetryPolicy(max_retries=8), None, True),
+        ("flaky_parallel@3p", PARALLEL, flaky, RetryPolicy(max_retries=8),
+         None, True),
+        ("outage@3p", ADAPTIVE,
+         outage_fault_model("peer1", start=0.0, end=0.12, seed=0),
+         RetryPolicy(max_retries=8, backoff_seconds=0.05), None, True),
+        ("failover@3p", ADAPTIVE, blackout, RetryPolicy(max_retries=1),
+         {"peer1": 1}, True),
+        ("blackout@3p", ADAPTIVE, blackout, RetryPolicy(max_retries=1),
+         None, False),
+    ]
+    records = []
+    for label, strategy, model, policy, replicas, recoverable in scenarios:
+        replica_count = sum((replicas or {}).values())
+        outcomes: Dict[str, Any] = {}
+        for mode, fault_model in (("faultfree", None), ("faulty", model)):
+            executor = FederatedExecutor(
+                three,
+                fault_model=fault_model,
+                retry_policy=policy,
+                replicas=replicas if fault_model is not None else None,
+            )
+
+            def run(executor: FederatedExecutor = executor):
+                return executor.execute(query, strategy)
+
+            seconds, result = _best_time(run, repeat)
+            outcomes[mode] = result
+            stats = result.stats
+            meta = {
+                "messages": stats.messages,
+                "solutions_transferred": stats.solutions_transferred,
+                "triples_transferred": stats.triples_transferred,
+                "busy_seconds": stats.busy_seconds,
+                "elapsed_seconds": stats.elapsed_seconds,
+                "results": len(result.rows),
+                "retries": stats.retries,
+                "failures": stats.failures,
+                "timeouts": stats.timeouts,
+                "failovers": stats.failovers,
+                "partial": int(result.partial is not None),
+                "unreachable": (
+                    len(result.partial.endpoints()) if result.partial else 0
+                ),
+                "recoverable": int(recoverable),
+            }
+            if mode == "faulty":
+                meta["retry_budget"] = (
+                    outcomes["faultfree"].stats.messages
+                    * (1 + policy.max_retries)
+                    * (1 + replica_count)
+                )
+            records.append(
+                BenchRecord(
+                    name=f"faults/{label}:{mode}", seconds=seconds, meta=meta
+                )
+            )
+        faultfree, faulty = outcomes["faultfree"], outcomes["faulty"]
+        if faultfree.rows != expected or faultfree.partial is not None:
+            raise AssertionError(
+                f"faults suite {label!r}: fault-free twin diverged from the "
+                f"single-graph answer set or carries a partial flag"
+            )
+        ffs, fs = faultfree.stats, faulty.stats
+        if fs.failures + fs.timeouts == 0:
+            raise AssertionError(
+                f"faults suite {label!r}: no injected fault fired — the "
+                f"scenario exercises nothing"
+            )
+        budget = ffs.messages * (1 + policy.max_retries) * (1 + replica_count)
+        if fs.messages > budget:
+            raise AssertionError(
+                f"faults suite {label!r}: {fs.messages} messages exceed the "
+                f"retry budget {budget}"
+            )
+        if recoverable:
+            if faulty.rows != expected or faulty.partial is not None:
+                raise AssertionError(
+                    f"faults suite {label!r}: recoverable run did not return "
+                    f"the fault-free answers unflagged "
+                    f"({len(faulty.rows)} rows, partial={faulty.partial})"
+                )
+            if fs.retries and fs.elapsed_seconds <= ffs.elapsed_seconds + 1e-9:
+                raise AssertionError(
+                    f"faults suite {label!r}: {fs.retries} retries with "
+                    f"backoff left the makespan unchanged "
+                    f"({fs.elapsed_seconds:.6f}s vs fault-free "
+                    f"{ffs.elapsed_seconds:.6f}s)"
+                )
+        else:
+            if faulty.partial is None:
+                raise AssertionError(
+                    f"faults suite {label!r}: unrecoverable run came back "
+                    f"unflagged — a silently wrong subset"
+                )
+            if faulty.partial.endpoints() != ("peer1",):
+                raise AssertionError(
+                    f"faults suite {label!r}: partial answer names "
+                    f"{faulty.partial.endpoints()}, expected ('peer1',)"
+                )
+            if any(row not in expected for row in faulty.rows):
+                raise AssertionError(
+                    f"faults suite {label!r}: partial answers are not a "
+                    f"subset of the fault-free answer set"
+                )
+        if label == "failover@3p" and fs.failovers < 1:
+            raise AssertionError(
+                "faults suite 'failover@3p': blackout with a replica "
+                "recovered without recording a failover"
+            )
+    return records
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -866,6 +1027,7 @@ def build_report(
     records.extend(bench_parallel(repeat))
     records.extend(bench_streaming(repeat))
     records.extend(bench_limit(repeat))
+    records.extend(bench_faults(repeat))
 
     return {
         "suite": "core",
@@ -930,7 +1092,7 @@ def format_summary(report: Dict[str, Any]) -> str:
         if base is not None:
             extra = f"  baseline={base:.4f}s  speedup={row['speedup']:.2f}x"
         elif "messages" in meta:
-            busy = meta.get("busy_seconds", meta.get("simulated_seconds"))
+            busy = meta["busy_seconds"]
             extra = (
                 f"  messages={meta['messages']}"
                 f"  solutions={meta['solutions_transferred']}"

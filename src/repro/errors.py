@@ -125,6 +125,33 @@ class EndpointError(FederationError):
     """A simulated endpoint rejected or failed a sub-query."""
 
 
+class EndpointUnavailableError(EndpointError):
+    """An endpoint (and every replica) exhausted its retry budget.
+
+    Raised by the fault-aware request path
+    (:func:`repro.federation.plan.issue_request`) when the primary
+    endpoint and all of its replicas are marked down.  The federated
+    interpreter catches it, drops the endpoint's contribution, and
+    records the outage in the result's
+    :class:`~repro.federation.faults.PartialAnswer` — so callers only
+    ever see this exception when issuing requests outside the
+    interpreter.
+
+    Attributes:
+        endpoint: the *primary* endpoint name (replica outages are
+            attributed to the logical endpoint they replicate).
+        attempts: total attempts charged before giving up (0 when the
+            endpoint was already marked down and failed fast).
+    """
+
+    def __init__(
+        self, message: str, endpoint: str = "", attempts: int = 0
+    ) -> None:
+        self.endpoint = endpoint
+        self.attempts = attempts
+        super().__init__(message)
+
+
 class SimulationError(ReproError):
     """Base class for discrete-event runtime simulation errors.
 

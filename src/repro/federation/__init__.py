@@ -16,6 +16,11 @@ over peer access points.  This package provides the simulated version:
   endpoint cardinalities age across executions and refreshes are
   charged as real messages, so stale plans (and their recovery) are
   observable;
+* :mod:`repro.federation.faults` — deterministic fault injection: the
+  seeded per-endpoint :class:`FaultModel`/:class:`FaultSpec`
+  configuration, the per-execution :class:`FaultSession`, the
+  :class:`RetryPolicy` (retries, exponential backoff, timeouts), and
+  the :class:`PartialAnswer` provenance attached to degraded results;
 * :mod:`repro.federation.bindings` — the shared ID-binding plumbing
   (dedup, batching, projection, domain-aware hash/left joins, compiled
   FILTER splitting) both the operator layer and the executor use;
@@ -40,6 +45,14 @@ over peer access points.  This package provides the simulated version:
 
 from repro.federation.cost import CostModel, Decision, EndpointStats
 from repro.federation.endpoint import PeerEndpoint
+from repro.federation.faults import (
+    FaultModel,
+    FaultSession,
+    FaultSpec,
+    PartialAnswer,
+    RetryPolicy,
+    Unreachable,
+)
 from repro.federation.executor import (
     ADAPTIVE,
     FIXED_STRATEGIES,
@@ -77,6 +90,9 @@ __all__ = [
     "Decision",
     "EndpointStats",
     "ExclusiveGroupScan",
+    "FaultModel",
+    "FaultSession",
+    "FaultSpec",
     "FederatedExecutor",
     "FederatedPlanner",
     "FederationResult",
@@ -86,13 +102,16 @@ __all__ = [
     "LocalHashJoin",
     "NetworkModel",
     "NetworkStats",
+    "PartialAnswer",
     "PeerEndpoint",
     "PlanInterpreter",
     "PreparedQuery",
     "ProjectDedupe",
     "PullScan",
     "RemoteScan",
+    "RetryPolicy",
     "StatisticsCatalog",
     "UnionNode",
+    "Unreachable",
     "execute_federated",
 ]

@@ -84,12 +84,16 @@ class EndpointStats:
         pattern_count: exact matches of the unbound conjunct there.
         relation_count: size of the conjunct's source relation there.
         cached: True when the executor already pulled that relation.
+        down: True when the endpoint (and every replica) exhausted its
+            retry budget this execution; estimates and decisions route
+            around it as if it had no matches.
     """
 
     name: str
     pattern_count: int
     relation_count: int
     cached: bool = False
+    down: bool = False
 
 
 @dataclass(frozen=True)
@@ -241,7 +245,7 @@ class CostModel:
         pushed_filters: int = 0,
         parallel: bool = False,
     ) -> Estimate:
-        active = [s for s in stats if s.pattern_count > 0]
+        active = [s for s in stats if s.pattern_count > 0 and not s.down]
         messages = len(active)
         discount = FILTER_SELECTIVITY**pushed_filters
         solutions = float(sum(s.pattern_count for s in active)) * discount
@@ -275,7 +279,7 @@ class CostModel:
         bindings or without a join variable (it would degenerate into
         shipping the cross product).
         """
-        active = [s for s in stats if s.pattern_count > 0]
+        active = [s for s in stats if s.pattern_count > 0 and not s.down]
         if bindings < 1 or bound_positions < 1:
             return Estimate("bound", 0, 0.0, 0, math.inf, feasible=False)
         batches = math.ceil(bindings / self.batch_size)
@@ -316,7 +320,11 @@ class CostModel:
         endpoint is cached the action degenerates to ``local`` (answer
         from the cache, zero network).
         """
-        uncached = [s for s in stats if not s.cached and s.relation_count > 0]
+        uncached = [
+            s
+            for s in stats
+            if not s.cached and s.relation_count > 0 and not s.down
+        ]
         if not uncached:
             return Estimate("local", 0, 0.0, 0, 0.0)
         messages = len(uncached)
@@ -400,10 +408,14 @@ class CostModel:
         feasible = [e for e in estimates if e.feasible]
         chosen = min(feasible, key=Estimate.sort_key)
         if chosen.action in ("ship", "bound"):
-            endpoints = tuple(s.name for s in stats if s.pattern_count > 0)
+            endpoints = tuple(
+                s.name for s in stats if s.pattern_count > 0 and not s.down
+            )
         elif chosen.action == "pull":
             endpoints = tuple(
-                s.name for s in stats if not s.cached and s.relation_count > 0
+                s.name
+                for s in stats
+                if not s.cached and s.relation_count > 0 and not s.down
             )
         else:  # local
             endpoints = ()
@@ -431,7 +443,7 @@ class CostModel:
         single-graph planner's conjunct ordering, but summed over the
         relevant endpoints.
         """
-        total = float(sum(s.pattern_count for s in stats))
+        total = float(sum(s.pattern_count for s in stats if not s.down))
         discount = 1.0
         free = 0
         for term in pattern:
@@ -455,7 +467,7 @@ class CostModel:
         that is already bound, plus the count of still-free variables
         across the whole group.
         """
-        total = float(sum(s.pattern_count for s in stats))
+        total = float(sum(s.pattern_count for s in stats if not s.down))
         variables = set()
         for tp in group:
             variables.update(tp.variables())

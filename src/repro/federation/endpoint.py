@@ -17,6 +17,13 @@ backed by :meth:`repro.rdf.graph.Graph.count_ids`.  Like the peer
 schemas, these are treated as global knowledge of the RPS triple —
 VoID-style statistics refreshed out of band — so reading them costs the
 cost model no messages.
+
+An endpoint may carry *replicas* — further :class:`PeerEndpoint`
+instances over the same graph — which the fault-aware request path
+(:func:`repro.federation.plan.issue_request`) fails over to when the
+primary exhausts its retry budget.  Replica traffic is charged against
+the replica's own name, so per-endpoint statistics show where requests
+actually landed.
 """
 
 from __future__ import annotations
@@ -41,13 +48,24 @@ class PeerEndpoint:
     Args:
         name: the peer name (used as the endpoint label in statistics).
         graph: the peer's stored database.
+        replicas: failover endpoints serving the same database.  The
+            fault-aware request path contacts them, in order, once the
+            primary exhausts its retry budget; each replica is itself a
+            :class:`PeerEndpoint` with its own name (``"peer0.r1"``)
+            and fault behaviour, sharing the primary's graph.
     """
 
-    __slots__ = ("name", "graph")
+    __slots__ = ("name", "graph", "replicas")
 
-    def __init__(self, name: str, graph: Graph) -> None:
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        replicas: Sequence["PeerEndpoint"] = (),
+    ) -> None:
         self.name = name
         self.graph = graph
+        self.replicas = tuple(replicas)
 
     def __len__(self) -> int:
         return len(self.graph)

@@ -75,6 +75,24 @@ right cardinality; strategies may pick different rows.)  Joining
 happens on dictionary IDs, which requires all peer graphs to share one
 term dictionary (the library default); a mixed system raises
 :class:`~repro.errors.FederationError`.
+
+**Fault tolerance (PR 7).**  An executor built with a ``fault_model``
+(:class:`~repro.federation.faults.FaultModel`) injects deterministic
+failures into every endpoint contact: each :meth:`execute` draws a
+fresh per-execution :class:`~repro.federation.faults.FaultSession`, so
+repeated runs — and the strategies of one
+:meth:`run_all_strategies` comparison — see identical fault schedules.
+Recovery (retry with exponential backoff per the ``retry_policy``,
+failover to configured ``replicas``) is priced through the network
+model and, in parallel mode, the event kernel.  When an endpoint and
+all its replicas exhaust their budgets the execution *degrades*: the
+endpoint's contribution is dropped and the result carries a
+:class:`~repro.federation.faults.PartialAnswer` naming every dropped
+contribution — full answers when faults are recoverable, flagged
+partial answers otherwise, never a silently wrong answer set.
+:meth:`run_all_strategies` exempts flagged partial results from its
+agreement check (different request sequences can exhaust different
+endpoints).
 """
 
 from __future__ import annotations
@@ -91,7 +109,7 @@ from typing import (
     Union,
 )
 
-from repro.errors import FederationError
+from repro.errors import EndpointUnavailableError, FederationError
 from repro.federation.bindings import (
     CompiledFilter,
     IDBinding,
@@ -103,6 +121,13 @@ from repro.federation.bindings import (
 )
 from repro.federation.cost import CostModel, Decision
 from repro.federation.endpoint import PeerEndpoint
+from repro.federation.faults import (
+    FaultModel,
+    FaultSession,
+    PartialAnswer,
+    RetryPolicy,
+    Unreachable,
+)
 from repro.federation.network import NetworkModel, NetworkStats
 from repro.federation.plan import (
     ExecContext,
@@ -118,6 +143,7 @@ from repro.federation.plan import (
     TopKNode,
     UnionNode,
     explain_fed_plan,
+    issue_request,
 )
 from repro.federation.statistics import StatisticsCatalog
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
@@ -227,6 +253,11 @@ class FederationResult:
         plans: the executed operator tree, one root per execution
             (empty for the collect baseline, which has no federated
             plan).
+        partial: ``None`` for a complete answer; a
+            :class:`~repro.federation.faults.PartialAnswer` naming
+            every dropped contribution when the execution degraded
+            (an endpoint and all its replicas exhausted their retry
+            budgets).
     """
 
     strategy: str
@@ -235,6 +266,7 @@ class FederationResult:
     decisions: Tuple[Decision, ...] = ()
     channels: Dict[str, ChannelStats] = dataclass_field(default_factory=dict)
     plans: Tuple[FedOp, ...] = ()
+    partial: Optional[PartialAnswer] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -260,11 +292,23 @@ class FederatedExecutor:
             integer activates the TTL catalog whose refreshes are
             charged as real messages
             (:class:`~repro.federation.statistics.StatisticsCatalog`).
+        fault_model: deterministic fault injection configuration
+            (:class:`~repro.federation.faults.FaultModel`); ``None``
+            (default) keeps the request path byte-identical to the
+            fault-free engine.
+        retry_policy: retry/backoff/timeout parameters used when a
+            fault model is attached (defaults to
+            :class:`~repro.federation.faults.RetryPolicy`'s).
+        replicas: replica count per endpoint name (``{"peer1": 2}``);
+            replica ``i`` of ``name`` is an endpoint ``"name.r{i+1}"``
+            over the same graph, contacted in order when the primary
+            exhausts its retry budget.
 
     Raises:
         FederationError: if the peer graphs do not share one term
-            dictionary (ID-level joins would be meaningless), or the
-            system has no peers.
+            dictionary (ID-level joins would be meaningless), the
+            system has no peers, or ``replicas`` names an unknown
+            endpoint.
     """
 
     def __init__(
@@ -276,6 +320,9 @@ class FederatedExecutor:
         max_in_flight: Optional[int] = None,
         streaming: bool = True,
         stats_ttl: Optional[int] = None,
+        fault_model: Optional[FaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        replicas: Optional[Dict[str, int]] = None,
     ) -> None:
         if not system.peers:
             raise FederationError("cannot federate over an empty peer system")
@@ -296,9 +343,32 @@ class FederatedExecutor:
         self.concurrency = concurrency
         self.max_in_flight = max_in_flight
         self.streaming = streaming
+        self.fault_model = fault_model
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
         names = system.peer_names()
+        replica_map = dict(replicas or {})
+        unknown = sorted(set(replica_map) - set(names))
+        if unknown:
+            raise FederationError(
+                f"replicas configured for unknown endpoint(s): {unknown}"
+            )
+        for name, count in replica_map.items():
+            if count < 0:
+                raise FederationError(
+                    f"replica count must be >= 0 for {name!r}, got {count}"
+                )
         self.endpoints: List[PeerEndpoint] = [
-            PeerEndpoint(name, system.peers[name].graph) for name in names
+            PeerEndpoint(
+                name,
+                system.peers[name].graph,
+                replicas=tuple(
+                    PeerEndpoint(f"{name}.r{i + 1}", system.peers[name].graph)
+                    for i in range(replica_map.get(name, 0))
+                ),
+            )
+            for name in names
         ]
         dictionaries = {id(ep.graph.dictionary) for ep in self.endpoints}
         if len(dictionaries) > 1:
@@ -354,6 +424,13 @@ class FederatedExecutor:
         channels: Dict[str, ChannelStats] = {}
         plans: Tuple[FedOp, ...] = ()
         id_rows: Set[Tuple[Optional[int], ...]] = set()
+        # A fresh session per execution: every run (and every strategy
+        # of a run_all_strategies comparison) sees the same schedule.
+        session: Optional[FaultSession] = (
+            self.fault_model.session() if self.fault_model is not None
+            else None
+        )
+        unreachable: List[Unreachable] = []
         modified = bool(
             prepared.order
             or prepared.limit is not None
@@ -371,7 +448,7 @@ class FederatedExecutor:
         elif not prepared.order and prepared.limit is not None:
             demand = max(1, prepared.offset + prepared.limit)
         if strategy == "collect":
-            union = self._collect_union(stats)
+            union, unreachable = self._collect_union(stats, session)
             if modified:
                 all_bindings: List[IDBinding] = []
                 for branch in prepared.branches:
@@ -397,6 +474,8 @@ class FederatedExecutor:
                 scheduler,
                 self.streaming,
                 demand=demand,
+                faults=session,
+                retry=self.retry_policy,
             )
             interp = PlanInterpreter(ctx)
             roots = [
@@ -433,13 +512,21 @@ class FederatedExecutor:
                 # planning-time charges such as statistics refreshes).
                 stats.elapsed_seconds += scheduler.makespan()
                 channels = scheduler.channel_stats()
+            unreachable = ctx.unreachable
         decode = self.dictionary.decode
         rows = {
             tuple(None if tid is None else decode(tid) for tid in row)
             for row in id_rows
         }
+        partial = PartialAnswer(tuple(unreachable)) if unreachable else None
         return FederationResult(
-            strategy, rows, stats, tuple(decisions), channels, plans
+            strategy,
+            rows,
+            stats,
+            tuple(decisions),
+            channels,
+            plans,
+            partial=partial,
         )
 
     def run_all_strategies(
@@ -458,7 +545,16 @@ class FederatedExecutor:
             strategy: self.execute(prepared, strategy)
             for strategy in STRATEGIES
         }
-        reference = results[STRATEGIES[0]].rows
+        # Flagged partial results are exempt from the agreement check:
+        # with a fault model attached, different strategies issue
+        # different request sequences, so they can exhaust different
+        # endpoints (or none).  The reference is the first *complete*
+        # answer; complete answers must still all agree.
+        reference: Optional[Set[Tuple[Optional[Term], ...]]] = None
+        for strategy in STRATEGIES:
+            if results[strategy].partial is None:
+                reference = results[strategy].rows
+                break
         # An unordered LIMIT/OFFSET admits *any* subset of the right
         # cardinality — strategies legitimately pick different rows, so
         # only the cardinality is comparable.  Ordered (and unmodified,
@@ -469,6 +565,8 @@ class FederatedExecutor:
             and (prepared.limit is not None or prepared.offset > 0)
         )
         for strategy, result in results.items():
+            if result.partial is not None or reference is None:
+                continue
             if sliced_unordered:
                 agree = len(result.rows) == len(reference)
             else:
@@ -715,12 +813,40 @@ class FederatedExecutor:
 
     # -- centralised collect baseline -----------------------------------
 
-    def _collect_union(self, stats: NetworkStats) -> Graph:
+    def _collect_union(
+        self, stats: NetworkStats, session: Optional[FaultSession] = None
+    ) -> Tuple[Graph, List[Unreachable]]:
+        """Dump every peer into one local graph (the collect baseline).
+
+        Dumps go through the same fault/recovery funnel as federated
+        sub-queries; an unreachable peer's database is simply missing
+        from the union, and the dropped dump is reported for the
+        partial-answer flag.
+        """
         union = Graph(name="collected", dictionary=self.dictionary)
+        ctx = ExecContext(
+            self.network,
+            stats,
+            RelationCache(self.dictionary),
+            faults=session,
+            retry=self.retry_policy,
+        )
         for endpoint in self.endpoints:
-            self.network.charge_dump(stats, endpoint.name, len(endpoint.graph))
-            union.add_all(endpoint.graph)
-        return union
+            try:
+                graph, _ = issue_request(
+                    ctx,
+                    endpoint,
+                    lambda ep: ep.graph,
+                    lambda ep, g: self.network.charge_dump(
+                        stats, ep.name, len(g)
+                    ),
+                    label="collect",
+                )
+            except EndpointUnavailableError as exc:
+                ctx.record_unreachable(exc.endpoint, "dump")
+                continue
+            union.add_all(graph)
+        return union, ctx.unreachable
 
     def _evaluate_branch_local(
         self, graph: Graph, branch: PreparedBranch

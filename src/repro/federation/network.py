@@ -12,19 +12,27 @@ without real sockets.
 Time is accounted on two axes:
 
 * ``busy_seconds`` — summed wire time of every request, as if all were
-  serial.  This is the total *work* placed on the network and the
-  historical meaning of the ``simulated_seconds`` alias (deprecated:
-  reading or writing it warns).
+  serial.  This is the total *work* placed on the network.  (The PR 5
+  ``simulated_seconds`` alias for it is gone; see docs/architecture.md
+  for the removal schedule.)
 * ``elapsed_seconds`` — the makespan: what a wall clock would show.
   Serial strategies accumulate it in lockstep with ``busy_seconds``;
   the parallel execution mode overlaps requests on the discrete-event
   runtime (:mod:`repro.runtime`) and adds only the simulated makespan,
   so ``elapsed_seconds <= busy_seconds`` measures the won concurrency.
+
+Accounting invariant: every attempt that leaves the coordinator — a
+successful sub-query, an error reply, a timed-out request — is one
+message and its wire time lands in ``busy_seconds``, in issue order.
+Failed attempts (:meth:`NetworkModel.charge_fault`) are therefore
+charged like real traffic; only retry *backoff* is different — it is
+waiting, not wire work, so it advances ``elapsed_seconds`` (serial
+mode) or the runtime's request arrival times, never ``busy_seconds``
+or ``messages``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -36,16 +44,24 @@ class NetworkStats:
     """Accumulated traffic statistics for one execution.
 
     Attributes:
-        messages: number of request/response round trips.
+        messages: number of request/response round trips (failed and
+            timed-out attempts included — they occupy the wire too).
         solutions_transferred: total solution mappings shipped back.
         triples_transferred: total result triples shipped (for dumps).
         busy_seconds: summed simulated wire time of every request (the
-            serial total; ``simulated_seconds`` aliases this).
+            serial total).
         elapsed_seconds: simulated makespan — wall-clock-equivalent time
             once request overlap is accounted.  Equal to
-            ``busy_seconds`` for serial strategies.
+            ``busy_seconds`` plus backoff waits for serial strategies.
         stats_refreshes: cardinality-statistics refresh round trips
             (included in ``messages`` as well).
+        retries: re-issued attempts after a failure or timeout.
+        failures: attempts answered with an error reply (injected).
+        timeouts: attempts that timed out (injected).
+        failovers: logical requests served by a replica endpoint after
+            the primary exhausted its retry budget.
+        backoff_seconds: summed retry backoff waits (elapsed-only time;
+            never part of ``busy_seconds``).
         per_endpoint_messages: message count per endpoint name.
     """
 
@@ -55,36 +71,12 @@ class NetworkStats:
     busy_seconds: float = 0.0
     elapsed_seconds: float = 0.0
     stats_refreshes: int = 0
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    failovers: int = 0
+    backoff_seconds: float = 0.0
     per_endpoint_messages: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def simulated_seconds(self) -> float:
-        """Deprecated alias for :attr:`busy_seconds`.
-
-        Kept so pre-split call sites keep reading the quantity they
-        always read (the serial wire-time sum), but reads and writes
-        now emit a :class:`DeprecationWarning` — migrate to
-        :attr:`busy_seconds` (summed wire time) or
-        :attr:`elapsed_seconds` (makespan).
-        """
-        warnings.warn(
-            "NetworkStats.simulated_seconds is deprecated; read "
-            "busy_seconds (serial wire-time sum) or elapsed_seconds "
-            "(makespan) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.busy_seconds
-
-    @simulated_seconds.setter
-    def simulated_seconds(self, value: float) -> None:
-        warnings.warn(
-            "NetworkStats.simulated_seconds is deprecated; write "
-            "busy_seconds instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.busy_seconds = value
 
     @property
     def transfer_units(self) -> int:
@@ -99,11 +91,11 @@ class NetworkStats:
     def merge(self, other: "NetworkStats") -> None:
         """Fold ``other`` into this one, treating both as *concurrent*.
 
-        Counters and ``busy_seconds`` add (work is work), but
-        ``elapsed_seconds`` takes the max: two sub-executions that ran
-        side by side finish when the slower one does.  Callers merging
-        genuinely sequential executions should add elapsed times
-        themselves.
+        Counters, ``busy_seconds`` and ``backoff_seconds`` add (work is
+        work, waiting is waiting), but ``elapsed_seconds`` takes the
+        max: two sub-executions that ran side by side finish when the
+        slower one does.  Callers merging genuinely sequential
+        executions should add elapsed times themselves.
         """
         self.messages += other.messages
         self.solutions_transferred += other.solutions_transferred
@@ -111,6 +103,11 @@ class NetworkStats:
         self.busy_seconds += other.busy_seconds
         self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
         self.stats_refreshes += other.stats_refreshes
+        self.retries += other.retries
+        self.failures += other.failures
+        self.timeouts += other.timeouts
+        self.failovers += other.failovers
+        self.backoff_seconds += other.backoff_seconds
         for endpoint, count in other.per_endpoint_messages.items():
             self.per_endpoint_messages[endpoint] = (
                 self.per_endpoint_messages.get(endpoint, 0) + count
@@ -202,3 +199,44 @@ class NetworkModel:
         """
         stats.stats_refreshes += 1
         return self._charge(stats, endpoint, self.latency_seconds, serial)
+
+    def charge_fault(
+        self,
+        stats: NetworkStats,
+        endpoint: str,
+        kind: str,
+        serial: bool = True,
+        timeout_seconds: float = 0.0,
+    ) -> float:
+        """Account one *failed* attempt, charged like real traffic.
+
+        ``kind`` is ``"fail"`` (an error reply: one bare round trip) or
+        ``"timeout"`` (no reply: the coordinator waits out its
+        per-request timeout, so the attempt costs ``timeout_seconds``).
+        Either way the attempt is one message against the endpoint and
+        its duration lands in ``busy_seconds``, exactly like a
+        successful request — failures are not free.
+        """
+        if kind == "timeout":
+            stats.timeouts += 1
+            seconds = timeout_seconds
+        else:
+            stats.failures += 1
+            seconds = self.latency_seconds
+        return self._charge(stats, endpoint, seconds, serial)
+
+    def charge_backoff(
+        self, stats: NetworkStats, seconds: float, serial: bool = True
+    ) -> float:
+        """Account one retry backoff wait.
+
+        Backoff is coordinator-side waiting, not wire work: it never
+        touches ``messages`` or ``busy_seconds``.  Serial interpreters
+        advance ``elapsed_seconds`` here; the runtime interpreter
+        instead delays the retry's arrival on the event kernel, so the
+        replayed makespan carries the wait.
+        """
+        stats.backoff_seconds += seconds
+        if serial:
+            stats.elapsed_seconds += seconds
+        return seconds

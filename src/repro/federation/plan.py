@@ -69,11 +69,34 @@ charges byte for byte, so unlimited queries are unchanged.
 the same comparator as the local engine's ``TopKOp`` and federated
 ``ASK`` runs as ``SliceNode(limit=1)`` — the first surviving row
 short-circuits the whole pipeline.
+
+**Fault tolerance (PR 7).**  Every endpoint contact funnels through
+:func:`issue_request`.  Without a fault model attached the function is
+a pass-through — evaluate, charge, submit, byte-identical to the
+fault-free engine.  With one
+(:class:`~repro.federation.faults.FaultSession` on the context) each
+attempt first draws an outcome: failures and timeouts are charged like
+real traffic (:meth:`~repro.federation.network.NetworkModel.
+charge_fault`), retried up to the :class:`~repro.federation.faults.
+RetryPolicy`'s budget with exponential backoff (elapsed-only time —
+serial interpreters advance the clock, the runtime delays the retry's
+arrival on the event kernel), and failed over to the endpoint's
+replicas once the primary's budget is spent.  When every candidate is
+exhausted the request raises
+:class:`~repro.errors.EndpointUnavailableError`; operators catch it,
+record the dropped contribution on ``ctx.unreachable`` and continue
+with the remaining endpoints — the execution degrades to a flagged
+partial answer instead of failing.  The planner routes around
+endpoints already marked down (zero further charges), recording them
+too, so a partial answer's provenance names every dropped
+contribution.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import (
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -86,6 +109,7 @@ from typing import (
     Tuple,
 )
 
+from repro.errors import EndpointUnavailableError
 from repro.federation.bindings import (
     CompiledFilter,
     IDBinding,
@@ -102,6 +126,7 @@ from repro.federation.cost import (
     group_bound_positions,
 )
 from repro.federation.endpoint import PeerEndpoint
+from repro.federation.faults import FaultSession, RetryPolicy, Unreachable
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Variable
 from repro.rdf.triples import TriplePattern
@@ -130,6 +155,7 @@ __all__ = [
     "TopKNode",
     "UnionNode",
     "explain_fed_plan",
+    "issue_request",
 ]
 
 _Origin = Tuple[RequestHandle, ...]
@@ -182,6 +208,18 @@ class ExecContext:
             :class:`BoundJoinStream` to lazy arrival-order batching so
             early termination can leave batches unsent; an unbounded
             one reproduces the eager interpreter exactly.
+        faults: the execution's :class:`~repro.federation.faults.
+            FaultSession`, or ``None`` for a fault-free run (the
+            request path is then byte-identical to the pre-fault
+            engine).
+        retry: the :class:`~repro.federation.faults.RetryPolicy`
+            governing attempts, backoff and per-request timeouts.
+
+    Attributes:
+        unreachable: dropped contributions, in drop order and deduped
+            by ``(endpoint, operation)`` — the provenance a
+            :class:`~repro.federation.faults.PartialAnswer` is built
+            from.
     """
 
     def __init__(
@@ -192,6 +230,8 @@ class ExecContext:
         scheduler=None,
         streaming: bool = True,
         demand: Optional[int] = None,
+        faults: Optional[FaultSession] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.network = network
         self.stats = stats
@@ -199,10 +239,120 @@ class ExecContext:
         self.scheduler = scheduler
         self.streaming = streaming
         self.demand = demand
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.unreachable: List[Unreachable] = []
+        self._unreachable_seen: Set[Tuple[str, str]] = set()
 
     @property
     def serial(self) -> bool:
         return self.scheduler is None
+
+    def record_unreachable(self, endpoint: str, operation: str) -> None:
+        """Record one dropped contribution (idempotent per pair)."""
+        key = (endpoint, operation)
+        if key in self._unreachable_seen:
+            return
+        self._unreachable_seen.add(key)
+        self.unreachable.append(Unreachable(endpoint, operation))
+
+
+def issue_request(
+    ctx: ExecContext,
+    endpoint: PeerEndpoint,
+    evaluate: Callable[[PeerEndpoint], Any],
+    charge: Callable[[PeerEndpoint, Any], float],
+    deps: _Origin = (),
+    label: str = "",
+) -> Tuple[Any, Optional["RequestHandle"]]:
+    """Contact one logical endpoint through the fault/recovery machinery.
+
+    The single funnel for every simulated request.  ``evaluate`` runs
+    the sub-query against a concrete endpoint instance (primary or
+    replica) and ``charge`` prices + accounts it, returning the wire
+    seconds; the helper returns ``(payload, handle)`` where ``handle``
+    is the recorded runtime request (``None`` in serial mode).
+
+    Without a fault session the path is evaluate → charge → submit,
+    byte-identical to the fault-free engine.  With one, each candidate
+    instance — the primary, then its replicas in order — gets
+    ``1 + max_retries`` attempts.  Failed and timed-out attempts are
+    charged like real traffic and, in runtime mode, recorded as
+    ``failed`` requests that the retry depends on; backoff waits are
+    charged elapsed-only (serial) or carried as the retry's arrival
+    ``delay`` (runtime).  A candidate that exhausts its budget is
+    marked down for the rest of the execution (later contacts fail
+    fast, free of charge); when every candidate is down the request
+    raises :class:`~repro.errors.EndpointUnavailableError`.
+    """
+    session = ctx.faults
+    if session is None:
+        payload = evaluate(endpoint)
+        seconds = charge(endpoint, payload)
+        handle: Optional[RequestHandle] = None
+        if ctx.scheduler is not None:
+            handle = ctx.scheduler.submit(
+                endpoint.name, seconds, after=deps, label=label
+            )
+        return payload, handle
+
+    policy = ctx.retry
+    last_deps: _Origin = tuple(deps)
+    pending_delay = 0.0
+    attempts_total = 0
+    for candidate in (endpoint,) + endpoint.replicas:
+        if session.is_down(candidate.name):
+            continue
+        for attempt in range(policy.max_retries + 1):
+            outcome = session.outcome(candidate.name, ctx.stats.busy_seconds)
+            attempts_total += 1
+            if outcome == "ok":
+                payload = evaluate(candidate)
+                seconds = charge(candidate, payload)
+                handle = None
+                if ctx.scheduler is not None:
+                    handle = ctx.scheduler.submit(
+                        candidate.name,
+                        seconds,
+                        after=last_deps,
+                        label=label,
+                        delay=pending_delay,
+                    )
+                if candidate is not endpoint:
+                    ctx.stats.failovers += 1
+                return payload, handle
+            seconds = ctx.network.charge_fault(
+                ctx.stats,
+                candidate.name,
+                outcome,
+                serial=ctx.serial,
+                timeout_seconds=policy.timeout_seconds,
+            )
+            if ctx.scheduler is not None:
+                failed = ctx.scheduler.submit(
+                    candidate.name,
+                    seconds,
+                    after=last_deps,
+                    label=f"{label} !{outcome}".strip(),
+                    delay=pending_delay,
+                    failed=True,
+                )
+                last_deps = (failed,)
+            pending_delay = 0.0
+            if attempt < policy.max_retries:
+                backoff = policy.backoff(attempt)
+                ctx.network.charge_backoff(
+                    ctx.stats, backoff, serial=ctx.serial
+                )
+                ctx.stats.retries += 1
+                pending_delay = backoff
+        session.mark_down(candidate.name)
+    raise EndpointUnavailableError(
+        f"endpoint {endpoint.name!r} unreachable after "
+        f"{attempts_total} attempt(s), replicas included",
+        endpoint=endpoint.name,
+        attempts=attempts_total,
+    )
 
 
 class Rows:
@@ -413,15 +563,24 @@ class RemoteScan(FedOp):
         handles: List[RequestHandle] = []
         seen: Set[Tuple[Tuple[str, int], ...]] = set()
         for endpoint in self.endpoints:
-            solutions = self._solutions(endpoint)
-            seconds = ctx.network.charge_query(
-                ctx.stats, endpoint.name, len(solutions), serial=ctx.serial
-            )
-            origin: _Origin = ()
-            if ctx.scheduler is not None:
-                handle = ctx.scheduler.submit(
-                    endpoint.name, seconds, after=deps, label=self.label
+            try:
+                solutions, handle = issue_request(
+                    ctx,
+                    endpoint,
+                    self._solutions,
+                    lambda ep, found: ctx.network.charge_query(
+                        ctx.stats, ep.name, len(found), serial=ctx.serial
+                    ),
+                    deps=deps,
+                    label=self.label,
                 )
+            except EndpointUnavailableError as exc:
+                ctx.record_unreachable(
+                    exc.endpoint, " ".join(tp.n3() for tp in self.patterns)
+                )
+                continue
+            origin: _Origin = ()
+            if handle is not None:
                 handles.append(handle)
                 self.handles = tuple(handles)
                 origin = (handle,)
@@ -574,15 +733,25 @@ class BoundJoinStream(FedOp):
             else:
                 deps = interp.stream(self.child).wave
             for endpoint in self.endpoints:
-                solutions = self._solutions(endpoint, batch)
-                seconds = ctx.network.charge_query(
-                    ctx.stats, endpoint.name, len(solutions), serial=ctx.serial
-                )
-                origin: _Origin = ()
-                if ctx.scheduler is not None:
-                    handle = ctx.scheduler.submit(
-                        endpoint.name, seconds, after=deps, label=self.label
+                try:
+                    solutions, handle = issue_request(
+                        ctx,
+                        endpoint,
+                        lambda ep, batch=batch: self._solutions(ep, batch),
+                        lambda ep, found: ctx.network.charge_query(
+                            ctx.stats, ep.name, len(found), serial=ctx.serial
+                        ),
+                        deps=deps,
+                        label=self.label,
                     )
+                except EndpointUnavailableError as exc:
+                    ctx.record_unreachable(
+                        exc.endpoint,
+                        " ".join(tp.n3() for tp in self.patterns),
+                    )
+                    continue
+                origin: _Origin = ()
+                if handle is not None:
                     handles.append(handle)
                     self.handles = tuple(handles)
                     origin = (handle,)
@@ -660,15 +829,27 @@ class PullScan(FedOp):
             ids = endpoint.relation_ids(self.pattern)
             if not ids:
                 continue
-            seconds = ctx.network.charge_dump(
-                ctx.stats, endpoint.name, len(ids), serial=ctx.serial
-            )
-            if ctx.scheduler is not None:
-                handles.append(
-                    ctx.scheduler.submit(
-                        endpoint.name, seconds, after=deps, label=self.label
-                    )
+            try:
+                # Replicas share the primary's graph, so the already-
+                # computed dump is what any candidate would return;
+                # the charge lands on whichever instance served it.
+                ids, handle = issue_request(
+                    ctx,
+                    endpoint,
+                    lambda ep, ids=ids: ids,
+                    lambda ep, found: ctx.network.charge_dump(
+                        ctx.stats, ep.name, len(found), serial=ctx.serial
+                    ),
+                    deps=deps,
+                    label=self.label,
                 )
+            except EndpointUnavailableError as exc:
+                ctx.record_unreachable(
+                    exc.endpoint, f"pull {self.pattern.n3()}"
+                )
+                continue
+            if handle is not None:
+                handles.append(handle)
             pulled.append(endpoint.name)
             ctx.cache.add(endpoint.name, key, ids, endpoint.graph.dictionary)
         self.handles = tuple(handles)
@@ -1095,21 +1276,29 @@ class FederatedPlanner:
         self,
         endpoints: Sequence[PeerEndpoint],
         stats_now: Sequence[EndpointStats],
+        ctx: Optional[ExecContext] = None,
+        operation: str = "",
     ) -> Tuple[PeerEndpoint, ...]:
         """Endpoints a ship/bound action actually contacts.
 
+        Endpoints marked down (primary and every replica exhausted) are
+        routed around — no further charges — and recorded as dropped
+        contributions on ``ctx`` so the partial answer names them.
         With live statistics an exact zero count prunes the endpoint;
         stale statistics must contact every relevant endpoint (a stale
         zero may hide fresh matches — correctness never depends on the
         catalog's age).
         """
+        up: List[Tuple[PeerEndpoint, EndpointStats]] = []
+        for ep, stat in zip(endpoints, stats_now):
+            if stat.down:
+                if ctx is not None:
+                    ctx.record_unreachable(ep.name, operation)
+                continue
+            up.append((ep, stat))
         if not self.host.catalog.live:
-            return tuple(endpoints)
-        return tuple(
-            ep
-            for ep, stat in zip(endpoints, stats_now)
-            if stat.pattern_count > 0
-        )
+            return tuple(ep for ep, _ in up)
+        return tuple(ep for ep, stat in up if stat.pattern_count > 0)
 
     # -- static plan shapes: the fixed baselines -------------------------
 
@@ -1249,18 +1438,31 @@ class FederatedPlanner:
                 stats_memo[i] = memoised
             return memoised
 
+        def with_down(
+            stats: List[EndpointStats], endpoints: Sequence[PeerEndpoint]
+        ) -> List[EndpointStats]:
+            # Down flags are applied fresh on top of the memo: they can
+            # flip mid-execution as budgets exhaust, unlike the counts.
+            session = interp.ctx.faults
+            if session is None:
+                return stats
+            return [
+                replace(stat, down=session.unreachable(ep))
+                for stat, ep in zip(stats, endpoints)
+            ]
+
         while remaining:
             def order_key(pair: Tuple[int, TriplePattern]):
                 i, tp = pair
                 estimate, free = host.cost_model.order_estimate(
-                    endpoint_stats(i, tp), bound, tp
+                    with_down(endpoint_stats(i, tp), relevant[i]), bound, tp
                 )
                 return (estimate, free, i)
 
             best = min(remaining, key=order_key)
             remaining.remove(best)
             index, tp = best
-            stats_now = endpoint_stats(index, tp)
+            stats_now = with_down(endpoint_stats(index, tp), relevant[index])
             bound_after = bound | tp.variables()
             ship_filters = sum(
                 1 for f in remaining_filters if f.variables <= tp.variables()
@@ -1278,7 +1480,9 @@ class FederatedPlanner:
                 bound_filters=bound_filters,
             )
             decisions.append(decision)
-            active = self._active(relevant[index], stats_now)
+            active = self._active(
+                relevant[index], stats_now, interp.ctx, tp.n3()
+            )
             if decision.action == "ship":
                 push, remaining_filters = split_filters(
                     remaining_filters, set(tp.variables())
@@ -1451,21 +1655,35 @@ class FederatedPlanner:
                 stats_memo[unit.index] = memoised
             return memoised
 
+        def with_down(
+            stats: List[EndpointStats], endpoints: Sequence[PeerEndpoint]
+        ) -> List[EndpointStats]:
+            # Applied fresh on top of the memo: down flags can flip
+            # mid-execution as retry budgets exhaust.
+            session = interp.ctx.faults
+            if session is None:
+                return stats
+            return [
+                replace(stat, down=session.unreachable(ep))
+                for stat, ep in zip(stats, endpoints)
+            ]
+
         def order_key(unit: _Unit):
+            stats = with_down(unit_stats(unit), unit.endpoints)
             if unit.exclusive:
                 estimate, free = host.cost_model.order_estimate_group(
-                    unit_stats(unit), bound, unit.patterns
+                    stats, bound, unit.patterns
                 )
             else:
                 estimate, free = host.cost_model.order_estimate(
-                    unit_stats(unit), bound, unit.patterns[0]
+                    stats, bound, unit.patterns[0]
                 )
             return (estimate, free, unit.index)
 
         while remaining:
             best = min(remaining, key=order_key)
             remaining.remove(best)
-            stats_now = unit_stats(best)
+            stats_now = with_down(unit_stats(best), best.endpoints)
             unit_vars = best.variables()
             bound_after = bound | unit_vars
             ship_filters = sum(
@@ -1497,7 +1715,12 @@ class FederatedPlanner:
                     parallel=True,
                 )
             decisions.append(decision)
-            targets = self._active(best.endpoints, stats_now)
+            targets = self._active(
+                best.endpoints,
+                stats_now,
+                interp.ctx,
+                " ".join(tp.n3() for tp in best.patterns),
+            )
             if decision.action == "ship":
                 push, remaining_filters = split_filters(
                     remaining_filters, set(unit_vars)

@@ -43,6 +43,9 @@ class Request:
         duration: service time in simulated seconds.
         label: free-form tag for traces (e.g. ``"bound b2"``).
         on_complete: invoked (with the request) when service finishes.
+        failed: the attempt carried an injected fault; it is served
+            (and occupies a lane) like any other request — failures
+            are charged like real traffic — but counted separately.
         arrived_at: when the coordinator handed it to the channel.
         admitted_at: when it entered the in-flight window (was "sent").
         started_at: when a service lane picked it up.
@@ -52,6 +55,7 @@ class Request:
     duration: float
     label: str = ""
     on_complete: Optional[Callable[["Request"], None]] = None
+    failed: bool = False
     arrived_at: float = -1.0
     admitted_at: float = -1.0
     started_at: float = -1.0
@@ -68,7 +72,9 @@ class ChannelStats:
     """Aggregate service statistics of one channel.
 
     Attributes:
-        completed: requests fully served.
+        completed: requests fully served (failed attempts included —
+            an error reply or timeout still occupies the channel).
+        failed: served requests that carried an injected fault.
         busy_seconds: summed service time (lane-seconds of work).
         wait_seconds: summed queueing time across requests.
         peak_in_flight: maximum simultaneous in-window requests.
@@ -76,6 +82,7 @@ class ChannelStats:
     """
 
     completed: int = 0
+    failed: int = 0
     busy_seconds: float = 0.0
     wait_seconds: float = 0.0
     peak_in_flight: int = 0
@@ -160,6 +167,8 @@ class Channel:
         request.completed_at = self.kernel.now
         self._serving -= 1
         self.stats.completed += 1
+        if request.failed:
+            self.stats.failed += 1
         self.stats.busy_seconds += request.duration
         self.stats.wait_seconds += request.waited
         if self._queue:

@@ -13,7 +13,11 @@ timestamped events.  Events firing at the same virtual instant run in
 scheduling order (a monotonic sequence number breaks ties), so a
 simulation's outcome is a pure function of the order in which events
 were scheduled — no wall clock, no randomness, reproducible across
-machines and Python versions.
+machines and Python versions.  Waiting is an event like any other:
+retry-backoff delays enter the simulation as later
+:meth:`SimKernel.schedule_at` arrival times (see
+:mod:`repro.runtime.scheduler`), so fault recovery needs no kernel
+support beyond the clock itself.
 """
 
 from __future__ import annotations

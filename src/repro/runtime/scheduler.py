@@ -23,7 +23,11 @@ runs in two phases:
    accumulates by summing durations.
 
 Replays are deterministic: arrival ties break on submission order, so
-the computed makespan is a pure function of the recorded DAG.
+the computed makespan is a pure function of the recorded DAG.  Fault
+recovery records onto the same DAG — a failed attempt is a normal
+(charged) request, and its retry carries a ``delay`` equal to the
+backoff wait, so recovery time shows up in the makespan without any
+special-casing in the replay.
 """
 
 from __future__ import annotations
@@ -57,7 +61,13 @@ class RequestHandle:
         seconds: priced wire duration.
         after: handles that must complete before this request is sent.
         release: earliest virtual time the request may be sent.
+        delay: seconds between the last dependency's completion and
+            this request's arrival — a retry's backoff wait, priced
+            through the kernel so the makespan reflects it.
         label: free-form trace tag.
+        failed: the attempt was answered with an injected fault; it
+            still occupies its channel for ``seconds`` (failures are
+            charged like real traffic).
         arrived_at/started_at/completed_at: timeline, filled by the
             replay (``-1`` before :meth:`OverlapScheduler.makespan`).
     """
@@ -67,7 +77,9 @@ class RequestHandle:
     seconds: float
     after: Tuple["RequestHandle", ...] = ()
     release: float = 0.0
+    delay: float = 0.0
     label: str = ""
+    failed: bool = False
     arrived_at: float = -1.0
     started_at: float = -1.0
     completed_at: float = -1.0
@@ -151,17 +163,29 @@ class OverlapScheduler:
         after: Sequence[RequestHandle] = (),
         release: float = 0.0,
         label: str = "",
+        delay: float = 0.0,
+        failed: bool = False,
     ) -> RequestHandle:
-        """Record one request; returns its handle for dependency wiring."""
+        """Record one request; returns its handle for dependency wiring.
+
+        ``delay`` postpones the request's arrival by that many seconds
+        after its dependencies complete (retry backoff); ``failed``
+        marks an injected-fault attempt, which still occupies its
+        channel like any other request.
+        """
         if seconds < 0:
             raise SimulationError(f"negative request duration: {seconds}")
+        if delay < 0:
+            raise SimulationError(f"negative request delay: {delay}")
         handle = RequestHandle(
             index=len(self._handles),
             endpoint=endpoint,
             seconds=seconds,
             after=tuple(after),
             release=release,
+            delay=delay,
             label=label,
+            failed=failed,
         )
         self._handles.append(handle)
         self._makespan = None  # DAG changed; replay again
@@ -237,12 +261,18 @@ class OverlapScheduler:
                     duration=handle.seconds,
                     label=handle.label,
                     on_complete=on_complete,
+                    failed=handle.failed,
                 )
             )
 
         def _schedule_arrival(node: _Node) -> None:
-            release = node.handle.release
-            kernel.schedule_at(max(release, kernel.now), lambda: arrive(node))
+            handle = node.handle
+            # The delay (retry backoff) starts once the dependencies
+            # complete — i.e. now — and the release floor still applies.
+            kernel.schedule_at(
+                max(handle.release, kernel.now + handle.delay),
+                lambda: arrive(node),
+            )
 
         for node in nodes:
             if node.pending == 0:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
+from repro.federation.faults import FaultModel, FaultSpec
 from repro.gpq.pattern import make_pattern
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
@@ -25,6 +26,7 @@ from repro.workload.topologies import peer_namespace
 
 __all__ = [
     "SHARED",
+    "blackout_fault_model",
     "federated_rps",
     "federated_ask_sparql",
     "federated_exclusive_query",
@@ -35,7 +37,9 @@ __all__ = [
     "federated_selective_query",
     "federated_topk_sparql",
     "federated_union_filter_sparql",
+    "flaky_fault_model",
     "grow_knows_relation",
+    "outage_fault_model",
 ]
 
 #: The entity namespace every federation peer describes.
@@ -317,3 +321,57 @@ def federated_union_filter_sparql() -> str:
         "SELECT ?x ?y WHERE { "
         f"{{ ?x {p0} ?y }} UNION {{ ?x {p1} ?y }} . FILTER(?x != ?y) }}"
     )
+
+
+# -- fault scenarios ---------------------------------------------------------
+
+
+def flaky_fault_model(
+    endpoint: str = "peer1",
+    failure_rate: float = 0.25,
+    timeout_rate: float = 0.1,
+    seed: int = 11,
+) -> FaultModel:
+    """A probabilistically flaky endpoint (recoverable with retries).
+
+    Error replies and timeouts at the given per-attempt rates; every
+    other endpoint is healthy.  With a large enough retry budget the
+    execution recovers a complete answer — the faults bench's
+    ``flaky`` scenarios assert exactly that.
+    """
+    return FaultModel(
+        specs={
+            endpoint: FaultSpec(
+                failure_rate=failure_rate, timeout_rate=timeout_rate
+            )
+        },
+        seed=seed,
+    )
+
+
+def outage_fault_model(
+    endpoint: str = "peer1",
+    start: float = 0.0,
+    end: float = 0.3,
+    seed: int = 0,
+) -> FaultModel:
+    """A scripted outage window on one endpoint, in virtual time.
+
+    Attempts landing while the execution's accumulated ``busy_seconds``
+    is inside ``[start, end)`` fail deterministically; charged retries
+    advance that clock, so a long enough retry budget *escapes* the
+    window and recovers the full answer.
+    """
+    return FaultModel(
+        specs={endpoint: FaultSpec(outages=((start, end),))}, seed=seed
+    )
+
+
+def blackout_fault_model(endpoint: str = "peer1", seed: int = 0) -> FaultModel:
+    """A permanently dead endpoint: every attempt is an error reply.
+
+    Without replicas no retry budget recovers it, so executions degrade
+    to flagged partial answers naming exactly this endpoint; with a
+    replica configured, failover recovers the complete answer.
+    """
+    return FaultModel(specs={endpoint: FaultSpec(failure_rate=1.0)}, seed=seed)

@@ -41,6 +41,17 @@ LIMIT_WORKLOADS = (
 #: Limit-suite workloads where the gate demands a *strict* win.
 DEEP_LIMIT_WORKLOADS = ("deep_bound@3p", "deep_pipelined@3p", "ask@3p")
 
+FAULT_WORKLOADS = (
+    "flaky@3p",
+    "flaky_parallel@3p",
+    "outage@3p",
+    "failover@3p",
+    "blackout@3p",
+)
+
+#: The one fault scenario that must come back flagged partial.
+UNRECOVERABLE_FAULT_WORKLOADS = ("blackout@3p",)
+
 EXPECTED_BENCHMARKS = {
     "match/by_subject",
     "match/by_predicate",
@@ -78,6 +89,10 @@ EXPECTED_BENCHMARKS = {
     f"limit/{workload}:{kind}"
     for workload in LIMIT_WORKLOADS
     for kind in ("unlimited", "limited")
+} | {
+    f"faults/{workload}:{mode}"
+    for workload in FAULT_WORKLOADS
+    for mode in ("faultfree", "faulty")
 }
 
 
@@ -403,6 +418,78 @@ def test_check_fails_when_pipelining_changes_messages(report, committed):
     assert any(
         "changed the message count" in failure
         for failure in outcome.failures
+    )
+
+
+def test_fault_rows_recover_or_flag(report):
+    data, _ = report
+    rows = {
+        row["name"]: row["meta"]
+        for row in data["benchmarks"]
+        if row["name"].startswith("faults/")
+    }
+    assert rows
+    for workload in FAULT_WORKLOADS:
+        faultfree = rows[f"faults/{workload}:faultfree"]
+        faulty = rows[f"faults/{workload}:faulty"]
+        # The scenario injected something real and stayed in budget.
+        assert faulty["failures"] + faulty["timeouts"] > 0, workload
+        assert faulty["messages"] <= faulty["retry_budget"], workload
+        if workload in UNRECOVERABLE_FAULT_WORKLOADS:
+            assert faulty["partial"] == 1, workload
+            assert faulty["unreachable"] >= 1, workload
+            assert faulty["results"] <= faultfree["results"], workload
+        else:
+            assert faulty["partial"] == 0, workload
+            assert faulty["results"] == faultfree["results"], workload
+
+
+def test_check_fails_when_partial_answer_goes_unflagged(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    # Doctor fresh and committed identically so only the faults
+    # invariant trips, not the deterministic-metric comparison.
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "faults/blackout@3p:faulty":
+                row["meta"]["partial"] = 0
+                row["meta"]["unreachable"] = 0
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "silently wrong subset" in failure for failure in outcome.failures
+    )
+
+
+def test_check_fails_when_recovery_loses_answers(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "faults/flaky@3p:faulty":
+                row["meta"]["results"] -= 1
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "recoverable run did not match" in failure
+        for failure in outcome.failures
+    )
+
+
+def test_check_fails_when_retry_traffic_blows_the_budget(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "faults/flaky@3p:faulty":
+                row["meta"]["messages"] = 10_000
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "exceed the retry budget" in failure for failure in outcome.failures
     )
 
 

@@ -188,16 +188,15 @@ def test_no_groups_without_a_shared_exclusive_owner(system):
 # ---------------------------------------------------------------------------
 
 
-def test_simulated_seconds_aliases_busy_seconds_and_warns():
+def test_simulated_seconds_alias_is_gone():
+    # The PR 5 deprecation completed: the alias raises AttributeError,
+    # and the dataclass is not an open attribute bag for it either.
     stats = NetworkStats()
     model = NetworkModel(latency_seconds=1.0, per_solution_seconds=0.5)
     model.charge_query(stats, "p0", solutions=4)
-    with pytest.deprecated_call(match="busy_seconds"):
-        assert stats.simulated_seconds == 3.0
     assert stats.busy_seconds == 3.0
-    with pytest.deprecated_call(match="busy_seconds"):
-        stats.simulated_seconds = 7.0  # the deprecated setter still writes
-    assert stats.busy_seconds == 7.0
+    with pytest.raises(AttributeError):
+        _ = stats.simulated_seconds
 
 
 def test_merge_adds_busy_and_maxes_elapsed():

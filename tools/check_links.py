@@ -1,0 +1,152 @@
+"""Dependency-free Markdown link checker for the docs tree.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Each argument is a Markdown file or a directory scanned recursively for
+``*.md``.  For every inline link ``[text](target)`` the checker
+verifies:
+
+* **relative file links** resolve to an existing file or directory
+  (relative to the linking file);
+* **fragment links** (``file.md#anchor`` or ``#anchor``) point at a
+  heading that actually exists in the target file, using GitHub's
+  heading-slug rules (lowercase, spaces to hyphens, punctuation
+  stripped);
+* ``http(s)``/``mailto`` links are skipped — CI must not depend on
+  external availability.
+
+Exit status is non-zero when any link is broken, printing one
+``file:line: message`` per failure.  No third-party imports: the
+checker must run in a bare CI Python before any project install.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline Markdown links: ``[text](target)``, ignoring images' leading
+#: ``!`` (images are checked the same way) and ``(url "title")`` forms.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    # Drop inline code/emphasis markers and links, keep their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", "_")
+    text = text.strip().lower()
+    # Keep word characters, spaces and hyphens; spaces become hyphens.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    """All heading anchors of a Markdown file (with GitHub dedup)."""
+    slugs: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline link."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    """All broken-link messages for one Markdown file."""
+    failures = []
+    for number, target in iter_links(path):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path}:{number}: broken link '{target}' "
+                    f"(no such file: {resolved})"
+                )
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-Markdown are not checked
+            if fragment not in heading_slugs(resolved):
+                failures.append(
+                    f"{path}:{number}: broken anchor '#{fragment}' "
+                    f"(no such heading in {resolved.name})"
+                )
+    return failures
+
+
+def collect(arguments: List[str]) -> List[Path]:
+    """Markdown files named by the CLI arguments (dirs recurse)."""
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python tools/check_links.py FILE_OR_DIR...")
+        return 2
+    files = collect(argv)
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print(f"no such file(s): {', '.join(missing)}")
+        return 2
+    failures: List[str] = []
+    for path in files:
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(failure)
+    print(
+        f"check_links: {len(files)} file(s), "
+        f"{len(failures)} broken link(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
