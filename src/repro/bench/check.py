@@ -23,8 +23,11 @@ classes of quantity that survive a machine change:
   (default 2x), i.e. on a reproducible >2x relative slowdown of a
   suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts six behaviour invariants on the fresh
-records: bound joins ship strictly fewer messages than naive shipping,
+The gate also re-asserts seven behaviour invariants on the fresh
+records: the columnar batch engine beats the per-row engine strictly
+on at least one join workload and the prepared-plan cache's recorded
+counters show the hot run all-hits and the cold run all-misses,
+bound joins ship strictly fewer messages than naive shipping,
 the adaptive plan is never Pareto-dominated by a fixed strategy (worse
 on messages *and* transfer simultaneously) on any adaptive-suite
 workload, the parallel mode's makespan (``elapsed_seconds``) never
@@ -212,6 +215,7 @@ def check_against(
                 f"{tolerance:g}x below committed {committed_speedup:.2f}x"
             )
 
+    failures.extend(_columnar_invariant(fresh_rows))
     failures.extend(_federation_invariant(fresh_rows))
     failures.extend(_adaptive_invariant(fresh_rows))
     failures.extend(_parallel_invariant(fresh_rows))
@@ -238,6 +242,54 @@ def _suite_speedups(rows) -> Dict[str, float]:
         suite: math.exp(sum(math.log(s) for s in speedups) / len(speedups))
         for suite, speedups in grouped.items()
     }
+
+
+def _columnar_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """The batch engine must win somewhere and the plan cache must hit.
+
+    Answer equality between the batch and row engines is hard-asserted
+    inside the suite (a disagreement aborts the run before any record
+    exists) and cardinality drift is caught by the ``result`` gate, so
+    the invariant re-checks the two claims only the recorded rows can
+    show: at least one comparative ``columnar/*`` workload ran strictly
+    faster columnar than per-row (both timed in the same process, so
+    the comparison is machine-independent), and the
+    ``columnar/plan_cache`` record's counter deltas show the hot run
+    served entirely from the cache while the cold run missed on every
+    call.
+    """
+    failures = []
+    comparative = [
+        row
+        for name, row in sorted(fresh_rows.items())
+        if name.startswith("columnar/") and name != "columnar/plan_cache"
+    ]
+    if comparative and not any(
+        (row.get("speedup") or 0.0) > 1.0 for row in comparative
+    ):
+        failures.append(
+            "columnar suite: no workload showed a strict batch-engine "
+            "win (batch seconds < row seconds)"
+        )
+    cache = fresh_rows.get("columnar/plan_cache")
+    if cache is not None:
+        meta = cache.get("meta", {})
+        if meta.get("hot_misses") != 0 or not meta.get("hot_hits"):
+            failures.append(
+                f"columnar/plan_cache: hot run was not served entirely "
+                f"from the cache (hits={meta.get('hot_hits')!r}, "
+                f"misses={meta.get('hot_misses')!r})"
+            )
+        if meta.get("cold_hits") != 0 or not meta.get(
+            "cold_misses_last_call"
+        ):
+            failures.append(
+                f"columnar/plan_cache: cold run hit a cache that is "
+                f"cleared before every call "
+                f"(hits={meta.get('cold_hits')!r}, last-call "
+                f"misses={meta.get('cold_misses_last_call')!r})"
+            )
+    return failures
 
 
 def _adaptive_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:

@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Ten suites:
+Eleven suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -12,6 +12,13 @@ Ten suites:
 * ``sparql/*`` — full SPARQL queries (BGP, UNION, FILTER shapes)
   through the ID-native physical planner vs the naive term-level
   algebra evaluator kept as reference;
+* ``columnar/*`` — the columnar batch engine against the per-row
+  ID-native planner on join-heavy WHERE clauses (both run over the same
+  shared planner, so the comparison isolates the data-flow
+  representation), plus a prepared-plan-cache hot/cold pair whose
+  hit/miss counters are hard-asserted; run with ``--scale 1000000``
+  for the 1M-triple point (the ``slow``-marked pytest twin asserts the
+  >=5x gate there);
 * ``federation/*`` — distributed execution of a cross-peer path query
   under each federation strategy, recording message counts, transfer
   volumes and simulated wire time at several data scales;
@@ -91,8 +98,11 @@ from repro.sparql.algebra import (
     translate_group,
 )
 from repro.sparql.ast import SelectQuery
+from repro.sparql.batch import select_id_rows_batch
+from repro.sparql.cache import default_plan_cache
+from repro.sparql.engine import execute as engine_execute
 from repro.sparql.parser import parse_query
-from repro.sparql.plan import select_rows
+from repro.sparql.plan import select_id_rows, select_rows
 from repro.federation.faults import RetryPolicy
 from repro.federation.network import NetworkModel
 from repro.workload.federation import (
@@ -405,6 +415,135 @@ def bench_sparql(graph: Graph, repeat: int) -> List[BenchRecord]:
                 {"variables": len(variables)},
             )
         )
+    return records
+
+
+def bench_columnar(graph: Graph, repeat: int) -> List[BenchRecord]:
+    """Columnar batch engine vs the per-row planner, plus the plan cache.
+
+    The comparative records time ``select_id_rows_batch`` (columnar)
+    against ``select_id_rows`` (per-row dicts) on the same logical
+    trees; both sides share :func:`repro.sparql.plan.plan_bgp`, so the
+    ratio isolates the data-flow representation, not planning.  Answer
+    sets are verified equal once outside the timed region (the timed
+    closures return cardinalities so metadata stays JSON-encodable).
+
+    The ``columnar/plan_cache`` record times a *hot* prepared-plan run
+    (every call hits the cross-query LRU) against a *cold* one (the
+    cache is cleared before every call, so every call re-parses and
+    re-plans).  Hit/miss counter deltas are hard-asserted around both
+    timed regions — a cache that silently stopped hitting (or missing)
+    can never hide behind a timing — and recorded in the metadata for
+    the CI gate to re-check.
+    """
+    predicates = sorted(graph.predicates())
+    if not predicates:
+        return []
+    p0, p1, p2 = (p.n3() for p in (predicates * 3)[:3])
+    workloads: List[Tuple[str, str]] = [
+        (
+            "columnar/path2",
+            f"SELECT ?a ?c WHERE {{ ?a {p0} ?b . ?b {p1} ?c }}",
+        ),
+        (
+            "columnar/star2",
+            f"SELECT ?b ?c WHERE {{ ?a {p0} ?b . ?a {p1} ?c }}",
+        ),
+        (
+            "columnar/filter_path",
+            f"SELECT ?a ?c WHERE {{ ?a {p0} ?b . ?b {p1} ?c "
+            f". FILTER(?a != ?c) }}",
+        ),
+        (
+            "columnar/union_join",
+            f"SELECT ?a WHERE {{ {{ ?a {p0} ?b }} UNION {{ ?a {p1} ?q }}"
+            f" . ?a {p2} ?w }}",
+        ),
+    ]
+    records = []
+    for name, text in workloads:
+        ast = parse_query(text)
+        assert isinstance(ast, SelectQuery)
+        node = translate_group(ast.where)
+        variables = ast.projected()
+        if select_id_rows_batch(graph, node, variables) != select_id_rows(
+            graph, node, variables
+        ):
+            raise AssertionError(
+                f"benchmark {name!r}: batch engine disagrees with the "
+                f"row engine on the answer set"
+            )
+        records.append(
+            _compare(
+                name,
+                lambda n=node, v=variables: len(
+                    select_id_rows_batch(graph, n, v)
+                ),
+                lambda n=node, v=variables: len(select_id_rows(graph, n, v)),
+                repeat,
+                {"variables": len(variables)},
+            )
+        )
+
+    # Plan cache: an anchored, ordered query whose execution is cheap,
+    # so the hot/cold ratio measures what the cache removes (parse +
+    # plan), not join work that both runs must do anyway.
+    anchor = sorted(graph.subjects())[0].n3()
+    cache_text = (
+        f"SELECT ?b ?c WHERE {{ {anchor} {p0} ?b . ?b {p1} ?c }} "
+        f"ORDER BY ?b ?c"
+    )
+
+    def hot() -> int:
+        return len(engine_execute(graph, cache_text).rows)
+
+    def cold() -> int:
+        default_plan_cache.clear()
+        return len(engine_execute(graph, cache_text).rows)
+
+    default_plan_cache.clear()
+    expected_rows = hot()  # one miss; the cache is now warm
+    before = default_plan_cache.stats()
+    hot_seconds, hot_rows = _best_time(hot, repeat)
+    after = default_plan_cache.stats()
+    hot_hits = after["hits"] - before["hits"]
+    hot_misses = after["misses"] - before["misses"]
+    if hot_misses != 0 or hot_hits != max(1, repeat):
+        raise AssertionError(
+            f"benchmark 'columnar/plan_cache': hot run expected "
+            f"{max(1, repeat)} hits and 0 misses, saw {hot_hits} hits "
+            f"and {hot_misses} misses"
+        )
+    cold_seconds, cold_rows = _best_time(cold, repeat)
+    # clear() also resets the counters, so after the cold loop the
+    # stats reflect exactly the last iteration: one miss, zero hits.
+    stats = default_plan_cache.stats()
+    if stats["hits"] != 0 or stats["misses"] != 1:
+        raise AssertionError(
+            f"benchmark 'columnar/plan_cache': cold run expected every "
+            f"call to miss, final counters are {stats!r}"
+        )
+    if hot_rows != cold_rows or hot_rows != expected_rows:
+        raise AssertionError(
+            f"benchmark 'columnar/plan_cache': hot run returned "
+            f"{hot_rows} rows, cold run {cold_rows}, first run "
+            f"{expected_rows}"
+        )
+    records.append(
+        BenchRecord(
+            name="columnar/plan_cache",
+            seconds=hot_seconds,
+            baseline_seconds=cold_seconds,
+            speedup=cold_seconds / max(hot_seconds, 1e-12),
+            meta={
+                "results": hot_rows,
+                "hot_hits": hot_hits,
+                "hot_misses": hot_misses,
+                "cold_hits": stats["hits"],
+                "cold_misses_last_call": stats["misses"],
+            },
+        )
+    )
     return records
 
 
@@ -1022,6 +1161,7 @@ def build_report(
     records.extend(bench_gpq_join(graph, baseline, repeat))
     records.extend(bench_chase(repeat, peers=peers))
     records.extend(bench_sparql(graph, repeat))
+    records.extend(bench_columnar(graph, repeat))
     records.extend(bench_federation(repeat))
     records.extend(bench_adaptive(repeat))
     records.extend(bench_parallel(repeat))

@@ -146,7 +146,7 @@ from repro.federation.plan import (
     issue_request,
 )
 from repro.federation.statistics import StatisticsCatalog
-from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
+from repro.gpq.evaluation import compile_conjunct
 from repro.gpq.query import GraphPatternQuery
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import NamespaceManager
@@ -156,7 +156,9 @@ from repro.peers.system import RPS
 from repro.runtime.channel import ChannelStats
 from repro.runtime.scheduler import DEFAULT_CONCURRENCY, OverlapScheduler
 from repro.sparql.ast import AskQuery, FilterExpr, OrderCondition, SelectQuery
+from repro.sparql.batch import extend_bindings_batch
 from repro.sparql.bridge import ConjunctiveBranch, sparql_to_branches
+from repro.sparql.cache import PlanCache, nsm_fingerprint
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import OrderKey, compile_filter
 
@@ -382,6 +384,13 @@ class FederatedExecutor:
         )
         self.catalog = StatisticsCatalog(self.network, stats_ttl)
         self.planner = FederatedPlanner(self)
+        #: Cross-query LRU of :class:`PreparedQuery` values keyed on
+        #: (text, namespace fingerprint, statistics epoch, dictionary
+        #: size) — repeated traffic skips normalisation and filter
+        #: compilation; a statistics refresh (or explicit
+        #: ``catalog.invalidate_plans()``) strands stale entries by
+        #: changing the key.
+        self.plan_cache = PlanCache(capacity=128)
 
     # -- public API -----------------------------------------------------
 
@@ -394,13 +403,34 @@ class FederatedExecutor:
         query, skipping repeated :func:`sparql_to_branches` runs and
         filter compilation — :meth:`run_all_strategies` does exactly
         that for its four executions.
+
+        Text queries additionally go through the executor's
+        cross-query :attr:`plan_cache`: identical traffic pays for
+        parse, normalisation and filter compilation once per
+        statistics epoch.  The dictionary size rides in the key
+        because compiled filters capture term IDs — interning a
+        previously-unknown constant must invalidate.
         """
+        key = None
+        if isinstance(query, str):
+            key = (
+                query,
+                nsm_fingerprint(nsm),
+                self.catalog.statistics_epoch,
+                len(self.dictionary),
+            )
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached
         head, branches, order, limit, offset, ask = self._normalize(query, nsm)
         sentinels: Dict[Term, int] = {}
         prepared = tuple(
             self._compile_branch(branch, sentinels) for branch in branches
         )
-        return PreparedQuery(head, prepared, order, limit, offset, ask)
+        result = PreparedQuery(head, prepared, order, limit, offset, ask)
+        if key is not None:
+            self.plan_cache.put(key, result)
+        return result
 
     def execute(
         self,
@@ -601,13 +631,17 @@ class FederatedExecutor:
             )
         result = self.execute(query, strategy, nsm)
         stats = result.stats
+        cache = self.plan_cache.stats()
         lines = [
             f"{strategy}: {len(result.rows)} rows, "
             f"messages={stats.messages} "
             f"solutions={stats.solutions_transferred} "
             f"triples={stats.triples_transferred} "
             f"busy={stats.busy_seconds:.3f}s "
-            f"elapsed={stats.elapsed_seconds:.3f}s"
+            f"elapsed={stats.elapsed_seconds:.3f}s",
+            f"plan-cache: hits={cache['hits']} misses={cache['misses']} "
+            f"size={cache['size']}/{cache['capacity']} "
+            f"stats-epoch={self.catalog.statistics_epoch}",
         ]
         for plan in result.plans:
             lines.append("plan:")
@@ -940,12 +974,17 @@ class FederatedExecutor:
     def _extend_local(
         graph: Graph, tp: TriplePattern, bindings: List[IDBinding]
     ) -> List[IDBinding]:
+        """One conjunct step of the collect baseline, run columnar.
+
+        :func:`extend_bindings_batch` probes the index with selection
+        vectors instead of a per-row python loop, and is contractually
+        order-identical to the ``extend_id_bindings`` loop it replaced,
+        so the first-occurrence dedupe keeps the same representatives.
+        """
         slots = compile_conjunct(graph, tp)
         if slots is None:
             return []
-        out: List[IDBinding] = []
-        for partial in bindings:
-            out.extend(extend_id_bindings(graph, slots, partial))
+        out, _ = extend_bindings_batch(graph, slots, bindings)
         return dedupe(out)
 
 

@@ -133,6 +133,7 @@ from repro.rdf.triples import TriplePattern
 from repro.sparql.ast import OrderCondition
 from repro.sparql.plan import OrderKey
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
+from repro.sparql.batch import extend_bindings_batch
 from repro.runtime.scheduler import RequestHandle, peak_overlap
 
 __all__ = [
@@ -857,7 +858,27 @@ class PullScan(FedOp):
         pull_origin = self.handles
         slots = compile_conjunct(ctx.cache.graph, self.pattern)
         seen: Set[Tuple[Tuple[str, int], ...]] = set()
-        if slots is not None:
+        if slots is not None and not ctx.serial:
+            # The child is already fully drained (runtime mode), so the
+            # local join against the cache graph runs columnar: one
+            # selection-vector probe over all rows, order-identical to
+            # the per-row loop (downstream batching and dedupe are
+            # stream-order-sensitive and message counts are gated).
+            extended_rows, sources = extend_bindings_batch(
+                ctx.cache.graph, slots, rows.bindings
+            )
+            origins = rows.origins
+            for extended, source_index in zip(extended_rows, sources):
+                key = canonical(extended)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield extended, _merge_origins(
+                    origins[source_index], pull_origin
+                )
+        elif slots is not None:
+            # Serial mode keeps the lazy per-row loop: a satisfied
+            # LIMIT must stop pulling upstream rows mid-stream.
             for binding, origin in source:
                 for extended in extend_id_bindings(
                     ctx.cache.graph, slots, binding

@@ -63,6 +63,11 @@ class StatisticsCatalog:
         self.network = network
         self.ttl = ttl
         self.epoch = 0
+        #: Bumped whenever the statistics any plan was priced against
+        #: actually change (an endpoint refresh, or an explicit
+        #: :meth:`invalidate_plans`).  The federated executor keys its
+        #: plan cache on this, so a bump strands every cached plan.
+        self.statistics_epoch = 0
         self._fetched_epoch: Dict[str, int] = {}
         self._cache: Dict[_Key, int] = {}
         self._stats: Optional[NetworkStats] = None
@@ -125,6 +130,16 @@ class StatisticsCatalog:
         # endpoint is re-read from the live graph afterwards.
         self.network.charge_refresh(self._stats, endpoint.name)
         self._fetched_epoch[endpoint.name] = self.epoch
+        self.statistics_epoch += 1
         stale_keys = [key for key in self._cache if key[0] == endpoint.name]
         for key in stale_keys:
             del self._cache[key]
+
+    def invalidate_plans(self) -> None:
+        """Declare every statistics-derived plan stale.
+
+        Bumps :attr:`statistics_epoch` without touching the cached
+        counts — the lever for callers that mutate peer databases out
+        of band and want prepared plans rebuilt on next use.
+        """
+        self.statistics_epoch += 1

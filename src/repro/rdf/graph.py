@@ -34,6 +34,7 @@ evaluator, which joins on integers and decodes only final answer rows.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.rdf.dictionary import IDTriple, TermDictionary, default_dictionary
@@ -89,7 +90,24 @@ class Graph:
     plus set-style algebra (``|``, ``&``, ``-``) which returns new graphs.
     """
 
-    __slots__ = ("_dict", "_ids", "_spo", "_pos", "_osp", "name")
+    __slots__ = (
+        "_dict",
+        "_ids",
+        "_spo",
+        "_pos",
+        "_osp",
+        "_s_counts",
+        "_p_counts",
+        "_o_counts",
+        "_epoch",
+        "serial",
+        "name",
+    )
+
+    #: Process-wide source of per-instance serial numbers: together with
+    #: the mutation epoch this identifies a graph *state*, which is what
+    #: the cross-query plan cache keys on.
+    _serials = itertools.count(1)
 
     def __init__(
         self,
@@ -104,10 +122,26 @@ class Graph:
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
+        # Aggregate triple counts per term-in-position, maintained
+        # incrementally so single-position count_ids probes are O(1).
+        self._s_counts: Dict[int, int] = {}
+        self._p_counts: Dict[int, int] = {}
+        self._o_counts: Dict[int, int] = {}
+        self._epoch: int = 0
+        self.serial: int = next(Graph._serials)
         self.name = name
         if triples is not None:
             for triple in triples:
                 self.add(triple)
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumps on every successful add/remove/clear.
+
+        ``(serial, epoch)`` identifies a graph state; the plan cache uses
+        it to invalidate prepared plans when the data changes.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Dictionary access
@@ -147,6 +181,13 @@ class Graph:
         _index_add(self._spo, s, p, o)
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
+        counts = self._s_counts
+        counts[s] = counts.get(s, 0) + 1
+        counts = self._p_counts
+        counts[p] = counts.get(p, 0) + 1
+        counts = self._o_counts
+        counts[o] = counts.get(o, 0) + 1
+        self._epoch += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -165,6 +206,17 @@ class Graph:
         _index_remove(self._spo, s, p, o)
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
+        for counts, key in (
+            (self._s_counts, s),
+            (self._p_counts, p),
+            (self._o_counts, o),
+        ):
+            left = counts[key] - 1
+            if left:
+                counts[key] = left
+            else:
+                del counts[key]
+        self._epoch += 1
         return True
 
     def clear(self) -> None:
@@ -172,6 +224,10 @@ class Graph:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._s_counts.clear()
+        self._p_counts.clear()
+        self._o_counts.clear()
+        self._epoch += 1
 
     def _lookup_ids(self, triple: Triple) -> Optional[IDTriple]:
         """Encode a triple without interning; None if any term is unknown."""
@@ -363,11 +419,12 @@ class Graph:
     ) -> int:
         """Count ID-triples matching the given ground-ID positions.
 
-        Every shape is answered from the indexes without materialising
-        triples: single-position counts sum one index level, two-position
-        counts are a set length, and the fully ground case is a membership
-        probe.  This is the cardinality oracle the SPARQL planner orders
-        joins with, so it must stay O(index fan-out) or better.
+        Every shape is answered without materialising triples or walking
+        an index level: single-position counts come from the maintained
+        per-position aggregate count dictionaries (O(1)), two-position
+        counts are a leaf length, and the fully ground case is a
+        membership probe.  This is the cardinality oracle the SPARQL
+        planner orders joins with, so it must stay O(1) per probe.
         """
         s, p, o = subject, predicate, object
         if s is None and p is None and o is None:
@@ -379,26 +436,24 @@ class Graph:
                 return len(self._spo.get(s, {}).get(p, ()))
             if o is not None:
                 return len(self._osp.get(o, {}).get(s, ()))
-            by_pred = self._spo.get(s, {})
-            return sum(len(objs) for objs in by_pred.values())
+            return self._s_counts.get(s, 0)
         if p is not None:
             if o is not None:
                 return len(self._pos.get(p, {}).get(o, ()))
-            by_obj = self._pos.get(p, {})
-            return sum(len(subjs) for subjs in by_obj.values())
-        by_subj = self._osp.get(o, {})
-        return sum(len(preds) for preds in by_subj.values())
+            return self._p_counts.get(p, 0)
+        return self._o_counts.get(o, 0)
 
     def count_pattern(self, pattern: TriplePattern) -> int:
         """Exact match count of a triple pattern.
 
         Ground positions resolve through the dictionary and the count
-        comes straight from :meth:`count_ids` — O(index fan-out), no
-        triple materialisation.  Repeated variables (e.g. ``(?x, p,
-        ?x)``) force a scan over the candidate index range, since the
-        equality constraint is not index-expressible.  A literal subject
-        or an uninterned ground term counts zero.  This is the
-        per-endpoint cardinality oracle of the federated cost model.
+        comes straight from :meth:`count_ids` — O(1), no triple
+        materialisation.  Repeated variables (e.g. ``(?x, p, ?x)``) are
+        answered from index *leaf* lengths and membership probes — one
+        probe per distinct key of the relevant index level, never one
+        per matching triple.  A literal subject or an uninterned ground
+        term counts zero.  This is the per-endpoint cardinality oracle
+        of the federated cost model.
         """
         terms = (pattern.subject, pattern.predicate, pattern.object)
         if isinstance(terms[0], Literal):
@@ -420,10 +475,54 @@ class Graph:
                 args[pos] = tid
         if not constraints:
             return self.count_ids(args[0], args[1], args[2])
+        return self._count_repeated(args, constraints)
+
+    def _count_repeated(
+        self, args: List[Optional[int]], constraints: List[Tuple[int, int]]
+    ) -> int:
+        """Count matches of a pattern with repeated variables.
+
+        Each shape is answered from one index level with membership
+        probes or leaf lengths — O(distinct keys), never O(matches).
+        Ground positions never participate in a constraint (a repeated
+        variable occupies both constrained positions), so the dispatch
+        below is exhaustive over the repeat shapes.
+        """
+        shape = frozenset(constraints)
+        s, p, o = args
+        if shape == {(0, 2)}:  # (?x, ·, ?x): subject == object
+            if p is not None:
+                by_obj = self._pos.get(p, {})
+                return sum(1 for obj, subjs in by_obj.items() if obj in subjs)
+            osp = self._osp
+            return sum(
+                len(osp.get(subj, {}).get(subj, ())) for subj in self._spo
+            )
+        if shape == {(0, 1)}:  # (?x, ?x, ·): subject == predicate
+            if o is not None:
+                by_subj = self._osp.get(o, {})
+                return sum(
+                    1 for subj, preds in by_subj.items() if subj in preds
+                )
+            return sum(
+                len(by_pred.get(subj, ()))
+                for subj, by_pred in self._spo.items()
+            )
+        if shape == {(1, 2)}:  # (·, ?x, ?x): predicate == object
+            if s is not None:
+                by_pred = self._spo.get(s, {})
+                return sum(
+                    1 for pred, objs in by_pred.items() if pred in objs
+                )
+            return sum(
+                len(by_obj.get(pred, ()))
+                for pred, by_obj in self._pos.items()
+            )
+        # (?x, ?x, ?x): all three positions equal.
         return sum(
             1
-            for ids in self.triples_ids(args[0], args[1], args[2])
-            if all(ids[i] == ids[j] for i, j in constraints)
+            for subj, by_pred in self._spo.items()
+            if subj in by_pred.get(subj, ())
         )
 
     def add_id_triples(
@@ -517,6 +616,9 @@ class Graph:
         out._spo = _copy_index(self._spo)
         out._pos = _copy_index(self._pos)
         out._osp = _copy_index(self._osp)
+        out._s_counts = dict(self._s_counts)
+        out._p_counts = dict(self._p_counts)
+        out._o_counts = dict(self._o_counts)
         return out
 
     def _from_ids(self, ids: Iterable[IDTriple], name: str = "") -> "Graph":
@@ -556,6 +658,42 @@ class Graph:
         return all(t in other for t in self)
 
     # ------------------------------------------------------------------
+    # Columnar run access (used by the batch execution engine)
+    # ------------------------------------------------------------------
+
+    def runs(self, order: str) -> _Index:
+        """One nested index as grouped runs — READ-ONLY.
+
+        ``order`` is ``"spo"``, ``"pos"`` or ``"osp"``.  The returned
+        nested mapping is the live index: two dictionary levels keyed by
+        ID, whose leaves are insertion-ordered ID runs.  The batch
+        engine consumes whole runs at a time (bulk ``extend`` into
+        columns, group-at-a-time merge joins keyed on the second index
+        level), which is why the accessor exposes the index structure
+        instead of an iterator of triples.  Runs are grouped by their
+        index key and their iteration order is the deterministic
+        insertion order — callers must never mutate them.
+
+        Raises:
+            ValueError: for an unknown order name.
+        """
+        if order == "spo":
+            return self._spo
+        if order == "pos":
+            return self._pos
+        if order == "osp":
+            return self._osp
+        raise ValueError(f"unknown index order {order!r}")
+
+    def contains_ids(self, subject: int, predicate: int, object: int) -> bool:
+        """Membership probe on an already-encoded ID triple — O(1)."""
+        return (subject, predicate, object) in self._ids
+
+    def id_triples(self) -> Iterator[IDTriple]:
+        """All ID triples in deterministic insertion order."""
+        return iter(self._ids)
+
+    # ------------------------------------------------------------------
     # Statistics (used by the SPARQL planner)
     # ------------------------------------------------------------------
 
@@ -563,8 +701,7 @@ class Graph:
         """Triple count per predicate, for join-order selectivity."""
         decode = self._dict.decode
         return {
-            decode(pred): sum(len(subjs) for subjs in by_obj.values())
-            for pred, by_obj in self._pos.items()
+            decode(pred): count for pred, count in self._p_counts.items()
         }
 
     def sorted_triples(self) -> List[Triple]:

@@ -1,0 +1,1221 @@
+"""Columnar batch execution engine for the SPARQL algebra.
+
+The row engine (:mod:`repro.sparql.plan`) streams one python dict per
+solution, which caps it near 100k triples.  This module executes the
+same logical algebra over :class:`Batch` values instead: parallel lists
+of integer term IDs, one column per variable, moved between operators
+with C-level bulk operations (``list.extend`` of whole index runs,
+sequence repetition, ``map(col.__getitem__, sel)`` gathers) so the
+python interpreter touches *groups*, not rows.
+
+Execution strategies, chosen per BGP step:
+
+* **scan** — a triple pattern materialises straight from one nested
+  index of :meth:`repro.rdf.graph.Graph.runs`: whole insertion-ordered
+  leaf runs are bulk-extended into columns;
+* **fused merge join** — the first join of a BGP consumes the scan's
+  grouped runs directly: the runs of one index level are merged
+  group-at-a-time against probes of the other pattern's index, and each
+  matching (run × run) pair emits its cross product with sequence
+  repetition — per-key python work, per-row C work;
+* **selection-vector probe** — later conjuncts probe an index per row,
+  appending matches to the new column and row indexes to a selection
+  vector; the already-computed columns are gathered once at the end.
+
+Joins across groups/unions are batch-at-a-time hash joins; FILTER,
+ORDER BY and slicing are vectorized over columns.  Internally batches
+carry *bag* semantics (duplicates survive until the result boundary,
+where projection deduplicates on ID tuples — the same boundary the row
+engine uses), and unbound cells hold the :data:`UNBOUND` sentinel,
+chosen far below the FILTER compiler's negative sentinel IDs so the two
+can never collide.
+
+The conjunct order comes from the row planner
+(:func:`repro.sparql.plan.plan_bgp`), so the two engines always agree
+on join order, and the term-level evaluator of
+:mod:`repro.sparql.algebra` stays the equivalence oracle: every batch
+plan must produce exactly its solution set (asserted by the randomized
+fuzz suite and the ``columnar`` benchmark gate).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.errors import SparqlEvaluationError
+from repro.gpq.evaluation import extend_id_bindings
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Variable
+from repro.sparql.algebra import AlgebraNode, Bgp, Filter, Join, LeftJoin
+from repro.sparql.algebra import Union as AlgebraUnion
+from repro.sparql.ast import (
+    BooleanExpr,
+    Comparison,
+    FilterExpr,
+    OrderCondition,
+)
+from repro.sparql.plan import _BOUND_SELECTIVITY, OrderKey, plan_bgp
+
+__all__ = [
+    "UNBOUND",
+    "Batch",
+    "BatchOp",
+    "BatchBgp",
+    "BatchJoin",
+    "BatchUnion",
+    "BatchLeftJoin",
+    "BatchFilter",
+    "build_batch_plan",
+    "execute_batch",
+    "extend_bindings_batch",
+    "select_id_batch",
+    "select_id_rows_batch",
+    "batch_slice",
+    "batch_top_k",
+]
+
+#: Sentinel ID for an unbound cell.  The FILTER compiler hands
+#: uninterned constants small negative sentinels (-1, -2, ...), and real
+#: dictionary IDs are non-negative, so a huge negative constant can
+#: never collide with either.
+UNBOUND = -(2**62)
+
+#: A compiled conjunct position: an integer ID or a still-free Variable.
+_Slot = Union[int, Variable]
+
+_IDRow = Tuple[Optional[int], ...]
+
+
+class Batch:
+    """A batch of solutions as parallel integer columns.
+
+    ``schema`` names one :class:`Variable` per column; ``columns`` holds
+    the parallel lists of dictionary IDs (``UNBOUND`` marks an unbound
+    cell); ``n`` is the row count, kept explicitly so zero-column
+    batches (an empty group pattern binds no variables but has one row)
+    stay representable.
+    """
+
+    __slots__ = ("schema", "columns", "n")
+
+    def __init__(
+        self,
+        schema: Tuple[Variable, ...],
+        columns: List[List[int]],
+        n: Optional[int] = None,
+    ) -> None:
+        self.schema = schema
+        self.columns = columns
+        self.n = n if n is not None else (len(columns[0]) if columns else 0)
+
+    @classmethod
+    def empty(cls, schema: Tuple[Variable, ...] = ()) -> "Batch":
+        return cls(schema, [[] for _ in schema], 0)
+
+    @classmethod
+    def singleton(cls) -> "Batch":
+        """One row binding nothing — the empty group pattern's result."""
+        return cls((), [], 1)
+
+    def col(self, var: Variable) -> Optional[List[int]]:
+        """The column for ``var``, or None when it is not in the schema."""
+        try:
+            return self.columns[self.schema.index(var)]
+        except ValueError:
+            return None
+
+    def rows(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate rows as ID tuples in schema order (bag, with dups)."""
+        if not self.columns:
+            return iter(() for _ in range(self.n))
+        return zip(*self.columns)
+
+    def gather(self, sel: Sequence[int]) -> "Batch":
+        """A new batch with the rows named by the selection vector."""
+        return Batch(
+            self.schema,
+            [list(map(c.__getitem__, sel)) for c in self.columns],
+            len(sel),
+        )
+
+    def id_rows(self, variables: Sequence[Variable]) -> Set[_IDRow]:
+        """Distinct projected rows as ID tuples (``None`` = unbound).
+
+        This is the result boundary: bag-semantics columns collapse to
+        the same distinct row set the row engine's ``select_id_rows``
+        produces, with ``UNBOUND`` translated to ``None``.
+        """
+        if self.n == 0:
+            return set()
+        cols: List[List[Optional[int]]] = []
+        for var in variables:
+            col = self.col(var)
+            if col is None:
+                cols.append([None] * self.n)
+            elif UNBOUND in col:
+                cols.append([None if c == UNBOUND else c for c in col])
+            else:
+                cols.append(col)  # type: ignore[arg-type]
+        if not cols:
+            return {()}
+        return set(zip(*cols))
+
+
+# ---------------------------------------------------------------------------
+# Scans and BGP extension steps
+# ---------------------------------------------------------------------------
+
+
+def _repeat_constraints(
+    free: List[Tuple[int, Variable]],
+) -> List[Tuple[int, int]]:
+    """Position pairs a repeated free variable forces to be equal."""
+    first: Dict[Variable, int] = {}
+    out: List[Tuple[int, int]] = []
+    for pos, var in free:
+        if var in first:
+            out.append((first[var], pos))
+        else:
+            first[var] = pos
+    return out
+
+
+def _scan_batch(graph: Graph, slots: Tuple[_Slot, _Slot, _Slot]) -> Batch:
+    """Materialise one triple pattern as a batch, straight from runs."""
+    args: List[Optional[int]] = [None, None, None]
+    free: List[Tuple[int, Variable]] = []
+    for pos, slot in enumerate(slots):
+        if isinstance(slot, int):
+            args[pos] = slot
+        else:
+            free.append((pos, slot))
+    s, p, o = args
+    if not free:
+        n = 1 if graph.contains_ids(s, p, o) else 0  # type: ignore[arg-type]
+        return Batch((), [], n)
+    constraints = _repeat_constraints(free)
+    if constraints:
+        return _scan_repeated(graph, args, free, constraints)
+    schema = tuple(var for _, var in free)
+    if len(free) == 1:
+        pos = free[0][0]
+        if pos == 2:  # (s, p, ?o)
+            run = graph.runs("spo").get(s, {}).get(p, ())
+        elif pos == 0:  # (?s, p, o)
+            run = graph.runs("pos").get(p, {}).get(o, ())
+        else:  # (s, ?p, o)
+            run = graph.runs("osp").get(o, {}).get(s, ())
+        return Batch(schema, [list(run)])
+    if len(free) == 2:
+        col1: List[int] = []
+        col2: List[int] = []
+        if s is not None:  # (s, ?p, ?o)
+            level = graph.runs("spo").get(s, {})
+        elif p is not None:  # (?s, p, ?o) — runs keyed by object
+            level = graph.runs("pos").get(p, {})
+        else:  # (?s, ?p, o) — runs keyed by subject
+            level = graph.runs("osp").get(o, {})
+        for key, run in level.items():
+            col2.extend(run)
+            col1.extend([key] * len(run))
+        if s is not None:  # keys are predicates, runs are objects
+            return Batch(schema, [col1, col2])
+        if p is not None:  # keys are objects, runs are subjects
+            return Batch(schema, [col2, col1])
+        return Batch(schema, [col1, col2])  # keys subjects, runs predicates
+    # Fully unbound: unzip the whole triple set in one C pass.
+    ids = list(graph.id_triples())
+    if not ids:
+        return Batch.empty(schema)
+    c0, c1, c2 = map(list, zip(*ids))
+    return Batch(schema, [c0, c1, c2])
+
+
+def _scan_repeated(
+    graph: Graph,
+    args: List[Optional[int]],
+    free: List[Tuple[int, Variable]],
+    constraints: List[Tuple[int, int]],
+) -> Batch:
+    """Scan a pattern whose free variables repeat (e.g. ``(?x, p, ?x)``)."""
+    seen: Dict[Variable, int] = {}
+    emit: List[Tuple[int, Variable]] = []
+    for pos, var in free:
+        if var not in seen:
+            seen[var] = pos
+            emit.append((pos, var))
+    schema = tuple(var for _, var in emit)
+    positions = [pos for pos, _ in emit]
+    cols: List[List[int]] = [[] for _ in emit]
+    for ids in graph.triples_ids(args[0], args[1], args[2]):
+        if all(ids[i] == ids[j] for i, j in constraints):
+            for k, pos in enumerate(positions):
+                cols[k].append(ids[pos])
+    return Batch(schema, cols)
+
+
+def _extend_batch(
+    graph: Graph, batch: Batch, slots: Tuple[_Slot, _Slot, _Slot]
+) -> Batch:
+    """Join a batch with one conjunct via per-row index probes.
+
+    The probe loop only builds the new column(s) plus a selection
+    vector of source row indexes; the existing columns are gathered
+    once afterwards.  Within a BGP every schema variable is bound, so
+    key columns never contain ``UNBOUND``.
+    """
+    schema = batch.schema
+    n = batch.n
+    sources: List[Union[int, List[int], None]] = [None, None, None]
+    free: List[Tuple[int, Variable]] = []
+    for pos, slot in enumerate(slots):
+        if isinstance(slot, int):
+            sources[pos] = slot
+        else:
+            col = batch.col(slot)
+            if col is not None:
+                sources[pos] = col
+            else:
+                free.append((pos, slot))
+    if len(free) > 1 or _repeat_constraints(free):
+        return _extend_generic(graph, batch, sources, free)
+
+    def feed(pos: int) -> Sequence[int]:
+        src = sources[pos]
+        if isinstance(src, list):
+            return src
+        return [src] * n  # type: ignore[list-item]
+
+    sel: List[int] = []
+    if not free:
+        contains = graph.contains_ids
+        sel = [
+            i
+            for i, key in enumerate(zip(feed(0), feed(1), feed(2)))
+            if contains(*key)
+        ]
+        return batch.gather(sel)
+    pos, var = free[0]
+    new_col: List[int] = []
+    if pos == 2:
+        index, k1, k2 = graph.runs("spo"), feed(0), feed(1)
+    elif pos == 0:
+        index, k1, k2 = graph.runs("pos"), feed(1), feed(2)
+    else:
+        index, k1, k2 = graph.runs("osp"), feed(2), feed(0)
+    index_get = index.get
+    for i, (a, b) in enumerate(zip(k1, k2)):
+        level = index_get(a)
+        if level is None:
+            continue
+        run = level.get(b)
+        if run:
+            new_col.extend(run)
+            sel.extend([i] * len(run))
+    out = batch.gather(sel)
+    return Batch(schema + (var,), out.columns + [new_col], len(sel))
+
+
+def _extend_generic(
+    graph: Graph,
+    batch: Batch,
+    sources: List[Union[int, List[int], None]],
+    free: List[Tuple[int, Variable]],
+) -> Batch:
+    """Fallback extension: several or repeated free positions per row."""
+    constraints = _repeat_constraints(free)
+    emit: List[Tuple[int, Variable]] = []
+    seen: Set[Variable] = set()
+    for pos, var in free:
+        if var not in seen:
+            seen.add(var)
+            emit.append((pos, var))
+    sel: List[int] = []
+    new_cols: List[List[int]] = [[] for _ in emit]
+    triples_ids = graph.triples_ids
+    for i in range(batch.n):
+        args = [
+            src[i] if isinstance(src, list) else src for src in sources
+        ]
+        for ids in triples_ids(args[0], args[1], args[2]):
+            if constraints and not all(
+                ids[a] == ids[b] for a, b in constraints
+            ):
+                continue
+            for k, (pos, _) in enumerate(emit):
+                new_cols[k].append(ids[pos])
+            sel.append(i)
+    out = batch.gather(sel)
+    return Batch(
+        batch.schema + tuple(var for _, var in emit),
+        out.columns + new_cols,
+        len(sel),
+    )
+
+
+def extend_bindings_batch(
+    graph: Graph,
+    slots: Tuple[_Slot, _Slot, _Slot],
+    bindings: Sequence[Dict[Variable, int]],
+) -> Tuple[List[Dict[Variable, int]], List[int]]:
+    """Columnar twin of a per-row ``extend_id_bindings`` loop.
+
+    Converts the binding dicts to columns once, runs the
+    selection-vector probe, and converts back, returning the extended
+    bindings *and* the source-row index of each output row (for request
+    -origin tracking in the federation layer).
+
+    Order fidelity is a hard contract: output order is exactly the
+    per-row loop's — source-row-major, matches in ``triples_ids`` index
+    order — because federated consumers batch, slice and dedupe on
+    stream order, and message counts are test-gated on it.  Rows with
+    heterogeneous domains (mixed-UNION pulls) fall back to the per-row
+    loop rather than approximate.
+    """
+    if not bindings:
+        return [], []
+    domain = tuple(bindings[0])
+    if any(tuple(b) != domain for b in bindings):
+        out: List[Dict[Variable, int]] = []
+        sel: List[int] = []
+        for i, partial in enumerate(bindings):
+            for extended in extend_id_bindings(graph, slots, partial):
+                out.append(extended)
+                sel.append(i)
+        return out, sel
+    columns = [[b[v] for b in bindings] for v in domain]
+    batch = Batch(domain, columns, len(bindings))
+    source = Variable("__source_row__")
+    batch = Batch(
+        domain + (source,),
+        columns + [list(range(batch.n))],
+        batch.n,
+    )
+    extended_batch = _extend_batch(graph, batch, slots)
+    sel = extended_batch.col(source) or []
+    keep = [v for v in extended_batch.schema if v != source]
+    cols = [extended_batch.col(v) for v in keep]
+    rows = zip(*cols) if cols else iter(() for _ in range(extended_batch.n))
+    return [dict(zip(keep, row)) for row in rows], list(sel)
+
+
+def _fused_scan_join(
+    graph: Graph,
+    slots0: Tuple[_Slot, _Slot, _Slot],
+    slots1: Tuple[_Slot, _Slot, _Slot],
+) -> Optional[Batch]:
+    """Merge-join the first two conjuncts directly over grouped runs.
+
+    Applies when conjunct 0 is ``(?a, p0, ?b)`` and conjunct 1 reaches
+    the shared variable through a ground predicate with a fresh third
+    variable.  The scan side enumerates one index level as grouped runs
+    keyed on the join variable, the probe side answers each distinct
+    key with one leaf lookup, and each match emits a (run × run) cross
+    product via sequence repetition.  Returns None when the shapes do
+    not line up (the generic per-row probe handles those).
+    """
+    a, p0, b = slots0
+    if not (
+        isinstance(a, Variable)
+        and isinstance(b, Variable)
+        and isinstance(p0, int)
+        and a != b
+    ):
+        return None
+    s1, p1, o1 = slots1
+    if not isinstance(p1, int):
+        return None
+    if isinstance(s1, Variable) and s1 in (a, b):
+        join_var, new_slot, probe_subject = s1, o1, True
+    elif isinstance(o1, Variable) and o1 in (a, b):
+        join_var, new_slot, probe_subject = o1, s1, False
+    else:
+        return None
+    if not isinstance(new_slot, Variable) or new_slot in (a, b):
+        return None
+    spo = graph.runs("spo")
+    if join_var == b:
+        # Enumerate (b, subjects-run) groups from POS; column order a, b.
+        groups = graph.runs("pos").get(p0, {}).items()
+        fixed_first = True
+    else:
+        # Subject-major enumeration: worth it only when the subject
+        # level is not much wider than the scan itself.
+        if len(spo) > 2 * graph.count_ids(predicate=p0) + 16:
+            return None
+        groups = (
+            (subj, run)
+            for subj, by_pred in spo.items()
+            for run in (by_pred.get(p0),)
+            if run
+        )
+        fixed_first = False
+    if probe_subject:
+        probe_level = spo
+
+        def probe(key: int) -> Optional[Sequence[int]]:
+            leaf = probe_level.get(key)
+            return leaf.get(p1) if leaf else None
+
+    else:
+        probe_leaf = graph.runs("pos").get(p1, {})
+        probe = probe_leaf.get  # type: ignore[assignment]
+    col_key: List[int] = []
+    col_run: List[int] = []
+    col_new: List[int] = []
+    for key, run in groups:
+        matches = probe(key)
+        if not matches:
+            continue
+        n_run = len(run)
+        n_new = len(matches)
+        if n_run == 1:
+            value = next(iter(run))
+            col_run.extend([value] * n_new)
+            col_new.extend(matches)
+        else:
+            run_list = list(run)
+            for value in matches:
+                col_run.extend(run_list)
+                col_new.extend([value] * n_run)
+        col_key.extend([key] * (n_run * n_new))
+    if fixed_first:
+        schema = (a, b, new_slot)
+        columns = [col_run, col_key, col_new]
+    else:
+        schema = (a, b, new_slot)
+        columns = [col_key, col_run, col_new]
+    return Batch(schema, columns, len(col_key))
+
+
+# ---------------------------------------------------------------------------
+# FILTER compilation: column masks
+# ---------------------------------------------------------------------------
+
+_Mask = List[bool]
+
+
+def _compile_mask(
+    graph: Graph, expr: FilterExpr, sentinels: Dict[Term, int]
+) -> Callable[[Batch], _Mask]:
+    """Compile a FILTER expression into a vectorized column mask.
+
+    Ground terms resolve to dictionary IDs (or shared negative
+    sentinels) once at compile time, exactly as the row engine's
+    ``compile_filter`` does; an unbound cell fails every comparison
+    (SPARQL error semantics collapse to false in this fragment).
+    """
+    if isinstance(expr, BooleanExpr):
+        left = _compile_mask(graph, expr.left, sentinels)
+        right = _compile_mask(graph, expr.right, sentinels)
+        if expr.op == "&&":
+            return lambda b: [x and y for x, y in zip(left(b), right(b))]
+        return lambda b: [x or y for x, y in zip(left(b), right(b))]
+    if not isinstance(expr, Comparison):  # pragma: no cover
+        raise SparqlEvaluationError(f"unknown filter expression {expr!r}")
+    equals = expr.op == "="
+    if not isinstance(expr.left, Variable) and not isinstance(
+        expr.right, Variable
+    ):
+        verdict = (expr.left == expr.right) is equals
+        return lambda b: [verdict] * b.n
+
+    def resolve_ground(term: Term) -> int:
+        tid = graph.term_id(term)
+        if tid is None:
+            tid = sentinels.setdefault(term, -1 - len(sentinels))
+        return tid
+
+    if isinstance(expr.left, Variable) and isinstance(expr.right, Variable):
+        lvar, rvar = expr.left, expr.right
+
+        def var_mask(batch: Batch) -> _Mask:
+            ca = batch.col(lvar)
+            cb = batch.col(rvar)
+            if ca is None or cb is None:
+                return [False] * batch.n
+            if equals:
+                return [x == y and x != UNBOUND for x, y in zip(ca, cb)]
+            return [
+                x != y and x != UNBOUND and y != UNBOUND
+                for x, y in zip(ca, cb)
+            ]
+
+        return var_mask
+    if isinstance(expr.left, Variable):
+        var, ground_id = expr.left, resolve_ground(expr.right)
+    else:
+        var, ground_id = expr.right, resolve_ground(expr.left)
+
+    def ground_mask(batch: Batch) -> _Mask:
+        col = batch.col(var)
+        if col is None:
+            return [False] * batch.n
+        if equals:
+            return [x == ground_id for x in col]
+        return [x != ground_id and x != UNBOUND for x in col]
+
+    return ground_mask
+
+
+# ---------------------------------------------------------------------------
+# Batch operators
+# ---------------------------------------------------------------------------
+
+
+class BatchOp:
+    """Base class: an operator producing a whole :class:`Batch`.
+
+    Unlike the row operators these are not iterators — each ``execute``
+    materialises its full result, which is the point: all per-row work
+    collapses into C-level bulk list operations.  ``cardinality``
+    mirrors the row planner's estimates so join operands order the
+    same way.
+    """
+
+    variables: FrozenSet[Variable] = frozenset()
+    cardinality: float = 1.0
+
+    def execute(self) -> Batch:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> List[str]:
+        raise NotImplementedError
+
+
+class BatchEmpty(BatchOp):
+    """A pattern that provably cannot match."""
+
+    def __init__(self, variables: FrozenSet[Variable]) -> None:
+        self.variables = variables
+        self.cardinality = 0.0
+
+    def execute(self) -> Batch:
+        return Batch.empty(tuple(sorted(self.variables, key=str)))
+
+    def explain(self, depth: int = 0) -> List[str]:
+        return [f"{'  ' * depth}BatchEmpty"]
+
+
+class BatchSingleton(BatchOp):
+    """The empty group pattern: one row, no columns."""
+
+    def execute(self) -> Batch:
+        return Batch.singleton()
+
+    def explain(self, depth: int = 0) -> List[str]:
+        return [f"{'  ' * depth}BatchSingleton"]
+
+
+class BatchBgp(BatchOp):
+    """Columnar BGP execution over the shared cost-based order."""
+
+    def __init__(self, graph: Graph, patterns: Sequence) -> None:
+        self.graph = graph
+        out: Set[Variable] = set()
+        for tp in patterns:
+            out.update(tp.variables())
+        self.variables = frozenset(out)
+        self.ordered, self.compiled, self.cardinality = plan_bgp(
+            graph, patterns
+        )
+
+    def execute(self) -> Batch:
+        compiled = self.compiled
+        if compiled is None:
+            return Batch.empty(tuple(sorted(self.variables, key=str)))
+        graph = self.graph
+        batch: Optional[Batch] = None
+        index = 0
+        while index < len(compiled):
+            slots = compiled[index]
+            if batch is None:
+                if index + 1 < len(compiled):
+                    fused = _fused_scan_join(
+                        graph, slots, compiled[index + 1]
+                    )
+                    if fused is not None:
+                        batch = fused
+                        index += 2
+                        if batch.n == 0:
+                            break
+                        continue
+                batch = _scan_batch(graph, slots)
+            else:
+                batch = _extend_batch(graph, batch, slots)
+            if batch.n == 0:
+                break
+            index += 1
+        if batch is None:  # pragma: no cover - empty BGPs use Singleton
+            return Batch.singleton()
+        return batch
+
+    def explain(self, depth: int = 0) -> List[str]:
+        pad = "  " * depth
+        if self.compiled is None:
+            return [f"{pad}BatchBgp [unsatisfiable]"]
+        lines = [f"{pad}BatchBgp est={self.cardinality:.0f}"]
+        for tp in self.ordered:
+            lines.append(f"{pad}  . {tp.n3()}")
+        return lines
+
+
+def _join_batches(left: Batch, right: Batch) -> Batch:
+    """Batch-at-a-time join on the shared variables.
+
+    When every shared cell is bound on both sides the join is a pure
+    hash join: bucket the smaller side, probe with the larger, gather.
+    Heterogeneous UNION domains (``UNBOUND`` in a shared column) fall
+    back to a per-row compatibility merge mirroring ``omega_join``.
+    """
+    shared = tuple(
+        sorted(
+            set(left.schema) & set(right.schema), key=lambda v: v.name
+        )
+    )
+    if left.n == 0 or right.n == 0:
+        schema = left.schema + tuple(
+            v for v in right.schema if v not in left.schema
+        )
+        return Batch.empty(schema)
+    if not shared:
+        # Cross product, probe-major.
+        sel_l = [i for i in range(left.n) for _ in range(right.n)]
+        sel_r = list(range(right.n)) * left.n
+        gl = left.gather(sel_l)
+        gr = right.gather(sel_r)
+        return Batch(
+            gl.schema + gr.schema, gl.columns + gr.columns, len(sel_l)
+        )
+    lcols = [left.col(v) for v in shared]
+    rcols = [right.col(v) for v in shared]
+    strict = not any(UNBOUND in c for c in lcols) and not any(
+        UNBOUND in c for c in rcols
+    )
+    if strict:
+        build, probe = (right, left) if right.n <= left.n else (left, right)
+        bcols = [build.col(v) for v in shared]
+        pcols = [probe.col(v) for v in shared]
+        buckets: Dict[object, List[int]] = {}
+        setdefault = buckets.setdefault
+        if len(shared) == 1:
+            for j, key in enumerate(bcols[0]):
+                setdefault(key, []).append(j)
+            probe_keys: Sequence[object] = pcols[0]
+        else:
+            for j, key in enumerate(zip(*bcols)):
+                setdefault(key, []).append(j)
+            probe_keys = list(zip(*pcols))
+        sel_p: List[int] = []
+        sel_b: List[int] = []
+        get = buckets.get
+        for i, key in enumerate(probe_keys):
+            js = get(key)
+            if js:
+                sel_b.extend(js)
+                sel_p.extend([i] * len(js))
+        gp = probe.gather(sel_p)
+        build_only = [v for v in build.schema if v not in probe.schema]
+        bonly_cols = [
+            list(map(build.col(v).__getitem__, sel_b)) for v in build_only
+        ]
+        return Batch(
+            gp.schema + tuple(build_only),
+            gp.columns + bonly_cols,
+            len(sel_p),
+        )
+    # Loose path: per-row compatibility with UNBOUND as a wildcard.
+    schema = left.schema + tuple(
+        v for v in right.schema if v not in left.schema
+    )
+    out_cols: List[List[int]] = [[] for _ in schema]
+    right_rows = list(right.rows())
+    right_index = {v: k for k, v in enumerate(right.schema)}
+    merged_src: List[Tuple[int, Optional[int]]] = []
+    for var in schema:
+        merged_src.append(
+            (
+                left.schema.index(var) if var in left.schema else -1,
+                right_index.get(var),
+            )
+        )
+    for lrow in left.rows():
+        for rrow in right_rows:
+            ok = True
+            for var in shared:
+                lv = lrow[left.schema.index(var)]
+                rv = rrow[right_index[var]]
+                if lv != rv and lv != UNBOUND and rv != UNBOUND:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            for k, (li, ri) in enumerate(merged_src):
+                value = lrow[li] if li >= 0 else UNBOUND
+                if value == UNBOUND and ri is not None:
+                    value = rrow[ri]
+                out_cols[k].append(value)
+    return Batch(schema, out_cols)
+
+
+class BatchJoin(BatchOp):
+    """Join two batch sub-plans (cross-group/UNION joins)."""
+
+    def __init__(self, left: BatchOp, right: BatchOp) -> None:
+        self.left = left
+        self.right = right
+        self.variables = left.variables | right.variables
+        shared = left.variables & right.variables
+        denominator = max(1.0, _BOUND_SELECTIVITY ** len(shared))
+        self.cardinality = min(
+            left.cardinality * right.cardinality / denominator, 1e18
+        )
+
+    def execute(self) -> Batch:
+        return _join_batches(self.left.execute(), self.right.execute())
+
+    def explain(self, depth: int = 0) -> List[str]:
+        lines = [f"{'  ' * depth}BatchJoin est={self.cardinality:.0f}"]
+        lines.extend(self.left.explain(depth + 1))
+        lines.extend(self.right.explain(depth + 1))
+        return lines
+
+
+class BatchUnion(BatchOp):
+    """Concatenate branch batches over the union schema.
+
+    Branches missing a variable contribute ``UNBOUND`` columns.  No
+    cross-branch deduplication happens here — batches carry bags and
+    the result boundary deduplicates, so the solution *set* matches
+    the row engine's ``UnionScan`` exactly.
+    """
+
+    def __init__(self, branches: Sequence[BatchOp]) -> None:
+        self.branches = list(branches)
+        out: Set[Variable] = set()
+        for branch in self.branches:
+            out.update(branch.variables)
+        self.variables = frozenset(out)
+        self.cardinality = sum(b.cardinality for b in self.branches)
+
+    def execute(self) -> Batch:
+        batches = [branch.execute() for branch in self.branches]
+        schema: List[Variable] = []
+        seen: Set[Variable] = set()
+        for batch in batches:
+            for var in batch.schema:
+                if var not in seen:
+                    seen.add(var)
+                    schema.append(var)
+        cols: List[List[int]] = [[] for _ in schema]
+        total = 0
+        for batch in batches:
+            total += batch.n
+            for k, var in enumerate(schema):
+                col = batch.col(var)
+                if col is None:
+                    cols[k].extend([UNBOUND] * batch.n)
+                else:
+                    cols[k].extend(col)
+        return Batch(tuple(schema), cols, total)
+
+    def explain(self, depth: int = 0) -> List[str]:
+        lines = [f"{'  ' * depth}BatchUnion est={self.cardinality:.0f}"]
+        for branch in self.branches:
+            lines.extend(branch.explain(depth + 1))
+        return lines
+
+
+class BatchLeftJoin(BatchOp):
+    """``OPTIONAL``: left rows extend with compatible right rows.
+
+    Mirrors the row engine's ``LeftJoinOp``: each left row is extended
+    by every compatible right row whose merged solution passes the
+    embedded condition, and streams through padded with ``UNBOUND``
+    when none does.
+    """
+
+    def __init__(
+        self,
+        left: BatchOp,
+        right: BatchOp,
+        mask: Optional[Callable[[Batch], _Mask]] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.mask = mask
+        self.variables = left.variables | right.variables
+        denominator = max(
+            1.0,
+            _BOUND_SELECTIVITY ** len(left.variables & right.variables),
+        )
+        self.cardinality = max(
+            left.cardinality,
+            min(left.cardinality * right.cardinality / denominator, 1e18),
+        )
+
+    def execute(self) -> Batch:
+        left = self.left.execute()
+        right = self.right.execute()
+        schema = left.schema + tuple(
+            v for v in right.schema if v not in left.schema
+        )
+        if left.n == 0:
+            return Batch.empty(schema)
+        pad_width = len(schema) - len(left.schema)
+        if right.n == 0:
+            cols = [list(c) for c in left.columns]
+            cols.extend([UNBOUND] * left.n for _ in range(pad_width))
+            return Batch(schema, cols, left.n)
+        pairs_l: List[int] = []
+        pairs_r: List[int] = []
+        shared = [v for v in left.schema if v in right.schema]
+        lcols = [left.col(v) for v in shared]
+        rcols = [right.col(v) for v in shared]
+        strict = not any(UNBOUND in c for c in lcols) and not any(
+            UNBOUND in c for c in rcols
+        )
+        if strict and shared:
+            buckets: Dict[object, List[int]] = {}
+            if len(shared) == 1:
+                for j, key in enumerate(rcols[0]):
+                    buckets.setdefault(key, []).append(j)
+                probe_keys: Sequence[object] = lcols[0]
+            else:
+                for j, key in enumerate(zip(*rcols)):
+                    buckets.setdefault(key, []).append(j)
+                probe_keys = list(zip(*lcols))
+            get = buckets.get
+            for i, key in enumerate(probe_keys):
+                js = get(key)
+                if js:
+                    pairs_r.extend(js)
+                    pairs_l.extend([i] * len(js))
+        else:
+            left_rows = list(zip(*lcols)) if lcols else [()] * left.n
+            right_rows = list(zip(*rcols)) if rcols else [()] * right.n
+            for i, lkey in enumerate(left_rows):
+                for j, rkey in enumerate(right_rows):
+                    if all(
+                        lv == rv or lv == UNBOUND or rv == UNBOUND
+                        for lv, rv in zip(lkey, rkey)
+                    ):
+                        pairs_l.append(i)
+                        pairs_r.append(j)
+        # Build the merged candidate batch, shared cells filled from the
+        # right when the left is unbound (possible under nested unions).
+        merged_cols: List[List[int]] = []
+        for var in schema:
+            lcol = left.col(var)
+            rcol = right.col(var)
+            if lcol is None:
+                merged_cols.append(list(map(rcol.__getitem__, pairs_r)))
+            elif rcol is None or UNBOUND not in lcol:
+                merged_cols.append(list(map(lcol.__getitem__, pairs_l)))
+            else:
+                merged_cols.append(
+                    [
+                        rcol[j] if lcol[i] == UNBOUND else lcol[i]
+                        for i, j in zip(pairs_l, pairs_r)
+                    ]
+                )
+        candidates = Batch(schema, merged_cols, len(pairs_l))
+        if self.mask is not None and candidates.n:
+            mask = self.mask(candidates)
+            keep = [k for k, ok in enumerate(mask) if ok]
+            matched = {pairs_l[k] for k in keep}
+            candidates = candidates.gather(keep)
+        else:
+            matched = set(pairs_l)
+        unmatched = [i for i in range(left.n) if i not in matched]
+        if not unmatched:
+            return candidates
+        pads = left.gather(unmatched)
+        out_cols = []
+        for k, var in enumerate(schema):
+            col = list(candidates.columns[k])
+            pad_col = pads.col(var)
+            if pad_col is None:
+                col.extend([UNBOUND] * pads.n)
+            else:
+                col.extend(pad_col)
+            out_cols.append(col)
+        return Batch(schema, out_cols, candidates.n + pads.n)
+
+    def explain(self, depth: int = 0) -> List[str]:
+        cond = " cond" if self.mask is not None else ""
+        lines = [
+            f"{'  ' * depth}BatchLeftJoin{cond} est={self.cardinality:.0f}"
+        ]
+        lines.extend(self.left.explain(depth + 1))
+        lines.extend(self.right.explain(depth + 1))
+        return lines
+
+
+class BatchFilter(BatchOp):
+    """Vectorized FILTER: mask the child batch, gather survivors."""
+
+    def __init__(
+        self, child: BatchOp, mask: Callable[[Batch], _Mask]
+    ) -> None:
+        self.child = child
+        self.mask = mask
+        self.variables = child.variables
+        self.cardinality = child.cardinality / 2.0
+
+    def execute(self) -> Batch:
+        batch = self.child.execute()
+        if batch.n == 0:
+            return batch
+        mask = self.mask(batch)
+        sel = [i for i, ok in enumerate(mask) if ok]
+        if len(sel) == batch.n:
+            return batch
+        return batch.gather(sel)
+
+    def explain(self, depth: int = 0) -> List[str]:
+        lines = [f"{'  ' * depth}BatchFilter est={self.cardinality:.0f}"]
+        lines.extend(self.child.explain(depth + 1))
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Planner and entry points
+# ---------------------------------------------------------------------------
+
+
+def _flatten_joins(node: AlgebraNode, out: List[AlgebraNode]) -> None:
+    if isinstance(node, Join):
+        _flatten_joins(node.left, out)
+        _flatten_joins(node.right, out)
+    else:
+        out.append(node)
+
+
+def _order_operands(operands: List[BatchOp]) -> List[BatchOp]:
+    """Greedy join order over operands — same policy as the row planner."""
+    if len(operands) <= 1:
+        return operands
+    remaining = list(enumerate(operands))
+    remaining.sort(key=lambda pair: (pair[1].cardinality, pair[0]))
+    _, first = remaining.pop(0)
+    ordered = [first]
+    bound: Set[Variable] = set(first.variables)
+    while remaining:
+        connected = [p for p in remaining if p[1].variables & bound]
+        if not connected:
+            connected = remaining
+        best = min(connected, key=lambda pair: (pair[1].cardinality, pair[0]))
+        remaining.remove(best)
+        ordered.append(best[1])
+        bound.update(best[1].variables)
+    return ordered
+
+
+def build_batch_plan(graph: Graph, node: AlgebraNode) -> BatchOp:
+    """Compile a logical algebra tree into a columnar batch plan."""
+    sentinels: Dict[Term, int] = {}
+    return _build(graph, node, sentinels)
+
+
+def _build(
+    graph: Graph, node: AlgebraNode, sentinels: Dict[Term, int]
+) -> BatchOp:
+    if isinstance(node, Bgp):
+        if not node.patterns:
+            return BatchSingleton()
+        scan = BatchBgp(graph, node.patterns)
+        if scan.compiled is None:
+            return BatchEmpty(scan.variables)
+        return scan
+    if isinstance(node, Join):
+        flat: List[AlgebraNode] = []
+        _flatten_joins(node, flat)
+        operands = [_build(graph, operand, sentinels) for operand in flat]
+        ordered = _order_operands(operands)
+        plan = ordered[0]
+        for operand in ordered[1:]:
+            probe, build = (
+                (plan, operand)
+                if plan.cardinality >= operand.cardinality
+                else (operand, plan)
+            )
+            plan = BatchJoin(probe, build)
+        return plan
+    if isinstance(node, AlgebraUnion):
+        branches: List[BatchOp] = []
+        stack: List[AlgebraNode] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, AlgebraUnion):
+                stack.append(current.right)
+                stack.append(current.left)
+            else:
+                branches.append(_build(graph, current, sentinels))
+        return BatchUnion(branches)
+    if isinstance(node, LeftJoin):
+        left = _build(graph, node.left, sentinels)
+        right = _build(graph, node.right, sentinels)
+        mask = (
+            _compile_mask(graph, node.expr, sentinels)
+            if node.expr is not None
+            else None
+        )
+        return BatchLeftJoin(left, right, mask)
+    if isinstance(node, Filter):
+        child = _build(graph, node.child, sentinels)
+        return BatchFilter(child, _compile_mask(graph, node.expr, sentinels))
+    raise SparqlEvaluationError(f"unknown algebra node {node!r}")
+
+
+def execute_batch(graph: Graph, node: AlgebraNode) -> Batch:
+    """Build and execute the batch plan for a logical tree."""
+    return build_batch_plan(graph, node).execute()
+
+
+def select_id_batch(graph: Graph, node: AlgebraNode) -> Batch:
+    """The full solution bag of a logical tree, as one batch."""
+    return execute_batch(graph, node)
+
+
+def select_id_rows_batch(
+    graph: Graph, node: AlgebraNode, variables: Sequence[Variable]
+) -> Set[_IDRow]:
+    """Distinct projected ID rows — the batch twin of ``select_id_rows``."""
+    return execute_batch(graph, node).id_rows(variables)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized solution modifiers
+# ---------------------------------------------------------------------------
+
+_RowKeep = Optional[Callable[[_IDRow], bool]]
+
+
+def batch_slice(
+    batch: Batch,
+    projected: Sequence[Variable],
+    offset: int = 0,
+    limit: Optional[int] = None,
+    keep: _RowKeep = None,
+) -> List[_IDRow]:
+    """DISTINCT-project + OFFSET/LIMIT in batch order (no ORDER BY).
+
+    First-seen deduplication over the batch's deterministic row order —
+    the columnar analogue of the row engine's ``SliceOp``, whose output
+    for un-ordered LIMIT queries depends on its *own* stream order, so
+    the two engines agree on the row set but not necessarily on which
+    slice of it a bare LIMIT returns.
+    """
+    if limit == 0:
+        return []
+    cols: List[Sequence[Optional[int]]] = []
+    for var in projected:
+        col = batch.col(var)
+        if col is None:
+            cols.append([None] * batch.n)
+        elif UNBOUND in col:
+            cols.append([None if c == UNBOUND else c for c in col])
+        else:
+            cols.append(col)  # type: ignore[arg-type]
+    out: List[_IDRow] = []
+    seen: Set[_IDRow] = set()
+    skipped = 0
+    iterator = zip(*cols) if cols else iter(() for _ in range(batch.n))
+    for row in iterator:
+        if keep is not None and not keep(row):
+            continue
+        if row in seen:
+            continue
+        seen.add(row)
+        if skipped < offset:
+            skipped += 1
+            continue
+        out.append(row)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def batch_top_k(
+    graph: Graph,
+    batch: Batch,
+    projected: Sequence[Variable],
+    order: Sequence[OrderCondition],
+    offset: int = 0,
+    limit: Optional[int] = None,
+    keep: _RowKeep = None,
+) -> List[_IDRow]:
+    """ORDER BY + DISTINCT-project + OFFSET/LIMIT over one batch.
+
+    Deduplication keeps, per distinct projected row, the solution with
+    the minimal :class:`~repro.sparql.plan.OrderKey`, and the canonical
+    tiebreak makes the output a pure function of the solution *set* —
+    identical to the row engine's ``TopKOp`` regardless of either
+    engine's internal row order.
+    """
+    bound = None if limit is None else offset + limit
+    if bound == 0:
+        return []
+    decode = graph.decode_id
+    key_cache: Dict[int, Tuple] = {}
+
+    def cell_key(tid: Optional[int]) -> Tuple:
+        if tid is None:
+            return (0,)
+        cached = key_cache.get(tid)
+        if cached is None:
+            cached = (1,) + decode(tid).sort_key()
+            key_cache[tid] = cached
+        return cached
+
+    def column(var: Variable) -> Sequence[Optional[int]]:
+        col = batch.col(var)
+        if col is None:
+            return [None] * batch.n
+        if UNBOUND in col:
+            return [None if c == UNBOUND else c for c in col]
+        return col  # type: ignore[return-value]
+
+    flags = tuple(condition.descending for condition in order)
+    proj_cols = [column(v) for v in projected]
+    order_cols = [column(c.variable) for c in order]
+    rows_iter = (
+        zip(*proj_cols) if proj_cols else iter(() for _ in range(batch.n))
+    )
+    order_iter = (
+        zip(*order_cols) if order_cols else iter(() for _ in range(batch.n))
+    )
+    best: Dict[_IDRow, OrderKey] = {}
+    for row, order_row in zip(rows_iter, order_iter):
+        if keep is not None and not keep(row):
+            continue
+        key = OrderKey(
+            tuple(cell_key(cell) for cell in order_row),
+            flags,
+            tuple(cell_key(cell) for cell in row),
+        )
+        current = best.get(row)
+        if current is None or key < current:
+            best[row] = key
+        if bound is not None and len(best) > 4 * bound:
+            best = dict(
+                heapq.nsmallest(bound, best.items(), key=lambda kv: kv[1])
+            )
+    ordered = sorted(best.items(), key=lambda kv: kv[1])
+    sliced = ordered[offset:]
+    if limit is not None:
+        sliced = sliced[:limit]
+    return [row for row, _ in sliced]

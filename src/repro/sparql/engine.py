@@ -5,16 +5,30 @@ it accepts a query string or a pre-parsed AST and returns a
 :class:`~repro.sparql.results.SelectResult` or
 :class:`~repro.sparql.results.AskResult`.
 
-Evaluation goes through the ID-native physical plans of
-:mod:`repro.sparql.plan`: joins run over dictionary IDs with cost-based
-ordering, and only the distinct projected rows are decoded back into
-terms.  The term-level evaluator in :mod:`repro.sparql.algebra` remains
+Evaluation picks a physical engine per query shape:
+
+* **columnar batch engine** (:mod:`repro.sparql.batch`) for SELECT
+  queries that are unmodified or carry ORDER BY — their results are a
+  pure function of the solution *set*, so the batch engine's bulk
+  execution order cannot show through;
+* **row engine** (:mod:`repro.sparql.plan`) for LIMIT/OFFSET without
+  ORDER BY — which slice of the distinct rows comes back depends on
+  the stream order, and the streaming ``SliceOp`` abandons the plan
+  the moment the window fills — and for ASK, which wants the first
+  row only.
+
+Text queries are served through the cross-query
+:data:`~repro.sparql.cache.default_plan_cache`: a hit skips parsing,
+algebra translation and physical planning entirely, keyed on
+``(graph.serial, graph.epoch, text, namespace fingerprint,
+include_blanks)`` so any graph mutation invalidates by key change.
+The term-level evaluator in :mod:`repro.sparql.algebra` remains
 available as the reference oracle for tests.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Optional, Tuple, Union
 
 from repro.errors import SparqlEvaluationError
 from repro.rdf.graph import Graph
@@ -22,17 +36,72 @@ from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import BlankNode
 from repro.sparql.algebra import translate_group
 from repro.sparql.ast import AskQuery, Query, SelectQuery
-from repro.sparql.parser import parse_query
-from repro.sparql.plan import (
-    SliceOp,
-    TopKOp,
-    build_plan,
-    evaluate_plan,
-    select_rows,
+from repro.sparql.batch import (
+    BatchOp,
+    batch_top_k,
+    build_batch_plan,
 )
+from repro.sparql.cache import default_plan_cache, nsm_fingerprint
+from repro.sparql.parser import parse_query
+from repro.sparql.plan import PhysicalOp, SliceOp, build_plan
 from repro.sparql.results import AskResult, SelectResult
 
-__all__ = ["execute", "select", "ask_text"]
+__all__ = ["execute", "select", "ask_text", "plan_cache_stats"]
+
+
+class _PreparedLocal:
+    """A fully planned query, ready to execute without parse or plan.
+
+    ``batch_op`` is set for the columnar paths, ``row_plan`` for the
+    streaming paths (bare LIMIT/OFFSET, ASK); both are re-executable,
+    so one cache entry serves any number of executions against the
+    same graph epoch.
+    """
+
+    __slots__ = ("ast", "variables", "batch_op", "row_plan")
+
+    def __init__(
+        self,
+        ast: Query,
+        variables: Tuple,
+        batch_op: Optional[BatchOp],
+        row_plan: Optional[PhysicalOp],
+    ) -> None:
+        self.ast = ast
+        self.variables = variables
+        self.batch_op = batch_op
+        self.row_plan = row_plan
+
+
+def _uses_batch_engine(ast: Query) -> bool:
+    """Whether the columnar engine may serve this query.
+
+    True for SELECTs whose output is a pure function of the solution
+    set: unmodified queries (canonical sort) and ORDER BY queries
+    (total order with canonical tiebreak).  A bare LIMIT/OFFSET keeps
+    the row engine, whose documented slice semantics follow its own
+    deterministic stream order.
+    """
+    if not isinstance(ast, SelectQuery):
+        return False
+    if ast.order:
+        return True
+    return ast.limit is None and ast.offset is None
+
+
+def _prepare(graph: Graph, ast: Query) -> _PreparedLocal:
+    """Translate and physically plan a parsed query."""
+    node = translate_group(ast.where)
+    if isinstance(ast, SelectQuery):
+        variables = tuple(ast.projected())
+        if _uses_batch_engine(ast):
+            return _PreparedLocal(
+                ast, variables, build_batch_plan(graph, node), None
+            )
+        return _PreparedLocal(ast, variables, None, build_plan(graph, node))
+    if isinstance(ast, AskQuery):
+        return _PreparedLocal(ast, (), None, build_plan(graph, node))
+    raise SparqlEvaluationError(f"unsupported query type {type(ast).__name__}")
 
 
 def execute(
@@ -45,7 +114,8 @@ def execute(
 
     Args:
         graph: the RDF database.
-        query: query text or a pre-parsed AST.
+        query: query text or a pre-parsed AST.  Text goes through the
+            cross-query plan cache; a hit skips parse and plan.
         nsm: namespace manager for resolving prefixed names in the text.
         include_blanks: when False, rows containing blank nodes are
             dropped — this implements the paper's ``Q_D`` semantics, used
@@ -55,68 +125,85 @@ def execute(
     Returns:
         SelectResult for SELECT, AskResult for ASK.
     """
-    ast = parse_query(query, nsm) if isinstance(query, str) else query
-    if isinstance(ast, SelectQuery):
-        return _execute_select(graph, ast, include_blanks)
+    if isinstance(query, str):
+        key = (
+            graph.serial,
+            graph.epoch,
+            query,
+            nsm_fingerprint(nsm),
+            include_blanks,
+        )
+        prepared = default_plan_cache.get(key)
+        if prepared is None:
+            prepared = _prepare(graph, parse_query(query, nsm))
+            default_plan_cache.put(key, prepared)
+    else:
+        prepared = _prepare(graph, query)
+    return _execute_prepared(graph, prepared, include_blanks)
+
+
+def plan_cache_stats() -> dict:
+    """Hit/miss/size counters of the local engine's plan cache."""
+    return default_plan_cache.stats()
+
+
+def _execute_prepared(
+    graph: Graph, prepared: _PreparedLocal, include_blanks: bool
+) -> Union[SelectResult, AskResult]:
+    ast = prepared.ast
     if isinstance(ast, AskQuery):
-        node = translate_group(ast.where)
-        return AskResult(any(True for _ in evaluate_plan(graph, node)))
-    raise SparqlEvaluationError(f"unsupported query type {type(ast).__name__}")
-
-
-def _execute_select(
-    graph: Graph, ast: SelectQuery, include_blanks: bool
-) -> SelectResult:
-    node = translate_group(ast.where)
-    variables = ast.projected()
-    if ast.order or ast.limit is not None or ast.offset is not None:
-        # Solution modifiers run over the streaming plan on ID rows:
-        # TopK sorts full solutions (ORDER BY may name non-projected
-        # variables) with bounded state; a bare slice stops pulling the
-        # plan once the window is full.
-        plan = build_plan(graph, node)
-        decode = graph.decode_id
-        keep = None
-        if not include_blanks:
-
-            def keep(row):
-                return not any(
-                    tid is not None and isinstance(decode(tid), BlankNode)
-                    for tid in row
-                )
-
-        offset = ast.offset or 0
+        return AskResult(any(True for _ in prepared.row_plan.execute()))
+    variables = prepared.variables
+    decode = graph.decode_id
+    keep = _blank_row_filter(decode) if not include_blanks else None
+    if prepared.batch_op is not None:
+        batch = prepared.batch_op.execute()
         if ast.order:
-            id_rows = TopKOp(
-                graph, plan, variables, ast.order, offset, ast.limit, keep
-            ).rows()
+            id_rows = batch_top_k(
+                graph,
+                batch,
+                variables,
+                ast.order,
+                ast.offset or 0,
+                ast.limit,
+                keep,
+            )
         else:
-            id_rows = SliceOp(
-                plan, variables, offset, ast.limit, keep
-            ).rows()
-        decoded = [
-            tuple(None if tid is None else decode(tid) for tid in row)
-            for row in id_rows
-        ]
-        return SelectResult(variables, decoded)
-    rows = select_rows(graph, node, variables)
-    if not include_blanks:
-        rows = {
-            row
-            for row in rows
-            if not any(isinstance(cell, BlankNode) for cell in row)
-        }
-    # Set semantics (the paper evaluates under set semantics); the
-    # canonical sort keeps unmodified results deterministic.
-    return SelectResult(variables, sorted(rows, key=_row_sort_key))
+            rows = batch.id_rows(variables)
+            if keep is not None:
+                rows = {row for row in rows if keep(row)}
+            id_rows = sorted(rows, key=_id_row_sort_key(decode))
+    else:
+        # Bare LIMIT/OFFSET: the streaming row engine slices its own
+        # deterministic stream order and stops pulling once full.
+        id_rows = SliceOp(
+            prepared.row_plan, variables, ast.offset or 0, ast.limit, keep
+        ).rows()
+    decoded = [
+        tuple(None if tid is None else decode(tid) for tid in row)
+        for row in id_rows
+    ]
+    return SelectResult(variables, decoded)
 
 
-def _cell_sort_key(cell):
-    return (0,) if cell is None else (1,) + cell.sort_key()
+def _blank_row_filter(decode) -> Callable[[Tuple], bool]:
+    def keep(row: Tuple) -> bool:
+        return not any(
+            tid is not None and isinstance(decode(tid), BlankNode)
+            for tid in row
+        )
+
+    return keep
 
 
-def _row_sort_key(row):
-    return tuple(_cell_sort_key(cell) for cell in row)
+def _id_row_sort_key(decode):
+    def key(row: Tuple) -> Tuple:
+        return tuple(
+            (0,) if tid is None else (1,) + decode(tid).sort_key()
+            for tid in row
+        )
+
+    return key
 
 
 def select(

@@ -79,6 +79,7 @@ __all__ = [
     "TopKOp",
     "OrderKey",
     "compile_filter",
+    "plan_bgp",
     "build_plan",
     "explain_plan",
     "evaluate_plan",
@@ -657,6 +658,19 @@ class TopKOp(PhysicalOp):
         lines = [f"{'  ' * depth}TopK{note}"]
         lines.extend(self.child.explain(depth + 1))
         return lines
+
+
+def plan_bgp(
+    graph: Graph, patterns: Sequence[TriplePattern]
+) -> Tuple[List[TriplePattern], _CompiledBgp, float]:
+    """Cost-order a BGP's conjuncts without building an operator.
+
+    Returns ``(ordered patterns, compiled slots or None, estimate)`` —
+    the same greedy ordering :class:`BgpScan` uses, exposed so the
+    columnar batch engine (:mod:`repro.sparql.batch`) shares one
+    planner and the two engines always agree on join order.
+    """
+    return BgpScan._plan(graph, list(patterns))
 
 
 # ---------------------------------------------------------------------------

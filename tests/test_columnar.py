@@ -1,0 +1,462 @@
+"""Columnar batch engine and plan cache: equivalence and invalidation.
+
+Three layers of guarantees:
+
+* the batch engine (:mod:`repro.sparql.batch`) returns exactly the
+  reference evaluator's solution set — and the row engine's — on
+  randomized BGP/UNION/OPTIONAL/FILTER/ORDER/LIMIT queries;
+* the cross-query plan cache serves byte-identical answers on hits,
+  verifiably skips parse and plan, and is invalidated by graph
+  mutation (local) and statistics-epoch bumps (federated);
+* the graph count probes (``count_ids``/``count_pattern``) answer
+  every shape from leaf lengths, matching brute-force enumeration.
+
+A ``slow``-marked test repeats the equivalence and the >=5x batch win
+at the 1M-triple bench scale (excluded from tier-1; see pytest.ini).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triples import Triple, TriplePattern
+from repro.sparql import engine
+from repro.sparql.algebra import (
+    evaluate_algebra,
+    reference_select,
+    translate_group,
+)
+from repro.sparql.batch import (
+    UNBOUND,
+    Batch,
+    batch_top_k,
+    build_batch_plan,
+    extend_bindings_batch,
+    select_id_rows_batch,
+)
+from repro.sparql.cache import PlanCache, default_plan_cache, nsm_fingerprint
+from repro.sparql.engine import execute, select
+from repro.sparql.parser import parse_query
+from repro.sparql.plan import plan_bgp, select_id_rows
+from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
+from repro.workload.generators import GeneratorConfig, random_entity_graph
+
+NS = "http://gen.example.org/"
+
+
+def fanout_graph(scale: int, seed: int = 11) -> Graph:
+    """The bench's higher-fanout workload shape (multi-valued preds)."""
+    return random_entity_graph(
+        GeneratorConfig(
+            entities=max(8, scale // 50),
+            predicates=20,
+            triples=scale,
+            attributes=max(4, scale // 50),
+            seed=seed,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Randomized equivalence fuzz
+# ---------------------------------------------------------------------------
+
+
+def random_queries(rng: random.Random, count: int):
+    """Yield (query text, has_order) covering the supported fragment."""
+
+    def pattern(vars_pool):
+        subject = rng.choice(vars_pool + [f"<{NS}e{rng.randint(0, 15)}>"])
+        predicate = rng.choice(
+            [f"<{NS}p{i}>" for i in range(4)]
+            + [f"<{NS}value>", rng.choice(vars_pool)]
+        )
+        object_ = rng.choice(
+            vars_pool
+            + [f"<{NS}e{rng.randint(0, 15)}>", f'"{rng.randint(0, 99)}"']
+        )
+        return f"{subject} {predicate} {object_} ."
+
+    for _ in range(count):
+        vars_pool = ["?a", "?b", "?c", "?d"][: rng.randint(2, 4)]
+        group = " ".join(pattern(vars_pool) for _ in range(rng.randint(1, 3)))
+        shape = rng.randint(0, 4)
+        if shape == 1:
+            group = (
+                f"{{ {group} }} UNION "
+                f"{{ {' '.join(pattern(vars_pool) for _ in range(2))} }}"
+            )
+        elif shape == 2:
+            group += (
+                f" OPTIONAL {{ {pattern(vars_pool)} }}"
+            )
+        elif shape == 3:
+            left = rng.choice(vars_pool)
+            right = rng.choice(
+                vars_pool + [f'"{rng.randint(0, 99)}"', '"unseen-term"']
+            )
+            op = rng.choice(["=", "!="])
+            group += f" FILTER({left} {op} {right})"
+        elif shape == 4:
+            group = (
+                f"{{ {group} }} UNION {{ {pattern(vars_pool)} }} "
+                f"OPTIONAL {{ {pattern(vars_pool)} }}"
+            )
+        projected = " ".join(vars_pool)
+        text = f"SELECT {projected} WHERE {{ {group} }}"
+        has_order = False
+        modifier = rng.randint(0, 3)
+        if modifier == 1:
+            direction = rng.choice(["", "DESC"])
+            key = rng.choice(vars_pool)
+            order = f"{direction}({key})" if direction else key
+            text += f" ORDER BY {order}"
+            has_order = True
+            if rng.random() < 0.5:
+                text += f" LIMIT {rng.randint(0, 10)}"
+        elif modifier == 2:
+            text += f" OFFSET {rng.choice([0, 3])} LIMIT {rng.randint(0, 8)}"
+        yield text, has_order
+
+
+@pytest.mark.parametrize("seed", [3, 17, 29])
+def test_fuzz_batch_equals_reference_and_row_engine(seed):
+    rng = random.Random(seed)
+    graph = random_entity_graph(
+        GeneratorConfig(
+            entities=18, predicates=4, triples=260, attributes=40, seed=seed
+        )
+    )
+    for text, has_order in random_queries(rng, 30):
+        ast = parse_query(text)
+        node = translate_group(ast.where)
+        projected = ast.projected()
+        # Layer 1: WHERE-clause solution sets, all three evaluators.
+        reference = {
+            tuple(
+                graph.term_id(sol[v]) if v in sol else None
+                for v in projected
+            )
+            for sol in evaluate_algebra(graph, node)
+        }
+        batch_rows = select_id_rows_batch(graph, node, projected)
+        row_rows = select_id_rows(graph, node, projected)
+        assert batch_rows == reference, text
+        assert row_rows == reference, text
+        # Layer 2: full engine output against the oracle, twice — the
+        # second execution takes the plan-cache hit path and must not
+        # change the answer.
+        expected = reference_select(graph, ast)
+        first = select(graph, text).rows
+        second = select(graph, text).rows
+        assert first == second, text
+        if has_order or (ast.limit is None and ast.offset is None):
+            assert first == expected, text
+        else:
+            # Unordered slices admit any distinct window of the right
+            # cardinality.
+            full = {
+                tuple(sol.get(v) for v in projected)
+                for sol in evaluate_algebra(graph, node)
+            }
+            assert len(first) == len(expected), text
+            assert len(set(first)) == len(first), text
+            assert set(first) <= full, text
+
+
+def test_fuzz_includes_blank_exclusion_path():
+    graph = random_entity_graph(
+        GeneratorConfig(
+            entities=14,
+            predicates=3,
+            triples=150,
+            attributes=20,
+            blank_fraction=0.3,
+            seed=5,
+        )
+    )
+    text = f"SELECT ?a ?b WHERE {{ ?a <{NS}p0> ?b }} ORDER BY ?b"
+    with_blanks = select(graph, text).rows
+    without = select(graph, text, include_blanks=False).rows
+    assert set(without) <= set(with_blanks)
+    assert with_blanks == reference_select(graph, parse_query(text))
+
+
+# ---------------------------------------------------------------------------
+# Plan cache: local engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_cache():
+    default_plan_cache.clear()
+    yield
+    default_plan_cache.clear()
+
+
+def test_plan_cache_hit_skips_parse_and_plan(monkeypatch):
+    graph = fanout_graph(2000)
+    text = f"SELECT ?a ?c WHERE {{ ?a <{NS}p0> ?b . ?b <{NS}p1> ?c }}"
+    first = select(graph, text).rows
+    stats = engine.plan_cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+
+    def _no_parse(*args, **kwargs):
+        raise AssertionError("cache hit must not re-parse")
+
+    def _no_plan(*args, **kwargs):
+        raise AssertionError("cache hit must not re-plan")
+
+    monkeypatch.setattr(engine, "parse_query", _no_parse)
+    monkeypatch.setattr(engine, "build_batch_plan", _no_plan)
+    monkeypatch.setattr(engine, "build_plan", _no_plan)
+    second = select(graph, text).rows
+    assert second == first
+    stats = engine.plan_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_plan_cache_invalidated_by_graph_mutation():
+    graph = fanout_graph(1000)
+    text = f"SELECT ?a ?b WHERE {{ ?a <{NS}p0> ?b }}"
+    before = select(graph, text).rows
+    subject = IRI(f"{NS}e0")
+    graph.add(Triple(subject, IRI(f"{NS}p0"), IRI(f"{NS}e1")))
+    after = select(graph, text).rows
+    # The mutation changed the epoch, so the second execution was a
+    # fresh plan (a miss), and the new triple is visible.
+    assert engine.plan_cache_stats()["misses"] == 2
+    assert set(before) <= set(after)
+    assert after == reference_select(graph, parse_query(text))
+
+
+def test_plan_cache_distinguishes_graphs_and_nsm():
+    g1 = fanout_graph(500, seed=1)
+    g2 = fanout_graph(500, seed=2)
+    text = f"SELECT ?a ?b WHERE {{ ?a <{NS}p0> ?b }}"
+    select(g1, text)
+    select(g2, text)
+    stats = engine.plan_cache_stats()
+    assert stats["misses"] == 2  # distinct graph serials, no collision
+
+
+def test_plan_cache_lru_and_counters():
+    cache = PlanCache(capacity=2)
+    assert cache.get("a") is None  # miss
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # hit; refreshes recency
+    cache.put("c", 3)  # evicts "b" (LRU)
+    assert cache.get("b") is None
+    assert cache.get("c") == 3
+    stats = cache.stats()
+    assert stats == {"hits": 2, "misses": 2, "size": 2, "capacity": 2}
+    cache.clear()
+    assert cache.stats() == {
+        "hits": 0,
+        "misses": 0,
+        "size": 0,
+        "capacity": 2,
+    }
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+def test_nsm_fingerprint_is_binding_based():
+    from repro.rdf.namespaces import NamespaceManager
+
+    a = NamespaceManager()
+    b = NamespaceManager()
+    assert nsm_fingerprint(a) == nsm_fingerprint(b)
+    b.bind("ex", NS)
+    assert nsm_fingerprint(a) != nsm_fingerprint(b)
+    assert nsm_fingerprint(None) is None
+
+
+# ---------------------------------------------------------------------------
+# Graph count probes
+# ---------------------------------------------------------------------------
+
+
+def test_count_ids_matches_enumeration_on_all_shapes():
+    graph = fanout_graph(1500, seed=3)
+    ids = list(graph.id_triples())
+    rng = random.Random(9)
+    samples = rng.sample(ids, 25)
+    for s, p, o in samples:
+        for args in [
+            (s, None, None),
+            (None, p, None),
+            (None, None, o),
+            (s, p, None),
+            (s, None, o),
+            (None, p, o),
+            (s, p, o),
+            (None, None, None),
+        ]:
+            expected = sum(1 for _ in graph.triples_ids(*args))
+            assert graph.count_ids(*args) == expected, args
+    # Absent IDs count zero without raising.
+    missing = max(tid for triple in ids for tid in triple) + 1000
+    assert graph.count_ids(subject=missing) == 0
+    assert graph.count_ids(predicate=missing) == 0
+    assert graph.count_ids(object=missing) == 0
+
+
+def test_count_pattern_repeated_variable_shapes():
+    graph = Graph()
+    e = [IRI(f"{NS}r{i}") for i in range(4)]
+    p = IRI(f"{NS}loop")
+    q = IRI(f"{NS}other")
+    graph.add(Triple(e[0], p, e[0]))  # s == o
+    graph.add(Triple(e[0], p, e[1]))
+    graph.add(Triple(e[1], q, e[1]))  # s == o under q
+    graph.add(Triple(e[2], p, e[3]))
+    x, y = Variable("x"), Variable("y")
+    assert graph.count_pattern(TriplePattern(x, p, x)) == 1
+    assert graph.count_pattern(TriplePattern(x, y, x)) == 2
+    assert graph.count_pattern(TriplePattern(x, x, y)) == 0
+    assert graph.count_pattern(TriplePattern(x, x, x)) == 0
+    # Brute-force cross-check via match().
+    for tp in [
+        TriplePattern(x, p, x),
+        TriplePattern(x, y, x),
+        TriplePattern(x, x, y),
+        TriplePattern(x, y, y),
+    ]:
+        assert graph.count_pattern(tp) == sum(1 for _ in graph.match(tp))
+
+
+def test_counts_survive_removal_and_copy():
+    graph = fanout_graph(400, seed=4)
+    triple = next(iter(graph))
+    epoch_before = graph.epoch
+    count_before = graph.count(predicate=triple.predicate)
+    copied = graph.copy()
+    graph.remove(triple)
+    assert graph.epoch > epoch_before
+    assert graph.count(predicate=triple.predicate) == count_before - 1
+    # The copy is unaffected and maintains its own counts.
+    assert copied.count(predicate=triple.predicate) == count_before
+    assert copied.serial != graph.serial
+
+
+# ---------------------------------------------------------------------------
+# Columnar internals
+# ---------------------------------------------------------------------------
+
+
+def test_extend_bindings_batch_preserves_row_loop_order():
+    graph = fanout_graph(800, seed=6)
+    a, b, c = Variable("a"), Variable("b"), Variable("c")
+    first = compile_conjunct(graph, TriplePattern(a, IRI(f"{NS}p0"), b))
+    rows = [{}]
+    for slots in [
+        first,
+        compile_conjunct(graph, TriplePattern(b, IRI(f"{NS}p1"), c)),
+        compile_conjunct(graph, TriplePattern(a, IRI(f"{NS}p2"), c)),
+    ]:
+        expected = []
+        expected_sel = []
+        for i, partial in enumerate(rows):
+            for extended in extend_id_bindings(graph, slots, partial):
+                expected.append(extended)
+                expected_sel.append(i)
+        got, got_sel = extend_bindings_batch(graph, slots, rows)
+        assert got == expected  # exact order, not just set equality
+        assert got_sel == expected_sel
+        rows = got or rows
+        if not got:
+            break
+
+
+def test_batch_id_rows_translates_unbound():
+    v, w = Variable("v"), Variable("w")
+    batch = Batch((v, w), [[1, 2], [UNBOUND, 3]], 2)
+    assert batch.id_rows([v, w]) == {(1, None), (2, 3)}
+    assert batch.id_rows([w]) == {(None,), (3,)}
+    assert batch.id_rows([Variable("absent")]) == {(None,)}
+
+
+def test_batch_top_k_matches_engine_order():
+    graph = fanout_graph(600, seed=8)
+    text = (
+        f"SELECT ?a ?b WHERE {{ ?a <{NS}p0> ?b }} "
+        "ORDER BY DESC(?b) ?a OFFSET 2 LIMIT 5"
+    )
+    ast = parse_query(text)
+    node = translate_group(ast.where)
+    batch = build_batch_plan(graph, node).execute()
+    rows = batch_top_k(
+        graph, batch, ast.projected(), ast.order, ast.offset or 0, ast.limit
+    )
+    decoded = [
+        tuple(None if tid is None else graph.decode_id(tid) for tid in row)
+        for row in rows
+    ]
+    assert decoded == reference_select(graph, ast)
+
+
+def test_shared_planner_order():
+    graph = fanout_graph(500, seed=2)
+    a, b, c = Variable("a"), Variable("b"), Variable("c")
+    patterns = [
+        TriplePattern(a, IRI(f"{NS}p0"), b),
+        TriplePattern(b, IRI(f"{NS}p1"), c),
+    ]
+    ordered, compiled, estimate = plan_bgp(graph, patterns)
+    assert len(ordered) == len(compiled) == 2
+    assert estimate >= 0.0
+    # The batch BGP reuses the same ordering (one planner, two engines).
+    node = translate_group(parse_query(
+        f"SELECT ?a WHERE {{ ?a <{NS}p0> ?b . ?b <{NS}p1> ?c }}"
+    ).where)
+    plan = build_batch_plan(graph, node)
+    assert [tp.n3() for tp in plan.ordered] == [tp.n3() for tp in ordered]
+
+
+# ---------------------------------------------------------------------------
+# ASK and bare-LIMIT keep the streaming row engine
+# ---------------------------------------------------------------------------
+
+
+def test_ask_and_bare_limit_semantics_unchanged():
+    graph = fanout_graph(300, seed=1)
+    assert execute(graph, f"ASK {{ ?a <{NS}p0> ?b }}").value is True
+    assert execute(
+        graph, f"ASK {{ ?a <{NS}missing-pred> ?b }}"
+    ).value is False
+    limited = select(graph, f"SELECT ?a WHERE {{ ?a <{NS}p0> ?b }} LIMIT 3")
+    assert len(limited.rows) == 3
+    assert len(set(limited.rows)) == 3
+
+
+# ---------------------------------------------------------------------------
+# 1M-scale equivalence + performance gate (slow CI job only)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_batch_engine_1m_equivalence_and_speedup():
+    graph = fanout_graph(1_000_000)
+    text = f"SELECT ?a ?c WHERE {{ ?a <{NS}p0> ?b . ?b <{NS}p1> ?c }}"
+    ast = parse_query(text)
+    node = translate_group(ast.where)
+    projected = ast.projected()
+
+    start = time.perf_counter()
+    row_rows = select_id_rows(graph, node, projected)
+    row_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = build_batch_plan(graph, node).execute()
+    batch_seconds = time.perf_counter() - start
+    batch_rows = batch.id_rows(projected)
+
+    assert batch_rows == row_rows
+    assert row_seconds >= 5.0 * batch_seconds, (
+        f"batch {batch_seconds:.2f}s vs row {row_seconds:.2f}s"
+    )

@@ -85,6 +85,20 @@ def test_sorted_bindings_is_input_order_invariant():
 # ---------------------------------------------------------------------------
 
 
+def _stable_trace(trace: str) -> str:
+    """An explain trace minus its plan-cache counter line.
+
+    The ``plan-cache:`` line reports the executor's *cumulative*
+    hit/miss counters, which advance on every prepare by design; the
+    plan tree and decisions must still be byte-identical across runs.
+    """
+    return "\n".join(
+        line
+        for line in trace.split("\n")
+        if not line.startswith("plan-cache:")
+    )
+
+
 def test_explain_is_deterministic_across_repeated_runs():
     system = federated_rps(peers=3, entities=20, facts=60, seed=7)
     executor = FederatedExecutor(system)
@@ -93,12 +107,18 @@ def test_explain_is_deterministic_across_repeated_runs():
         federated_union_filter_sparql(),
         federated_exclusive_query(hops=1),
     ):
-        traces = {executor.explain(query) for _ in range(3)}
+        raw = [executor.explain(query) for _ in range(3)]
+        traces = {_stable_trace(trace) for trace in raw}
         assert len(traces) == 1
+        # Repeats of the same text hit the prepared-plan cache.
+        assert all("plan-cache: hits=" in trace for trace in raw)
         parallel_traces = {
-            executor.explain(query, strategy="parallel") for _ in range(3)
+            _stable_trace(executor.explain(query, strategy="parallel"))
+            for _ in range(3)
         }
         assert len(parallel_traces) == 1
+    stats = executor.plan_cache.stats()
+    assert stats["hits"] > 0 and stats["misses"] > 0
 
 
 def test_explain_is_deterministic_across_executors():
@@ -106,5 +126,5 @@ def test_explain_is_deterministic_across_executors():
     traces = set()
     for _ in range(2):
         system = federated_rps(peers=3, entities=20, facts=60, seed=7)
-        traces.add(FederatedExecutor(system).explain(query))
+        traces.add(_stable_trace(FederatedExecutor(system).explain(query)))
     assert len(traces) == 1
