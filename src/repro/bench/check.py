@@ -23,7 +23,7 @@ classes of quantity that survive a machine change:
   (default 2x), i.e. on a reproducible >2x relative slowdown of a
   suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts seven behaviour invariants on the fresh
+The gate also re-asserts eight behaviour invariants on the fresh
 records: the columnar batch engine beats the per-row engine strictly
 on at least one join workload and the prepared-plan cache's recorded
 counters show the hot run all-hits and the cold run all-misses,
@@ -42,7 +42,15 @@ propagation actually stops the pipeline), and on every faults-suite
 scenario a recoverable faulty run returns exactly as many answers as
 its fault-free twin with no partial flag, an unrecoverable run is
 *flagged* partial (never an unflagged subset), and retry traffic stays
-within the ``messages * (1 + max_retries) * (1 + replicas)`` budget.
+within the ``messages * (1 + max_retries) * (1 + replicas)`` budget,
+and on every obs-suite record the telemetry layer's recorded flags
+show the exported trace validated against the Chrome ``trace_event``
+shape, the virtual-domain export and the ANALYZE explain stayed
+byte-stable across repeated seeded runs, spans were actually
+collected, and the disabled-vs-instrumented overhead comparison is
+present (its per-suite speedup ratio rides the regular tolerance
+gate, bounding how much overhead the disabled tracing path may
+silently grow).
 """
 
 from __future__ import annotations
@@ -84,6 +92,10 @@ GATED_META = (
     "failovers",
     "partial",
     "unreachable",
+    "span_count",
+    "trace_valid",
+    "trace_stable",
+    "analyze_stable",
 )
 
 
@@ -222,6 +234,7 @@ def check_against(
     failures.extend(_streaming_invariant(fresh_rows))
     failures.extend(_limit_invariant(fresh_rows))
     failures.extend(_faults_invariant(fresh_rows))
+    failures.extend(_obs_invariant(fresh_rows))
     return CheckOutcome(
         ok=not failures,
         failures=failures,
@@ -549,6 +562,37 @@ def _faults_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
             failures.append(
                 f"faults@{workload}: {messages} messages exceed the retry "
                 f"budget {budget}"
+            )
+    return failures
+
+
+def _obs_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Telemetry must validate, stay byte-stable, and cost nothing off.
+
+    Every obs-suite record's flags are hard-asserted inside the suite
+    (a violation aborts the run), so the invariant re-checks what the
+    recorded rows can show: the exported trace validated
+    (``trace_valid``), the virtual-domain export and the ANALYZE
+    explain were byte-identical across repeated seeded runs
+    (``trace_stable``/``analyze_stable``), spans were collected
+    (``span_count``), and the disabled-vs-instrumented timing pair is
+    present — its ratio feeds the per-suite speedup gate, which bounds
+    growth of the disabled path's overhead.
+    """
+    failures = []
+    for name, row in sorted(fresh_rows.items()):
+        if not name.startswith("obs/"):
+            continue
+        meta = row.get("meta", {})
+        for flag in ("trace_valid", "trace_stable", "analyze_stable"):
+            if flag in meta and not meta[flag]:
+                failures.append(f"{name}: {flag} flag is unset")
+        if "span_count" in meta and not meta["span_count"]:
+            failures.append(f"{name}: instrumented run collected no spans")
+        if row.get("speedup") is None:
+            failures.append(
+                f"{name}: disabled-vs-instrumented overhead comparison "
+                f"disappeared"
             )
     return failures
 

@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Eleven suites:
+Twelve suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -57,7 +57,16 @@ Eleven suites:
   the dead endpoint with answers that are a subset of the fault-free
   set, that injected faults actually fired, that backoff shows up in
   the makespan, and that retry traffic never exceeds the
-  ``messages * (1 + max_retries) * (1 + replicas)`` budget.
+  ``messages * (1 + max_retries) * (1 + replicas)`` budget;
+* ``obs/*`` — the telemetry layer's overhead and determinism: the same
+  federated workload with tracing disabled (the production default)
+  and fully instrumented (live tracer plus ``analyze=True``), under
+  the serial adaptive strategy and the parallel runtime, hard
+  asserting that instrumentation never perturbs the execution
+  (identical answers and message counts), that the exported Chrome
+  ``trace_event`` document validates, and that the virtual-domain
+  export and the ``explain(analyze=True)`` text are byte-identical
+  across repeated seeded runs.
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
@@ -87,6 +96,7 @@ from repro.federation.executor import (
 )
 from repro.gpq.evaluation import evaluate_query_star
 from repro.gpq.query import GraphPatternQuery
+from repro.obs import Tracer, chrome_trace_events, validate_trace_events
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
@@ -1138,6 +1148,129 @@ def bench_faults(repeat: int) -> List[BenchRecord]:
     return records
 
 
+def bench_obs(repeat: int) -> List[BenchRecord]:
+    """Telemetry overhead and determinism: tracing off vs fully on.
+
+    Each record runs the same 3-peer federated path query in two
+    configurations — with the shared ``NULL_TRACER`` (the production
+    default) and fully instrumented (a live
+    :class:`~repro.obs.Tracer` plus ``analyze=True``, every operator
+    counting actuals) — once under the serial adaptive strategy and
+    once on the parallel runtime.  ``seconds`` times the disabled run
+    and ``baseline_seconds`` the instrumented one, so the recorded
+    ``speedup`` is the full-telemetry overhead factor; the CI gate's
+    per-suite speedup check then bounds how much overhead the
+    *disabled* path may silently grow relative to the committed
+    baseline.  Hard assertions, re-checked by the gate from the
+    recorded metas: instrumentation never perturbs the execution
+    (identical answer set and message count with tracing on and off),
+    the exported Chrome ``trace_event`` document validates, the
+    virtual-domain export and the ``explain(analyze=True)`` text are
+    byte-identical across repeated seeded runs, and the traced run
+    actually collects spans.  Each record also embeds the executor's
+    cumulative :meth:`~repro.federation.executor.FederatedExecutor.
+    metrics` registry snapshot under ``meta["metrics"]``.
+    """
+    three = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    query = federated_path_query(hops=2)
+    executor = FederatedExecutor(three)
+    expected = _single_graph_rows(three, query)
+    records = []
+    for label, strategy in (
+        ("serial@3p", ADAPTIVE),
+        ("runtime@3p", PARALLEL),
+    ):
+
+        def plain(strategy: str = strategy):
+            return executor.execute(query, strategy)
+
+        def traced(strategy: str = strategy):
+            tracer = Tracer()
+            result = executor.execute(
+                query, strategy, tracer=tracer, analyze=True
+            )
+            return result, tracer
+
+        plain_result = plain()
+        if plain_result.rows != expected:
+            raise AssertionError(
+                f"obs suite {label!r}: untraced run diverged from the "
+                f"single-graph answer set"
+            )
+        exports: List[str] = []
+        explains: List[str] = []
+        span_counts: List[int] = []
+        for _ in range(2):
+            result, tracer = traced()
+            if result.rows != expected:
+                raise AssertionError(
+                    f"obs suite {label!r}: instrumented run diverged "
+                    f"from the single-graph answer set"
+                )
+            if result.stats.messages != plain_result.stats.messages:
+                raise AssertionError(
+                    f"obs suite {label!r}: tracing perturbed the "
+                    f"execution: {result.stats.messages} messages vs "
+                    f"{plain_result.stats.messages} untraced"
+                )
+            document = chrome_trace_events(tracer, domain="virtual")
+            problems = validate_trace_events(document)
+            if problems:
+                raise AssertionError(
+                    f"obs suite {label!r}: exported trace is not a "
+                    f"valid trace_event document: {problems[:3]}"
+                )
+            exports.append(json.dumps(document, sort_keys=True))
+            span_counts.append(sum(1 for _ in tracer.spans()))
+            explains.append(
+                executor.explain(query, strategy=strategy, analyze=True)
+            )
+        if len(set(exports)) != 1:
+            raise AssertionError(
+                f"obs suite {label!r}: virtual-domain trace export is "
+                f"not byte-identical across repeated seeded runs"
+            )
+        if len(set(explains)) != 1:
+            raise AssertionError(
+                f"obs suite {label!r}: explain(analyze=True) is not "
+                f"byte-identical across repeated seeded runs"
+            )
+        if not span_counts[0]:
+            raise AssertionError(
+                f"obs suite {label!r}: instrumented run collected no "
+                f"spans"
+            )
+        disabled_seconds, disabled_rows = _best_time(
+            lambda: len(plain().rows), repeat
+        )
+        traced_seconds, traced_rows = _best_time(
+            lambda: len(traced()[0].rows), repeat
+        )
+        if disabled_rows != traced_rows:
+            raise AssertionError(
+                f"obs suite {label!r}: timed runs disagree on the "
+                f"answer cardinality ({disabled_rows} vs {traced_rows})"
+            )
+        records.append(
+            BenchRecord(
+                name=f"obs/{label}",
+                seconds=disabled_seconds,
+                baseline_seconds=traced_seconds,
+                speedup=traced_seconds / max(disabled_seconds, 1e-12),
+                meta={
+                    "results": len(plain_result.rows),
+                    "messages": plain_result.stats.messages,
+                    "span_count": span_counts[0],
+                    "trace_valid": 1,
+                    "trace_stable": 1,
+                    "analyze_stable": 1,
+                    "metrics": executor.metrics().snapshot(),
+                },
+            )
+        )
+    return records
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -1168,6 +1301,7 @@ def build_report(
     records.extend(bench_streaming(repeat))
     records.extend(bench_limit(repeat))
     records.extend(bench_faults(repeat))
+    records.extend(bench_obs(repeat))
 
     return {
         "suite": "core",

@@ -148,6 +148,8 @@ from repro.federation.plan import (
 from repro.federation.statistics import StatisticsCatalog
 from repro.gpq.evaluation import compile_conjunct
 from repro.gpq.query import GraphPatternQuery
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import Term, Variable
@@ -437,13 +439,35 @@ class FederatedExecutor:
         query: Union[_Query, PreparedQuery],
         strategy: str = ADAPTIVE,
         nsm: Optional[NamespaceManager] = None,
+        tracer=NULL_TRACER,
+        analyze: bool = False,
     ) -> FederationResult:
         """Run one (possibly pre-:meth:`prepare`-d) query under the
-        given strategy."""
+        given strategy.
+
+        ``tracer`` collects structured spans: one wall span around the
+        whole execution, virtual spans for every simulated request,
+        fault attempt and backoff (serial interpretation) and, in
+        parallel mode, the replayed per-channel service intervals.
+        ``analyze`` attaches actual-counter dicts to every executed
+        operator — the material :meth:`explain` renders with
+        ``analyze=True``.
+        """
         if strategy not in STRATEGIES:
             raise FederationError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
+        with tracer.span(f"execute:{strategy}"):
+            return self._execute(query, strategy, nsm, tracer, analyze)
+
+    def _execute(
+        self,
+        query: Union[_Query, PreparedQuery],
+        strategy: str,
+        nsm: Optional[NamespaceManager],
+        tracer,
+        analyze: bool,
+    ) -> FederationResult:
         if isinstance(query, PreparedQuery):
             prepared = query
         else:
@@ -478,7 +502,7 @@ class FederatedExecutor:
         elif not prepared.order and prepared.limit is not None:
             demand = max(1, prepared.offset + prepared.limit)
         if strategy == "collect":
-            union, unreachable = self._collect_union(stats, session)
+            union, unreachable = self._collect_union(stats, session, tracer)
             if modified:
                 all_bindings: List[IDBinding] = []
                 for branch in prepared.branches:
@@ -506,6 +530,8 @@ class FederatedExecutor:
                 demand=demand,
                 faults=session,
                 retry=self.retry_policy,
+                tracer=tracer,
+                analyze=analyze,
             )
             interp = PlanInterpreter(ctx)
             roots = [
@@ -542,6 +568,8 @@ class FederatedExecutor:
                 # planning-time charges such as statistics refreshes).
                 stats.elapsed_seconds += scheduler.makespan()
                 channels = scheduler.channel_stats()
+                if tracer.enabled:
+                    _emit_runtime_spans(tracer, scheduler)
             unreachable = ctx.unreachable
         decode = self.dictionary.decode
         rows = {
@@ -608,11 +636,34 @@ class FederatedExecutor:
                 )
         return results
 
+    def metrics(self) -> MetricsRegistry:
+        """The executor's cumulative counters behind one registry.
+
+        Absorbs the previously scattered counter bags — plan-cache
+        hits/misses/size and the statistics catalog's epochs and
+        refresh count — into one
+        :class:`~repro.obs.metrics.MetricsRegistry` snapshot; the
+        ``explain`` metrics block and the bench runner's exported
+        ``metrics`` section both render from it.
+        """
+        registry = MetricsRegistry()
+        cache = self.plan_cache.stats()
+        registry.counter("plan_cache.hits").inc(cache["hits"])
+        registry.counter("plan_cache.misses").inc(cache["misses"])
+        registry.set("plan_cache.size", cache["size"])
+        registry.set("plan_cache.capacity", cache["capacity"])
+        registry.set(
+            "catalog.statistics_epoch", self.catalog.statistics_epoch
+        )
+        registry.counter("catalog.refreshes").inc(self.catalog.refreshes)
+        return registry
+
     def explain(
         self,
         query: Union[_Query, PreparedQuery],
         nsm: Optional[NamespaceManager] = None,
         strategy: str = ADAPTIVE,
+        analyze: bool = False,
     ) -> str:
         """Human-readable trace: the executed operator tree plus the
         cost model's decisions.
@@ -622,16 +673,21 @@ class FederatedExecutor:
         batch pipelining — mode and peak in-flight overlap) and renders
         the plan tree followed by one line per decision: the chosen
         action, its target endpoints, the cost model's estimates and
-        the rejected alternatives.
+        the rejected alternatives.  A ``metric``-prefixed block renders
+        the unified metrics registry: the executor's cumulative
+        counters normally, or — under ``analyze=True`` — this run's
+        network counters only, so analyzed output is a deterministic
+        function of the seed.  ``analyze=True`` additionally annotates
+        every operator line with its executed actuals (rows/batches
+        out, build sizes, requests issued).
         """
         if strategy not in (ADAPTIVE, PARALLEL):
             raise FederationError(
                 f"explain needs a decision-tracing strategy "
                 f"({ADAPTIVE!r} or {PARALLEL!r}), got {strategy!r}"
             )
-        result = self.execute(query, strategy, nsm)
+        result = self.execute(query, strategy, nsm, analyze=analyze)
         stats = result.stats
-        cache = self.plan_cache.stats()
         lines = [
             f"{strategy}: {len(result.rows)} rows, "
             f"messages={stats.messages} "
@@ -639,10 +695,11 @@ class FederatedExecutor:
             f"triples={stats.triples_transferred} "
             f"busy={stats.busy_seconds:.3f}s "
             f"elapsed={stats.elapsed_seconds:.3f}s",
-            f"plan-cache: hits={cache['hits']} misses={cache['misses']} "
-            f"size={cache['size']}/{cache['capacity']} "
-            f"stats-epoch={self.catalog.statistics_epoch}",
         ]
+        if analyze:
+            lines.extend(_stats_registry(stats).render(prefix="metric "))
+        else:
+            lines.extend(self.metrics().render(prefix="metric "))
         for plan in result.plans:
             lines.append("plan:")
             rendered = explain_fed_plan(plan).split("\n")
@@ -848,7 +905,10 @@ class FederatedExecutor:
     # -- centralised collect baseline -----------------------------------
 
     def _collect_union(
-        self, stats: NetworkStats, session: Optional[FaultSession] = None
+        self,
+        stats: NetworkStats,
+        session: Optional[FaultSession] = None,
+        tracer=NULL_TRACER,
     ) -> Tuple[Graph, List[Unreachable]]:
         """Dump every peer into one local graph (the collect baseline).
 
@@ -864,6 +924,7 @@ class FederatedExecutor:
             RelationCache(self.dictionary),
             faults=session,
             retry=self.retry_policy,
+            tracer=tracer,
         )
         for endpoint in self.endpoints:
             try:
@@ -986,6 +1047,65 @@ class FederatedExecutor:
             return []
         out, _ = extend_bindings_batch(graph, slots, bindings)
         return dedupe(out)
+
+
+def _stats_registry(stats: NetworkStats) -> MetricsRegistry:
+    """One execution's network counters as a run-scoped registry.
+
+    Every value is an integer accumulated on the deterministic
+    simulated clock, so the rendered block is byte-identical across
+    repeated seeded runs — what ``explain(analyze=True)`` gates on.
+    """
+    registry = MetricsRegistry()
+    registry.counter("network.messages").inc(stats.messages)
+    registry.counter("network.solutions_transferred").inc(
+        stats.solutions_transferred
+    )
+    registry.counter("network.triples_transferred").inc(
+        stats.triples_transferred
+    )
+    registry.counter("network.stats_refreshes").inc(stats.stats_refreshes)
+    registry.counter("network.retries").inc(stats.retries)
+    registry.counter("network.failures").inc(stats.failures)
+    registry.counter("network.timeouts").inc(stats.timeouts)
+    registry.counter("network.failovers").inc(stats.failovers)
+    return registry
+
+
+def _emit_runtime_spans(tracer, scheduler: OverlapScheduler) -> None:
+    """Virtual spans from the runtime's replayed request timeline.
+
+    Serial interpretation spans requests as they charge the elapsed
+    clock; the runtime cannot — the simulated order only exists after
+    the makespan replay.  This emits the spans post hoc instead: one
+    parent span per endpoint channel covering its occupied window
+    (first arrival to last completion), with one child span per request
+    covering its replayed service interval, so the exported trace shows
+    exactly how the overlap scheduler's DAG replay nested the traffic.
+    """
+    by_endpoint: Dict[str, List] = {}
+    for handle in scheduler.timeline():
+        by_endpoint.setdefault(handle.endpoint, []).append(handle)
+    for name in sorted(by_endpoint):
+        group = by_endpoint[name]
+        parent = tracer.record(
+            f"channel:{name}",
+            min(handle.arrived_at for handle in group),
+            max(handle.completed_at for handle in group),
+            lane=name,
+            requests=len(group),
+        )
+        for handle in group:
+            tracer.record(
+                f"request:{name}",
+                handle.started_at,
+                handle.completed_at,
+                lane=name,
+                parent=parent,
+                index=handle.index,
+                label=handle.label,
+                failed=int(handle.failed),
+            )
 
 
 def execute_federated(

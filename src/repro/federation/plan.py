@@ -127,6 +127,8 @@ from repro.federation.cost import (
 )
 from repro.federation.endpoint import PeerEndpoint
 from repro.federation.faults import FaultSession, RetryPolicy, Unreachable
+from repro.obs.analyze import format_actuals
+from repro.obs.trace import NULL_TRACER
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Variable
 from repro.rdf.triples import TriplePattern
@@ -215,6 +217,12 @@ class ExecContext:
             engine).
         retry: the :class:`~repro.federation.faults.RetryPolicy`
             governing attempts, backoff and per-request timeouts.
+        tracer: the :class:`~repro.obs.trace.Tracer` collecting spans,
+            or the shared :data:`~repro.obs.trace.NULL_TRACER` — every
+            span hook guards on ``tracer.enabled`` and costs one
+            attribute read when tracing is off.
+        analyze: when True the interpreter attaches an actual-counter
+            dict to every operator it starts (EXPLAIN ANALYZE).
 
     Attributes:
         unreachable: dropped contributions, in drop order and deduped
@@ -233,6 +241,8 @@ class ExecContext:
         demand: Optional[int] = None,
         faults: Optional[FaultSession] = None,
         retry: Optional[RetryPolicy] = None,
+        tracer=NULL_TRACER,
+        analyze: bool = False,
     ) -> None:
         self.network = network
         self.stats = stats
@@ -242,6 +252,8 @@ class ExecContext:
         self.demand = demand
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        self.tracer = tracer
+        self.analyze = analyze
         self.unreachable: List[Unreachable] = []
         self._unreachable_seen: Set[Tuple[str, str]] = set()
 
@@ -287,9 +299,23 @@ def issue_request(
     raises :class:`~repro.errors.EndpointUnavailableError`.
     """
     session = ctx.faults
+    tracer = ctx.tracer
+    # Serial requests are spanned as they charge the elapsed clock;
+    # runtime requests get their spans post hoc from the scheduler's
+    # replayed timeline (the charge order is not the simulated order).
+    traced = tracer.enabled and ctx.serial
     if session is None:
         payload = evaluate(endpoint)
+        before = ctx.stats.elapsed_seconds
         seconds = charge(endpoint, payload)
+        if traced:
+            tracer.record(
+                f"request:{endpoint.name}",
+                before,
+                ctx.stats.elapsed_seconds,
+                lane=endpoint.name,
+                label=label,
+            )
         handle: Optional[RequestHandle] = None
         if ctx.scheduler is not None:
             handle = ctx.scheduler.submit(
@@ -309,7 +335,17 @@ def issue_request(
             attempts_total += 1
             if outcome == "ok":
                 payload = evaluate(candidate)
+                before = ctx.stats.elapsed_seconds
                 seconds = charge(candidate, payload)
+                if traced:
+                    tracer.record(
+                        f"request:{candidate.name}",
+                        before,
+                        ctx.stats.elapsed_seconds,
+                        lane=candidate.name,
+                        label=label,
+                        failover=int(candidate is not endpoint),
+                    )
                 handle = None
                 if ctx.scheduler is not None:
                     handle = ctx.scheduler.submit(
@@ -322,6 +358,7 @@ def issue_request(
                 if candidate is not endpoint:
                     ctx.stats.failovers += 1
                 return payload, handle
+            before = ctx.stats.elapsed_seconds
             seconds = ctx.network.charge_fault(
                 ctx.stats,
                 candidate.name,
@@ -329,6 +366,14 @@ def issue_request(
                 serial=ctx.serial,
                 timeout_seconds=policy.timeout_seconds,
             )
+            if traced:
+                tracer.record(
+                    f"request:{candidate.name} !{outcome}",
+                    before,
+                    ctx.stats.elapsed_seconds,
+                    lane=candidate.name,
+                    label=label,
+                )
             if ctx.scheduler is not None:
                 failed = ctx.scheduler.submit(
                     candidate.name,
@@ -342,9 +387,18 @@ def issue_request(
             pending_delay = 0.0
             if attempt < policy.max_retries:
                 backoff = policy.backoff(attempt)
+                before = ctx.stats.elapsed_seconds
                 ctx.network.charge_backoff(
                     ctx.stats, backoff, serial=ctx.serial
                 )
+                if traced:
+                    tracer.record(
+                        f"backoff:{candidate.name}",
+                        before,
+                        ctx.stats.elapsed_seconds,
+                        lane=candidate.name,
+                        attempt=attempt,
+                    )
                 ctx.stats.retries += 1
                 pending_delay = backoff
         session.mark_down(candidate.name)
@@ -460,6 +514,42 @@ class _Stream:
                 self.origins.append(origin)
 
 
+def _observed(node: FedOp, ctx: ExecContext, gen: _RowGen) -> _RowGen:
+    """Count rows out of (and trace the active window of) one node.
+
+    Wraps a node's row generator without disturbing its protocol:
+    yielded pairs pass through with ``rows_out`` kept current, and the
+    generator's return value — the step's wave — is re-returned so
+    :class:`_Stream` still sees it.  Serial traced runs additionally
+    record one virtual span per exhausted node covering the elapsed
+    -clock window in which it produced rows; nodes abandoned by demand
+    (a full LIMIT window) record no span, matching their unfinished
+    state.
+    """
+    actuals = node.actuals
+    tracer = ctx.tracer
+    traced = tracer.enabled and ctx.serial
+    start = ctx.stats.elapsed_seconds if traced else 0.0
+    rows = 0
+    while True:
+        try:
+            item = next(gen)
+        except StopIteration as stop:
+            if traced:
+                tracer.record(
+                    f"op:{node.kind}",
+                    start,
+                    ctx.stats.elapsed_seconds,
+                    lane="operators",
+                    rows_out=rows,
+                )
+            return stop.value or ()
+        rows += 1
+        if actuals is not None:
+            actuals["rows_out"] = rows
+        yield item
+
+
 def _rows_of(stream: _Stream) -> Iterator[Tuple[IDBinding, _Origin]]:
     """Iterate a stream one row at a time, pulling lazily."""
     pos = 0
@@ -488,6 +578,9 @@ class FedOp:
     kind = "FedOp"
     decision: Optional[Decision] = None
     handles: Tuple[RequestHandle, ...] = ()
+    #: EXPLAIN ANALYZE counters — ``None`` (analysis off, one attribute
+    #: read on the hot path) or a per-node dict the interpreter attaches.
+    actuals: Optional[Dict[str, int]] = None
 
     def children(self) -> Tuple["FedOp", ...]:
         return ()
@@ -500,7 +593,8 @@ class FedOp:
         return self.kind
 
     def explain(self, depth: int = 0) -> List[str]:
-        lines = [f"{'  ' * depth}{self.describe()}"]
+        line = f"{'  ' * depth}{self.describe()}"
+        lines = [f"{line}{format_actuals(self.actuals)}"]
         for child in self.children():
             lines.extend(child.explain(depth + 1))
         return lines
@@ -580,6 +674,8 @@ class RemoteScan(FedOp):
                     exc.endpoint, " ".join(tp.n3() for tp in self.patterns)
                 )
                 continue
+            if self.actuals is not None:
+                self.actuals["requests"] = self.actuals.get("requests", 0) + 1
             origin: _Origin = ()
             if handle is not None:
                 handles.append(handle)
@@ -726,6 +822,8 @@ class BoundJoinStream(FedOp):
         seen: Set[Tuple[Tuple[str, int], ...]] = set()
         for chunk in chunks:
             self.n_batches += 1
+            if self.actuals is not None:
+                self.actuals["batches"] = self.n_batches
             batch = [binding for binding, _ in chunk]
             if ctx.serial:
                 deps: _Origin = ()
@@ -751,6 +849,10 @@ class BoundJoinStream(FedOp):
                         " ".join(tp.n3() for tp in self.patterns),
                     )
                     continue
+                if self.actuals is not None:
+                    self.actuals["requests"] = (
+                        self.actuals.get("requests", 0) + 1
+                    )
                 origin: _Origin = ()
                 if handle is not None:
                     handles.append(handle)
@@ -851,6 +953,8 @@ class PullScan(FedOp):
                 continue
             if handle is not None:
                 handles.append(handle)
+            if self.actuals is not None:
+                self.actuals["requests"] = self.actuals.get("requests", 0) + 1
             pulled.append(endpoint.name)
             ctx.cache.add(endpoint.name, key, ids, endpoint.graph.dictionary)
         self.handles = tuple(handles)
@@ -1233,7 +1337,17 @@ class PlanInterpreter:
     def stream(self, node: FedOp) -> _Stream:
         cached = self._memo.get(node)
         if cached is None:
-            cached = _Stream(node._stream(self.ctx, self))
+            ctx = self.ctx
+            if ctx.analyze and node.actuals is None:
+                # The adaptive planner grows the tree mid-execution, so
+                # actual-counter dicts attach lazily at first pull.
+                node.actuals = {}
+            gen = node._stream(ctx, self)
+            if node.actuals is not None or (
+                ctx.tracer.enabled and ctx.serial
+            ):
+                gen = _observed(node, ctx, gen)
+            cached = _Stream(gen)
             self._memo[node] = cached
         return cached
 

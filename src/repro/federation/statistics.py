@@ -68,6 +68,11 @@ class StatisticsCatalog:
         #: :meth:`invalidate_plans`).  The federated executor keys its
         #: plan cache on this, so a bump strands every cached plan.
         self.statistics_epoch = 0
+        #: Total endpoint refresh round trips charged over the
+        #: catalog's lifetime — surfaced through the executor's
+        #: :meth:`~repro.federation.executor.FederatedExecutor.metrics`
+        #: registry.
+        self.refreshes = 0
         self._fetched_epoch: Dict[str, int] = {}
         self._cache: Dict[_Key, int] = {}
         self._stats: Optional[NetworkStats] = None
@@ -131,6 +136,7 @@ class StatisticsCatalog:
         self.network.charge_refresh(self._stats, endpoint.name)
         self._fetched_epoch[endpoint.name] = self.epoch
         self.statistics_epoch += 1
+        self.refreshes += 1
         stale_keys = [key for key in self._cache if key[0] == endpoint.name]
         for key in stale_keys:
             del self._cache[key]

@@ -1,0 +1,45 @@
+"""Unified query-telemetry layer: trace spans, ANALYZE, metrics.
+
+Three pieces, threaded through every execution path:
+
+* :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` trees over a
+  wall clock (local phases) and the deterministic virtual clock
+  (federation/runtime), exportable as Chrome ``trace_event`` JSON;
+* :mod:`repro.obs.analyze` — the EXPLAIN ANALYZE actual-counter
+  plumbing shared by the row, columnar and federated operators;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters,
+  gauges, fixed-bucket histograms) behind one snapshot/render API.
+
+Everything is zero-cost when disabled: the shared :data:`NULL_TRACER`
+makes every span hook a constant-time no-op, and ANALYZE counters sit
+behind single ``actuals is not None`` guards.
+"""
+
+from repro.obs.analyze import attach_actuals, format_actuals
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    validate_trace_events,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "attach_actuals",
+    "chrome_trace_events",
+    "format_actuals",
+    "validate_trace_events",
+]

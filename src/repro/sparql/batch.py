@@ -56,6 +56,7 @@ from typing import (
 
 from repro.errors import SparqlEvaluationError
 from repro.gpq.evaluation import extend_id_bindings
+from repro.obs.analyze import format_actuals
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Variable
 from repro.sparql.algebra import AlgebraNode, Bgp, Filter, Join, LeftJoin
@@ -582,14 +583,33 @@ class BatchOp:
     materialises its full result, which is the point: all per-row work
     collapses into C-level bulk list operations.  ``cardinality``
     mirrors the row planner's estimates so join operands order the
-    same way.
+    same way.  ``actuals`` is the EXPLAIN ANALYZE counter dict
+    (attached per node by :func:`repro.obs.analyze.attach_actuals`);
+    the class-level ``None`` means analysis is off, costing one
+    attribute check per batch produced.
     """
 
     variables: FrozenSet[Variable] = frozenset()
     cardinality: float = 1.0
+    actuals: Optional[Dict[str, int]] = None
+
+    def children(self) -> Tuple["BatchOp", ...]:
+        return ()
+
+    def _execute(self) -> Batch:
+        raise NotImplementedError
 
     def execute(self) -> Batch:
-        raise NotImplementedError
+        batch = self._execute()
+        if self.actuals is not None:
+            actuals = self.actuals
+            actuals["batches"] = actuals.get("batches", 0) + 1
+            actuals["rows_out"] = actuals.get("rows_out", 0) + batch.n
+        return batch
+
+    def _annotate(self, line: str) -> str:
+        """Append the actuals note to one explain line (analyze mode)."""
+        return f"{line}{format_actuals(self.actuals)}"
 
     def explain(self, depth: int = 0) -> List[str]:
         raise NotImplementedError
@@ -602,21 +622,21 @@ class BatchEmpty(BatchOp):
         self.variables = variables
         self.cardinality = 0.0
 
-    def execute(self) -> Batch:
+    def _execute(self) -> Batch:
         return Batch.empty(tuple(sorted(self.variables, key=str)))
 
     def explain(self, depth: int = 0) -> List[str]:
-        return [f"{'  ' * depth}BatchEmpty"]
+        return [self._annotate(f"{'  ' * depth}BatchEmpty")]
 
 
 class BatchSingleton(BatchOp):
     """The empty group pattern: one row, no columns."""
 
-    def execute(self) -> Batch:
+    def _execute(self) -> Batch:
         return Batch.singleton()
 
     def explain(self, depth: int = 0) -> List[str]:
-        return [f"{'  ' * depth}BatchSingleton"]
+        return [self._annotate(f"{'  ' * depth}BatchSingleton")]
 
 
 class BatchBgp(BatchOp):
@@ -632,7 +652,7 @@ class BatchBgp(BatchOp):
             graph, patterns
         )
 
-    def execute(self) -> Batch:
+    def _execute(self) -> Batch:
         compiled = self.compiled
         if compiled is None:
             return Batch.empty(tuple(sorted(self.variables, key=str)))
@@ -665,8 +685,8 @@ class BatchBgp(BatchOp):
     def explain(self, depth: int = 0) -> List[str]:
         pad = "  " * depth
         if self.compiled is None:
-            return [f"{pad}BatchBgp [unsatisfiable]"]
-        lines = [f"{pad}BatchBgp est={self.cardinality:.0f}"]
+            return [self._annotate(f"{pad}BatchBgp [unsatisfiable]")]
+        lines = [self._annotate(f"{pad}BatchBgp est={self.cardinality:.0f}")]
         for tp in self.ordered:
             lines.append(f"{pad}  . {tp.n3()}")
         return lines
@@ -783,11 +803,23 @@ class BatchJoin(BatchOp):
             left.cardinality * right.cardinality / denominator, 1e18
         )
 
-    def execute(self) -> Batch:
-        return _join_batches(self.left.execute(), self.right.execute())
+    def children(self) -> Tuple[BatchOp, ...]:
+        return (self.left, self.right)
+
+    def _execute(self) -> Batch:
+        left = self.left.execute()
+        right = self.right.execute()
+        if self.actuals is not None:
+            self.actuals["build_rows"] = min(left.n, right.n)
+            self.actuals["probe_rows"] = max(left.n, right.n)
+        return _join_batches(left, right)
 
     def explain(self, depth: int = 0) -> List[str]:
-        lines = [f"{'  ' * depth}BatchJoin est={self.cardinality:.0f}"]
+        lines = [
+            self._annotate(
+                f"{'  ' * depth}BatchJoin est={self.cardinality:.0f}"
+            )
+        ]
         lines.extend(self.left.explain(depth + 1))
         lines.extend(self.right.explain(depth + 1))
         return lines
@@ -810,7 +842,10 @@ class BatchUnion(BatchOp):
         self.variables = frozenset(out)
         self.cardinality = sum(b.cardinality for b in self.branches)
 
-    def execute(self) -> Batch:
+    def children(self) -> Tuple[BatchOp, ...]:
+        return tuple(self.branches)
+
+    def _execute(self) -> Batch:
         batches = [branch.execute() for branch in self.branches]
         schema: List[Variable] = []
         seen: Set[Variable] = set()
@@ -832,7 +867,11 @@ class BatchUnion(BatchOp):
         return Batch(tuple(schema), cols, total)
 
     def explain(self, depth: int = 0) -> List[str]:
-        lines = [f"{'  ' * depth}BatchUnion est={self.cardinality:.0f}"]
+        lines = [
+            self._annotate(
+                f"{'  ' * depth}BatchUnion est={self.cardinality:.0f}"
+            )
+        ]
         for branch in self.branches:
             lines.extend(branch.explain(depth + 1))
         return lines
@@ -866,9 +905,14 @@ class BatchLeftJoin(BatchOp):
             min(left.cardinality * right.cardinality / denominator, 1e18),
         )
 
-    def execute(self) -> Batch:
+    def children(self) -> Tuple[BatchOp, ...]:
+        return (self.left, self.right)
+
+    def _execute(self) -> Batch:
         left = self.left.execute()
         right = self.right.execute()
+        if self.actuals is not None:
+            self.actuals["build_rows"] = right.n
         schema = left.schema + tuple(
             v for v in right.schema if v not in left.schema
         )
@@ -957,7 +1001,10 @@ class BatchLeftJoin(BatchOp):
     def explain(self, depth: int = 0) -> List[str]:
         cond = " cond" if self.mask is not None else ""
         lines = [
-            f"{'  ' * depth}BatchLeftJoin{cond} est={self.cardinality:.0f}"
+            self._annotate(
+                f"{'  ' * depth}BatchLeftJoin{cond} "
+                f"est={self.cardinality:.0f}"
+            )
         ]
         lines.extend(self.left.explain(depth + 1))
         lines.extend(self.right.explain(depth + 1))
@@ -975,7 +1022,10 @@ class BatchFilter(BatchOp):
         self.variables = child.variables
         self.cardinality = child.cardinality / 2.0
 
-    def execute(self) -> Batch:
+    def children(self) -> Tuple[BatchOp, ...]:
+        return (self.child,)
+
+    def _execute(self) -> Batch:
         batch = self.child.execute()
         if batch.n == 0:
             return batch
@@ -986,7 +1036,11 @@ class BatchFilter(BatchOp):
         return batch.gather(sel)
 
     def explain(self, depth: int = 0) -> List[str]:
-        lines = [f"{'  ' * depth}BatchFilter est={self.cardinality:.0f}"]
+        lines = [
+            self._annotate(
+                f"{'  ' * depth}BatchFilter est={self.cardinality:.0f}"
+            )
+        ]
         lines.extend(self.child.explain(depth + 1))
         return lines
 

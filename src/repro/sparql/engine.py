@@ -28,9 +28,11 @@ available as the reference oracle for tests.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.errors import SparqlEvaluationError
+from repro.obs.analyze import attach_actuals
+from repro.obs.trace import NULL_TRACER
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import BlankNode
@@ -46,7 +48,7 @@ from repro.sparql.parser import parse_query
 from repro.sparql.plan import PhysicalOp, SliceOp, build_plan
 from repro.sparql.results import AskResult, SelectResult
 
-__all__ = ["execute", "select", "ask_text", "plan_cache_stats"]
+__all__ = ["execute", "explain", "select", "ask_text", "plan_cache_stats"]
 
 
 class _PreparedLocal:
@@ -89,18 +91,22 @@ def _uses_batch_engine(ast: Query) -> bool:
     return ast.limit is None and ast.offset is None
 
 
-def _prepare(graph: Graph, ast: Query) -> _PreparedLocal:
+def _prepare(graph: Graph, ast: Query, tracer=NULL_TRACER) -> _PreparedLocal:
     """Translate and physically plan a parsed query."""
-    node = translate_group(ast.where)
-    if isinstance(ast, SelectQuery):
-        variables = tuple(ast.projected())
-        if _uses_batch_engine(ast):
+    with tracer.span("normalise"):
+        node = translate_group(ast.where)
+    with tracer.span("plan"):
+        if isinstance(ast, SelectQuery):
+            variables = tuple(ast.projected())
+            if _uses_batch_engine(ast):
+                return _PreparedLocal(
+                    ast, variables, build_batch_plan(graph, node), None
+                )
             return _PreparedLocal(
-                ast, variables, build_batch_plan(graph, node), None
+                ast, variables, None, build_plan(graph, node)
             )
-        return _PreparedLocal(ast, variables, None, build_plan(graph, node))
-    if isinstance(ast, AskQuery):
-        return _PreparedLocal(ast, (), None, build_plan(graph, node))
+        if isinstance(ast, AskQuery):
+            return _PreparedLocal(ast, (), None, build_plan(graph, node))
     raise SparqlEvaluationError(f"unsupported query type {type(ast).__name__}")
 
 
@@ -109,6 +115,7 @@ def execute(
     query: Union[str, Query],
     nsm: Optional[NamespaceManager] = None,
     include_blanks: bool = True,
+    tracer=NULL_TRACER,
 ) -> Union[SelectResult, AskResult]:
     """Run a SPARQL query over a graph.
 
@@ -121,6 +128,9 @@ def execute(
             dropped — this implements the paper's ``Q_D`` semantics, used
             when the graph is a universal solution and blank nodes are
             labelled nulls rather than data.
+        tracer: a :class:`~repro.obs.trace.Tracer` collecting wall
+            spans around the parse → normalise → plan → execute phases;
+            defaults to the shared no-op tracer.
 
     Returns:
         SelectResult for SELECT, AskResult for ASK.
@@ -135,16 +145,72 @@ def execute(
         )
         prepared = default_plan_cache.get(key)
         if prepared is None:
-            prepared = _prepare(graph, parse_query(query, nsm))
+            with tracer.span("parse"):
+                ast = parse_query(query, nsm)
+            prepared = _prepare(graph, ast, tracer)
             default_plan_cache.put(key, prepared)
     else:
-        prepared = _prepare(graph, query)
-    return _execute_prepared(graph, prepared, include_blanks)
+        prepared = _prepare(graph, query, tracer)
+    with tracer.span("execute"):
+        return _execute_prepared(graph, prepared, include_blanks)
 
 
 def plan_cache_stats() -> dict:
     """Hit/miss/size counters of the local engine's plan cache."""
     return default_plan_cache.stats()
+
+
+def explain(
+    graph: Graph,
+    query: Union[str, Query],
+    nsm: Optional[NamespaceManager] = None,
+    include_blanks: bool = True,
+    analyze: bool = False,
+) -> str:
+    """Render the local physical plan, optionally with executed actuals.
+
+    Plans the query fresh — never through (or into) the shared plan
+    cache — so an analyzed execution's counters cannot leak into
+    operators a later :func:`execute` call would reuse.  With
+    ``analyze=True`` the plan is executed first and every operator
+    line carries its ``(actual ...)`` counters next to the planner's
+    estimates; the counters are plain integers over a deterministic
+    execution, so repeated calls render byte-identical text.
+    """
+    ast = parse_query(query, nsm) if isinstance(query, str) else query
+    prepared = _prepare(graph, ast)
+    if prepared.batch_op is not None:
+        engine = "batch"
+        root = prepared.batch_op
+    else:
+        engine = "row"
+        root = prepared.row_plan
+        if isinstance(ast, SelectQuery):
+            # Mirror _execute_prepared: the streaming slice is part of
+            # the executed tree, so it must show (and count) here too.
+            keep = (
+                _blank_row_filter(graph.decode_id)
+                if not include_blanks
+                else None
+            )
+            root = SliceOp(
+                prepared.row_plan,
+                prepared.variables,
+                ast.offset or 0,
+                ast.limit,
+                keep,
+            )
+    if analyze:
+        attach_actuals(root)
+        if prepared.batch_op is not None:
+            _execute_prepared(graph, prepared, include_blanks)
+        elif isinstance(ast, AskQuery):
+            any(True for _ in root.execute())
+        else:
+            root.rows()
+    lines: List[str] = [f"{engine} engine"]
+    lines.extend(root.explain())
+    return "\n".join(lines)
 
 
 def _execute_prepared(

@@ -54,6 +54,7 @@ from typing import (
 
 from repro.errors import SparqlEvaluationError
 from repro.gpq.evaluation import compile_conjunct, extend_id_bindings
+from repro.obs.analyze import format_actuals
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
@@ -111,14 +112,42 @@ class PhysicalOp:
         binds_all: True when every produced binding is total on
             ``variables`` (lets joins use the pure hash path).
         cardinality: planner's rough output-size estimate.
+        actuals: EXPLAIN ANALYZE counters, attached per node by
+            :func:`repro.obs.analyze.attach_actuals`; the class-level
+            ``None`` means analysis is off and ``execute`` forwards to
+            the operator's ``_execute`` with zero per-row overhead.
     """
 
     variables: FrozenSet[Variable] = frozenset()
     binds_all: bool = True
     cardinality: float = 1.0
+    actuals: Optional[Dict[str, int]] = None
+
+    def children(self) -> Tuple["PhysicalOp", ...]:
+        return ()
+
+    def _execute(self) -> Iterator[_IDBinding]:
+        raise NotImplementedError
 
     def execute(self) -> Iterator[_IDBinding]:
-        raise NotImplementedError
+        if self.actuals is None:
+            return self._execute()
+        return self._counted()
+
+    def _counted(self) -> Iterator[_IDBinding]:
+        """The analyzed path: stream ``_execute`` counting rows out."""
+        actuals = self.actuals
+        actuals["calls"] = actuals.get("calls", 0) + 1
+        produced = actuals.get("rows_out", 0)
+        actuals["rows_out"] = produced
+        for binding in self._execute():
+            produced += 1
+            actuals["rows_out"] = produced
+            yield binding
+
+    def _annotate(self, line: str) -> str:
+        """Append the actuals note to one explain line (analyze mode)."""
+        return f"{line}{format_actuals(self.actuals)}"
 
     def explain(self, depth: int = 0) -> List[str]:
         raise NotImplementedError
@@ -134,22 +163,22 @@ class EmptyScan(PhysicalOp):
         self.cardinality = 0.0
         self.reason = reason
 
-    def execute(self) -> Iterator[_IDBinding]:
+    def _execute(self) -> Iterator[_IDBinding]:
         return iter(())
 
     def explain(self, depth: int = 0) -> List[str]:
         note = f" ({self.reason})" if self.reason else ""
-        return [f"{'  ' * depth}Empty{note}"]
+        return [self._annotate(f"{'  ' * depth}Empty{note}")]
 
 
 class SingletonScan(PhysicalOp):
     """Produces the single empty binding — an empty group pattern."""
 
-    def execute(self) -> Iterator[_IDBinding]:
+    def _execute(self) -> Iterator[_IDBinding]:
         yield {}
 
     def explain(self, depth: int = 0) -> List[str]:
-        return [f"{'  ' * depth}Singleton"]
+        return [self._annotate(f"{'  ' * depth}Singleton")]
 
 
 class BgpScan(PhysicalOp):
@@ -219,7 +248,7 @@ class BgpScan(PhysicalOp):
         slots = [compiled[i] for i in order]
         return (ordered, slots, total)  # type: ignore[return-value]
 
-    def execute(self) -> Iterator[_IDBinding]:
+    def _execute(self) -> Iterator[_IDBinding]:
         if self.compiled is None:
             return iter(())
         return self._scan(0, {})
@@ -235,8 +264,12 @@ class BgpScan(PhysicalOp):
     def explain(self, depth: int = 0) -> List[str]:
         pad = "  " * depth
         if self.compiled is None:
-            return [f"{pad}BgpScan [unsatisfiable: uninterned ground term]"]
-        lines = [f"{pad}BgpScan est={self.cardinality:.0f}"]
+            return [
+                self._annotate(
+                    f"{pad}BgpScan [unsatisfiable: uninterned ground term]"
+                )
+            ]
+        lines = [self._annotate(f"{pad}BgpScan est={self.cardinality:.0f}")]
         for tp in self.ordered:
             lines.append(f"{pad}  . {tp.n3()}")
         return lines
@@ -267,8 +300,13 @@ class HashJoin(PhysicalOp):
             probe.cardinality * build.cardinality / denominator, 1e18
         )
 
-    def execute(self) -> Iterator[_IDBinding]:
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.probe, self.build)
+
+    def _execute(self) -> Iterator[_IDBinding]:
         built = list(self.build.execute())
+        if self.actuals is not None:
+            self.actuals["build_rows"] = len(built)
         if not built:
             return
         if self.binds_all and self.shared:
@@ -321,7 +359,11 @@ class HashJoin(PhysicalOp):
         pad = "  " * depth
         mode = "hash" if (self.binds_all and self.shared) else "loop"
         on = ", ".join(f"?{v.name}" for v in self.shared) or "-"
-        lines = [f"{pad}HashJoin[{mode}] on={on} est={self.cardinality:.0f}"]
+        lines = [
+            self._annotate(
+                f"{pad}HashJoin[{mode}] on={on} est={self.cardinality:.0f}"
+            )
+        ]
         lines.extend(self.probe.explain(depth + 1))
         lines.extend(self.build.explain(depth + 1))
         return lines
@@ -359,8 +401,13 @@ class LeftJoinOp(PhysicalOp):
             min(left.cardinality * right.cardinality / denominator, 1e18),
         )
 
-    def execute(self) -> Iterator[_IDBinding]:
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def _execute(self) -> Iterator[_IDBinding]:
         built = list(self.right.execute())
+        if self.actuals is not None:
+            self.actuals["build_rows"] = len(built)
         predicate = self.predicate
         for probe in self.left.execute():
             extended: List[_IDBinding] = []
@@ -379,7 +426,9 @@ class LeftJoinOp(PhysicalOp):
     def explain(self, depth: int = 0) -> List[str]:
         pad = "  " * depth
         cond = " cond" if self.predicate is not None else ""
-        lines = [f"{pad}LeftJoin{cond} est={self.cardinality:.0f}"]
+        lines = [
+            self._annotate(f"{pad}LeftJoin{cond} est={self.cardinality:.0f}")
+        ]
         lines.extend(self.left.explain(depth + 1))
         lines.extend(self.right.explain(depth + 1))
         return lines
@@ -400,7 +449,10 @@ class UnionScan(PhysicalOp):
         )
         self.cardinality = sum(b.cardinality for b in self.branches)
 
-    def execute(self) -> Iterator[_IDBinding]:
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return tuple(self.branches)
+
+    def _execute(self) -> Iterator[_IDBinding]:
         seen: Set[FrozenSet[Tuple[str, int]]] = set()
         for branch in self.branches:
             for binding in branch.execute():
@@ -410,7 +462,9 @@ class UnionScan(PhysicalOp):
                     yield binding
 
     def explain(self, depth: int = 0) -> List[str]:
-        lines = [f"{'  ' * depth}Union est={self.cardinality:.0f}"]
+        lines = [
+            self._annotate(f"{'  ' * depth}Union est={self.cardinality:.0f}")
+        ]
         for branch in self.branches:
             lines.extend(branch.explain(depth + 1))
         return lines
@@ -432,12 +486,17 @@ class FilterScan(PhysicalOp):
         self.binds_all = child.binds_all
         self.cardinality = child.cardinality / 2.0
 
-    def execute(self) -> Iterator[_IDBinding]:
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def _execute(self) -> Iterator[_IDBinding]:
         predicate = self.predicate
         return (b for b in self.child.execute() if predicate(b))
 
     def explain(self, depth: int = 0) -> List[str]:
-        lines = [f"{'  ' * depth}Filter est={self.cardinality:.0f}"]
+        lines = [
+            self._annotate(f"{'  ' * depth}Filter est={self.cardinality:.0f}")
+        ]
         lines.extend(self.child.explain(depth + 1))
         return lines
 
@@ -516,8 +575,19 @@ class SliceOp(PhysicalOp):
             child.cardinality if limit is None else float(limit)
         )
 
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
     def rows(self) -> List[_IDRow]:
         """The sliced distinct projected rows, in stream order."""
+        out = self._rows()
+        if self.actuals is not None:
+            actuals = self.actuals
+            actuals["calls"] = actuals.get("calls", 0) + 1
+            actuals["rows_out"] = actuals.get("rows_out", 0) + len(out)
+        return out
+
+    def _rows(self) -> List[_IDRow]:
         if self.limit == 0:
             return []
         out: List[_IDRow] = []
@@ -540,6 +610,11 @@ class SliceOp(PhysicalOp):
         return out
 
     def execute(self) -> Iterator[_IDBinding]:
+        # rows() records the actuals itself; skip the generic wrapper
+        # so an analyzed execute() does not double-count.
+        return self._execute()
+
+    def _execute(self) -> Iterator[_IDBinding]:
         for row in self.rows():
             yield {
                 v: tid
@@ -551,7 +626,7 @@ class SliceOp(PhysicalOp):
         note = f" offset={self.offset}" if self.offset else ""
         if self.limit is not None:
             note += f" limit={self.limit}"
-        lines = [f"{'  ' * depth}Slice{note}"]
+        lines = [self._annotate(f"{'  ' * depth}Slice{note}")]
         lines.extend(self.child.explain(depth + 1))
         return lines
 
@@ -591,8 +666,19 @@ class TopKOp(PhysicalOp):
             child.cardinality if limit is None else float(limit)
         )
 
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
     def rows(self) -> List[_IDRow]:
         """Distinct projected rows in query order, sliced."""
+        out = self._rows()
+        if self.actuals is not None:
+            actuals = self.actuals
+            actuals["calls"] = actuals.get("calls", 0) + 1
+            actuals["rows_out"] = actuals.get("rows_out", 0) + len(out)
+        return out
+
+    def _rows(self) -> List[_IDRow]:
         bound = None if self.limit is None else self.offset + self.limit
         if bound == 0:
             return []
@@ -637,6 +723,11 @@ class TopKOp(PhysicalOp):
         return [row for row, _ in sliced]
 
     def execute(self) -> Iterator[_IDBinding]:
+        # rows() records the actuals itself; skip the generic wrapper
+        # so an analyzed execute() does not double-count.
+        return self._execute()
+
+    def _execute(self) -> Iterator[_IDBinding]:
         for row in self.rows():
             yield {
                 v: tid
@@ -655,7 +746,7 @@ class TopKOp(PhysicalOp):
             note += f" offset={self.offset}"
         if self.limit is not None:
             note += f" limit={self.limit}"
-        lines = [f"{'  ' * depth}TopK{note}"]
+        lines = [self._annotate(f"{'  ' * depth}TopK{note}")]
         lines.extend(self.child.explain(depth + 1))
         return lines
 

@@ -54,6 +54,8 @@ FAULT_WORKLOADS = (
 #: The one fault scenario that must come back flagged partial.
 UNRECOVERABLE_FAULT_WORKLOADS = ("blackout@3p",)
 
+OBS_WORKLOADS = ("serial@3p", "runtime@3p")
+
 EXPECTED_BENCHMARKS = {
     "match/by_subject",
     "match/by_predicate",
@@ -98,6 +100,8 @@ EXPECTED_BENCHMARKS = {
     f"faults/{workload}:{mode}"
     for workload in FAULT_WORKLOADS
     for mode in ("faultfree", "faulty")
+} | {
+    f"obs/{workload}" for workload in OBS_WORKLOADS
 }
 
 
@@ -123,7 +127,7 @@ def test_comparative_rows_have_baseline_and_speedup(report):
     for row in data["benchmarks"]:
         assert row["seconds"] >= 0
         if row["name"].startswith(
-            ("match/", "join/", "sparql/", "columnar/")
+            ("match/", "join/", "sparql/", "columnar/", "obs/")
         ):
             assert row["baseline_seconds"] >= 0
             assert row["speedup"] > 0
@@ -497,6 +501,57 @@ def test_check_fails_when_retry_traffic_blows_the_budget(report, committed):
     assert not outcome.ok
     assert any(
         "exceed the retry budget" in failure for failure in outcome.failures
+    )
+
+
+def test_obs_rows_carry_telemetry_flags(report):
+    data, _ = report
+    rows = {
+        row["name"]: row
+        for row in data["benchmarks"]
+        if row["name"].startswith("obs/")
+    }
+    assert set(rows) == {f"obs/{w}" for w in OBS_WORKLOADS}
+    for row in rows.values():
+        meta = row["meta"]
+        assert meta["trace_valid"] == 1
+        assert meta["trace_stable"] == 1
+        assert meta["analyze_stable"] == 1
+        assert meta["span_count"] > 0
+        assert meta["metrics"]  # cumulative registry snapshot embedded
+        assert row["speedup"] > 0
+
+
+def test_check_fails_when_trace_stability_breaks(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    # Doctor fresh and committed identically so only the obs invariant
+    # trips, not the deterministic-metric comparison.
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "obs/serial@3p":
+                row["meta"]["trace_stable"] = 0
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "trace_stable flag is unset" in failure
+        for failure in outcome.failures
+    )
+
+
+def test_check_fails_when_instrumented_run_has_no_spans(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "obs/runtime@3p":
+                row["meta"]["span_count"] = 0
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "collected no spans" in failure for failure in outcome.failures
     )
 
 

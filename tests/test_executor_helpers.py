@@ -86,16 +86,17 @@ def test_sorted_bindings_is_input_order_invariant():
 
 
 def _stable_trace(trace: str) -> str:
-    """An explain trace minus its plan-cache counter line.
+    """An explain trace minus its cumulative metrics block.
 
-    The ``plan-cache:`` line reports the executor's *cumulative*
-    hit/miss counters, which advance on every prepare by design; the
-    plan tree and decisions must still be byte-identical across runs.
+    The ``metric``-prefixed lines report the executor's *cumulative*
+    registry (plan-cache hits/misses, catalog epochs), which advances
+    on every prepare by design; the plan tree and decisions must still
+    be byte-identical across runs.
     """
     return "\n".join(
         line
         for line in trace.split("\n")
-        if not line.startswith("plan-cache:")
+        if not line.startswith("metric ")
     )
 
 
@@ -111,7 +112,7 @@ def test_explain_is_deterministic_across_repeated_runs():
         traces = {_stable_trace(trace) for trace in raw}
         assert len(traces) == 1
         # Repeats of the same text hit the prepared-plan cache.
-        assert all("plan-cache: hits=" in trace for trace in raw)
+        assert all("metric plan_cache.hits=" in trace for trace in raw)
         parallel_traces = {
             _stable_trace(executor.explain(query, strategy="parallel"))
             for _ in range(3)

@@ -1,0 +1,118 @@
+"""Run one traced federated workload and export its telemetry.
+
+Usage::
+
+    python tools/export_trace.py [--out-dir DIR]
+
+Executes the benchmark suite's 3-peer federated path query on the
+parallel runtime with a live :class:`~repro.obs.Tracer` and
+``analyze=True``, then writes two artifacts into ``--out-dir``
+(default: the current directory):
+
+* ``TRACE.json`` — the tracer's span forest in Chrome ``trace_event``
+  object format (load it at ``chrome://tracing`` or in Perfetto).  The
+  virtual-domain events are a pure function of the seeded workload, so
+  repeated runs produce byte-identical documents; wall-clock events
+  ride along under their own category.
+* ``METRICS.json`` — the executor's cumulative
+  :class:`~repro.obs.MetricsRegistry` snapshot plus this run's
+  network counters.
+
+The exported trace is validated against the ``trace_event`` shape with
+:func:`~repro.obs.validate_trace_events`; any problem (or an empty
+trace, or a missing per-operator actuals annotation in the ANALYZE
+explain) exits non-zero, so CI fails when the telemetry layer stops
+producing loadable traces.  Runs on a bare checkout: only the standard
+library and ``src/`` are imported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.federation.executor import (  # noqa: E402
+    PARALLEL,
+    FederatedExecutor,
+)
+from repro.obs import (  # noqa: E402
+    Tracer,
+    chrome_trace_events,
+    validate_trace_events,
+)
+from repro.workload.federation import (  # noqa: E402
+    federated_path_query,
+    federated_rps,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory receiving TRACE.json and METRICS.json",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    system = federated_rps(peers=3, entities=20, facts=60, seed=7)
+    query = federated_path_query(hops=2)
+    executor = FederatedExecutor(system)
+    tracer = Tracer()
+    result = executor.execute(query, PARALLEL, tracer=tracer, analyze=True)
+
+    document = chrome_trace_events(tracer)
+    problems = validate_trace_events(document)
+    if problems:
+        for problem in problems:
+            print(f"export_trace: invalid trace event: {problem}")
+        return 1
+    if not document["traceEvents"]:
+        print("export_trace: traced execution produced no events")
+        return 1
+
+    explain = executor.explain(query, strategy=PARALLEL, analyze=True)
+    if "(actual " not in explain:
+        print("export_trace: ANALYZE explain carries no actual counters")
+        return 1
+
+    trace_path = out_dir / "TRACE.json"
+    trace_path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    stats = result.stats
+    metrics = {
+        "executor": executor.metrics().snapshot(),
+        "run": {
+            "strategy": PARALLEL,
+            "results": len(result.rows),
+            "messages": stats.messages,
+            "solutions_transferred": stats.solutions_transferred,
+            "triples_transferred": stats.triples_transferred,
+            "busy_seconds": stats.busy_seconds,
+            "elapsed_seconds": stats.elapsed_seconds,
+            "events": len(document["traceEvents"]),
+        },
+    }
+    metrics_path = out_dir / "METRICS.json"
+    metrics_path.write_text(
+        json.dumps(metrics, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"export_trace: wrote {trace_path} "
+        f"({len(document['traceEvents'])} events) and {metrics_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
