@@ -23,7 +23,7 @@ classes of quantity that survive a machine change:
   (default 2x), i.e. on a reproducible >2x relative slowdown of a
   suite, and the failure names the suite and metric that drifted.
 
-The gate also re-asserts eight behaviour invariants on the fresh
+The gate also re-asserts nine behaviour invariants on the fresh
 records: the columnar batch engine beats the per-row engine strictly
 on at least one join workload and the prepared-plan cache's recorded
 counters show the hot run all-hits and the cold run all-misses,
@@ -50,7 +50,11 @@ byte-stable across repeated seeded runs, spans were actually
 collected, and the disabled-vs-instrumented overhead comparison is
 present (its per-suite speedup ratio rides the regular tolerance
 gate, bounding how much overhead the disabled tracing path may
-silently grow).
+silently grow), and on the concurrency suite the AIMD adaptive
+controller's p95 makespan is never worse than any fixed in-flight
+window at any offered-load point and strictly better on at least one,
+while weighted round-robin keeps the skewed workload's max/min
+per-tenant stretch ratio strictly below FIFO's.
 """
 
 from __future__ import annotations
@@ -96,6 +100,11 @@ GATED_META = (
     "trace_valid",
     "trace_stable",
     "analyze_stable",
+    "tenants",
+    "p95_us",
+    "makespan_us",
+    "adjustments",
+    "ratio_x1000",
 )
 
 
@@ -235,6 +244,7 @@ def check_against(
     failures.extend(_limit_invariant(fresh_rows))
     failures.extend(_faults_invariant(fresh_rows))
     failures.extend(_obs_invariant(fresh_rows))
+    failures.extend(_concurrency_invariant(fresh_rows))
     return CheckOutcome(
         ok=not failures,
         failures=failures,
@@ -593,6 +603,79 @@ def _obs_invariant(fresh_rows: Dict[str, Dict[str, Any]]) -> List[str]:
             failures.append(
                 f"{name}: disabled-vs-instrumented overhead comparison "
                 f"disappeared"
+            )
+    return failures
+
+
+def _concurrency_invariant(
+    fresh_rows: Dict[str, Dict[str, Any]],
+) -> List[str]:
+    """Adaptive control must beat fixed windows; WRR must bound skew.
+
+    Per-tenant answer equality with solo execution and adaptive
+    byte-determinism are hard-asserted inside the suite (a violation
+    aborts the run before any record exists), so the invariant
+    re-checks the two performance claims the recorded rows can show.
+    At every ``concurrency/load{N}`` offered-load point the
+    ``:adaptive`` record's ``p95_us`` may not exceed any fixed
+    ``:w{W}`` record's, and across the load points at least one strict
+    win is required — otherwise the AIMD controller is dead weight.
+    On the skewed flood workload ``concurrency/skew:wrr``'s
+    ``ratio_x1000`` (max/min per-tenant stretch, scaled) must be
+    strictly below ``concurrency/skew:fifo``'s — weighted round-robin
+    must actually bound the starvation FIFO admission allows.  All
+    quantities are deterministic microsecond/ratio integers from the
+    same fresh run, so the check is machine-independent.
+    """
+    failures = []
+    loads = {
+        name[len("concurrency/") :].rsplit(":", 1)[0]
+        for name in fresh_rows
+        if name.startswith("concurrency/load") and ":" in name
+    }
+    any_strict_win = False
+    compared = False
+    for load in sorted(loads):
+        adaptive = fresh_rows.get(f"concurrency/{load}:adaptive")
+        if adaptive is None:
+            continue
+        adaptive_p95 = adaptive.get("meta", {}).get("p95_us")
+        if adaptive_p95 is None:
+            continue
+        for name, row in sorted(fresh_rows.items()):
+            prefix = f"concurrency/{load}:w"
+            if not name.startswith(prefix):
+                continue
+            fixed_p95 = row.get("meta", {}).get("p95_us")
+            if fixed_p95 is None:
+                continue
+            compared = True
+            if adaptive_p95 > fixed_p95:
+                failures.append(
+                    f"concurrency@{load}: adaptive p95 {adaptive_p95}us "
+                    f"exceeds fixed window {name.rsplit(':', 1)[1]}'s "
+                    f"{fixed_p95}us"
+                )
+            elif adaptive_p95 < fixed_p95:
+                any_strict_win = True
+    if compared and not any_strict_win:
+        failures.append(
+            "concurrency suite: adaptive control never strictly beat a "
+            "fixed in-flight window at any load point"
+        )
+    fifo = fresh_rows.get("concurrency/skew:fifo")
+    wrr = fresh_rows.get("concurrency/skew:wrr")
+    if fifo is not None and wrr is not None:
+        fifo_ratio = fifo.get("meta", {}).get("ratio_x1000")
+        wrr_ratio = wrr.get("meta", {}).get("ratio_x1000")
+        if (
+            fifo_ratio is not None
+            and wrr_ratio is not None
+            and wrr_ratio >= fifo_ratio
+        ):
+            failures.append(
+                f"concurrency@skew: weighted round-robin's stretch ratio "
+                f"{wrr_ratio} did not improve on FIFO's {fifo_ratio}"
             )
     return failures
 

@@ -1,6 +1,6 @@
 """Benchmark definitions and the JSON-emitting runner.
 
-Twelve suites:
+Thirteen suites:
 
 * ``match/*`` — single triple-pattern matching through the SPO/POS/OSP
   indexes, dictionary-encoded vs the frozen term-object baseline;
@@ -66,7 +66,17 @@ Twelve suites:
   (identical answers and message counts), that the exported Chrome
   ``trace_event`` document validates, and that the virtual-domain
   export and the ``explain(analyze=True)`` text are byte-identical
-  across repeated seeded runs.
+  across repeated seeded runs;
+* ``concurrency/*`` — multi-tenant concurrent execution through one
+  shared event kernel: seeded mixed workloads at three offered-load
+  points (2/4/8 tenants) run under weighted round-robin with fixed
+  per-endpoint in-flight windows and with the AIMD adaptive
+  controller, plus a skewed flood-vs-light workload under FIFO and
+  WRR; hard asserting per-tenant answer sets byte-identical to solo
+  execution everywhere, byte-determinism of the adaptive runs,
+  adaptive p95 makespan never worse than any fixed window and
+  strictly better somewhere, and that WRR bounds the max/min
+  per-tenant stretch ratio the FIFO flood blows up.
 
 Every comparative benchmark first checks both implementations agree on
 the result (match counts / answer sets) so a timing can never mask a
@@ -130,8 +140,10 @@ from repro.workload.federation import (
     federated_topk_sparql,
     federated_union_filter_sparql,
 )
+from repro.runtime.control import AimdSettings
 from repro.workload.generators import GeneratorConfig, random_entity_graph
 from repro.workload.queries import path_query, star_query
+from repro.workload.tenants import skewed_tenant_workload, tenant_workload
 from repro.workload.topologies import chain_rps, cycle_rps
 
 __all__ = ["BenchRecord", "build_report", "run_all", "write_report"]
@@ -1271,6 +1283,247 @@ def bench_obs(repeat: int) -> List[BenchRecord]:
     return records
 
 
+#: AIMD controller settings of the concurrency suite's adaptive variant
+#: (the determinism tests pin the same configuration).
+CONCURRENCY_CONTROL = AimdSettings(epoch=3, start_window=2, max_window=16)
+
+#: Fixed per-endpoint in-flight windows the adaptive variant is gated
+#: against, and the offered-load points (tenant counts) they run at.
+CONCURRENCY_WINDOWS = (1, 2, 8)
+CONCURRENCY_LOADS = (2, 4, 8)
+
+
+def bench_concurrency(repeat: int) -> List[BenchRecord]:
+    """Multi-tenant concurrent execution under adaptive concurrency.
+
+    All records share one 3-peer system and a single-lane,
+    ``batch_size=1`` executor under the ``bound`` strategy: every
+    bound join becomes a burst of small per-binding requests, the
+    regime where per-endpoint queues actually interleave tenants and
+    queue discipline / window control reorder traffic.  Two record
+    groups:
+
+    * ``concurrency/load{N}:*`` — a seeded mixed workload of N tenants
+      (N = 2/4/8 offered-load points) runs under weighted round-robin
+      with each fixed in-flight window (``:w1``/``:w2``/``:w8``) and
+      with the AIMD controller (``:adaptive``, window control inside
+      the replay plus one batch re-planning round).  Metas record the
+      throughput (queries per simulated second), the p95 and overall
+      makespans (gated, in integer microseconds) and the controller's
+      adjustment count.
+    * ``concurrency/skew:fifo|wrr`` — the skewed workload (one tenant
+      flooding the endpoints, three light anchored queries) under both
+      backlog disciplines at a tight window.  The gated
+      ``ratio_x1000`` is the max/min per-tenant *stretch* (shared
+      completion time over the tenant's solo elapsed time): FIFO lets
+      the flood starve the light tenants, weighted round-robin bounds
+      the spread.
+
+    Hard assertions: every tenant's answer set is byte-identical to
+    running its query alone on a fresh executor (for every variant,
+    every load point); the adaptive variant is byte-deterministic
+    (identical per-tenant rows, makespans, message counts and window
+    adjustments across a repeated run); adaptive p95 makespan is never
+    worse than any fixed window at any load point and strictly better
+    on at least one; the adaptive controller actually adjusted at
+    least one window somewhere; and WRR's stretch ratio is strictly
+    below FIFO's on the skewed workload.  The CI gate re-checks the
+    p95/window and fairness claims from the recorded metas.
+    """
+    system = federated_rps(peers=3, entities=20, facts=120, seed=7)
+    network = NetworkModel(**STREAMING_NETWORK)
+
+    def make() -> FederatedExecutor:
+        return FederatedExecutor(system, network, batch_size=1, concurrency=1)
+
+    def solo(query):
+        return make().execute(query, "bound")
+
+    def signature(result):
+        """Byte-level identity of a concurrent run (determinism check)."""
+        return (
+            tuple(
+                (
+                    outcome.tenant,
+                    tuple(sorted(repr(row) for row in outcome.result.rows)),
+                    outcome.makespan,
+                    outcome.admission_wait,
+                    outcome.result.stats.messages,
+                )
+                for outcome in result.outcomes
+            ),
+            tuple(repr(adj) for adj in result.adjustments),
+            result.makespan,
+            result.batch_size,
+        )
+
+    records: List[BenchRecord] = []
+    strict_somewhere = False
+    adjustments_total = 0
+    for load in CONCURRENCY_LOADS:
+        workload = tenant_workload(load, seed=11)
+        queries = [(t.tenant, t.query) for t in workload]
+        solos = {t.tenant: solo(t.query) for t in workload}
+        p95_by: Dict[str, float] = {}
+        variants: List[Tuple[str, Dict[str, Any]]] = [
+            (f"w{w}", {"max_in_flight": w}) for w in CONCURRENCY_WINDOWS
+        ]
+        variants.append(
+            ("adaptive", {"adaptive": True, "control": CONCURRENCY_CONTROL})
+        )
+        for label, kwargs in variants:
+
+            def run(kwargs: Dict[str, Any] = kwargs):
+                return make().execute_concurrent(
+                    queries, strategy="bound", discipline="wrr", **kwargs
+                )
+
+            seconds, result = _best_time(run, repeat)
+            for outcome in result.outcomes:
+                if outcome.result.rows != solos[outcome.tenant].rows:
+                    raise AssertionError(
+                        f"concurrency suite load{load}:{label}: tenant "
+                        f"{outcome.tenant!r} answers diverged from its "
+                        f"solo execution"
+                    )
+            if label == "adaptive":
+                if signature(run()) != signature(result):
+                    raise AssertionError(
+                        f"concurrency suite load{load}: adaptive run is "
+                        f"not byte-deterministic across repeats"
+                    )
+                adjustments_total += len(result.adjustments)
+            p95 = result.p95_makespan()
+            p95_by[label] = p95
+            messages = sum(
+                o.result.stats.messages for o in result.outcomes
+            )
+            solutions = sum(
+                o.result.stats.solutions_transferred
+                for o in result.outcomes
+            )
+            triples = sum(
+                o.result.stats.triples_transferred
+                for o in result.outcomes
+            )
+            busy = sum(
+                o.result.stats.busy_seconds for o in result.outcomes
+            )
+            records.append(
+                BenchRecord(
+                    name=f"concurrency/load{load}:{label}",
+                    seconds=seconds,
+                    meta={
+                        "tenants": len(result.outcomes),
+                        "results": sum(
+                            len(o.result.rows) for o in result.outcomes
+                        ),
+                        "messages": messages,
+                        "solutions_transferred": solutions,
+                        "triples_transferred": triples,
+                        "busy_seconds": busy,
+                        "elapsed_seconds": result.makespan,
+                        "makespan_us": int(round(result.makespan * 1e6)),
+                        "p95_us": int(round(p95 * 1e6)),
+                        "throughput": result.throughput(),
+                        "adjustments": len(result.adjustments),
+                        "rounds": result.rounds,
+                        "batch": result.batch_size,
+                        "active_peak": result.active_peak,
+                    },
+                )
+            )
+        for window in CONCURRENCY_WINDOWS:
+            fixed = p95_by[f"w{window}"]
+            if p95_by["adaptive"] > fixed + 1e-9:
+                raise AssertionError(
+                    f"concurrency suite load{load}: adaptive p95 "
+                    f"{p95_by['adaptive']:.6f}s is worse than fixed "
+                    f"window w{window}'s {fixed:.6f}s"
+                )
+            if p95_by["adaptive"] < fixed - 1e-9:
+                strict_somewhere = True
+    if not strict_somewhere:
+        raise AssertionError(
+            "concurrency suite: adaptive control never strictly beat a "
+            "fixed window at any load point"
+        )
+    if not adjustments_total:
+        raise AssertionError(
+            "concurrency suite: the AIMD controller never adjusted a "
+            "window — the adaptive variant exercises nothing"
+        )
+
+    workload = skewed_tenant_workload(light=3, seed=5)
+    queries = [(t.tenant, t.query) for t in workload]
+    solos = {t.tenant: solo(t.query) for t in workload}
+    ratios: Dict[str, float] = {}
+    for disciplined in ("fifo", "wrr"):
+
+        def run(discipline: str = disciplined):
+            return make().execute_concurrent(
+                queries,
+                strategy="bound",
+                discipline=discipline,
+                max_in_flight=2,
+            )
+
+        seconds, result = _best_time(run, repeat)
+        for outcome in result.outcomes:
+            if outcome.result.rows != solos[outcome.tenant].rows:
+                raise AssertionError(
+                    f"concurrency suite skew:{disciplined}: tenant "
+                    f"{outcome.tenant!r} answers diverged from its solo "
+                    f"execution"
+                )
+        stretches = [
+            outcome.makespan
+            / max(solos[outcome.tenant].stats.elapsed_seconds, 1e-9)
+            for outcome in result.outcomes
+        ]
+        ratio = max(stretches) / min(stretches)
+        ratios[disciplined] = ratio
+        records.append(
+            BenchRecord(
+                name=f"concurrency/skew:{disciplined}",
+                seconds=seconds,
+                meta={
+                    "tenants": len(result.outcomes),
+                    "results": sum(
+                        len(o.result.rows) for o in result.outcomes
+                    ),
+                    "messages": sum(
+                        o.result.stats.messages for o in result.outcomes
+                    ),
+                    "solutions_transferred": sum(
+                        o.result.stats.solutions_transferred
+                        for o in result.outcomes
+                    ),
+                    "triples_transferred": sum(
+                        o.result.stats.triples_transferred
+                        for o in result.outcomes
+                    ),
+                    "busy_seconds": sum(
+                        o.result.stats.busy_seconds
+                        for o in result.outcomes
+                    ),
+                    "elapsed_seconds": result.makespan,
+                    "makespan_us": int(round(result.makespan * 1e6)),
+                    "p95_us": int(round(result.p95_makespan() * 1e6)),
+                    "throughput": result.throughput(),
+                    "ratio_x1000": int(round(ratio * 1000)),
+                },
+            )
+        )
+    if ratios["wrr"] >= ratios["fifo"]:
+        raise AssertionError(
+            f"concurrency suite skew: weighted round-robin did not bound "
+            f"the stretch spread (wrr {ratios['wrr']:.3f} vs fifo "
+            f"{ratios['fifo']:.3f})"
+        )
+    return records
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -1302,6 +1555,7 @@ def build_report(
     records.extend(bench_limit(repeat))
     records.extend(bench_faults(repeat))
     records.extend(bench_obs(repeat))
+    records.extend(bench_concurrency(repeat))
 
     return {
         "suite": "core",

@@ -101,7 +101,9 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import (
     Callable,
     Dict,
+    Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -156,6 +158,12 @@ from repro.rdf.terms import Term, Variable
 from repro.rdf.triples import TriplePattern
 from repro.peers.system import RPS
 from repro.runtime.channel import ChannelStats
+from repro.runtime.control import (
+    AimdController,
+    AimdSettings,
+    WindowAdjustment,
+)
+from repro.runtime.multi import QueryScheduler
 from repro.runtime.scheduler import DEFAULT_CONCURRENCY, OverlapScheduler
 from repro.sparql.ast import AskQuery, FilterExpr, OrderCondition, SelectQuery
 from repro.sparql.batch import extend_bindings_batch
@@ -169,9 +177,11 @@ __all__ = [
     "FIXED_STRATEGIES",
     "PARALLEL",
     "STRATEGIES",
+    "ConcurrentResult",
     "FederatedExecutor",
     "FederationResult",
     "PreparedQuery",
+    "TenantOutcome",
     "execute_federated",
 ]
 
@@ -274,6 +284,135 @@ class FederationResult:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+@dataclass
+class TenantOutcome:
+    """One tenant's slice of a multi-tenant execution.
+
+    Attributes:
+        tenant: the tenant name.
+        result: the tenant's :class:`FederationResult`; its
+            ``stats.elapsed_seconds`` is the tenant's completion time
+            on the *shared* clock (admission wait included) and its
+            ``channels`` are the tenant's share of each contended
+            channel's statistics.
+        makespan: the tenant's completion time in simulated seconds.
+        admission_wait: seconds the query waited for an active slot
+            under the ``max_active`` admission cap.
+    """
+
+    tenant: str
+    result: FederationResult
+    makespan: float
+    admission_wait: float
+
+
+@dataclass
+class ConcurrentResult:
+    """Outcome of one multi-tenant concurrent execution.
+
+    Attributes:
+        outcomes: per-tenant outcomes in registration (admission)
+            order.
+        makespan: completion time of the last tenant — the batch's
+            overall elapsed simulated seconds.
+        channels: per-endpoint aggregate service statistics under
+            contention.
+        discipline: the backlog admission policy that ran
+            (``"fifo"``/``"wrr"``).
+        max_active: the admission cap (``None`` = unlimited).
+        active_peak: maximum concurrently active queries observed.
+        batch_size: the bound-join batch size of the final planning
+            round (the adaptive controller may have retuned it).
+        adjustments: every AIMD window adjustment of the final round,
+            in virtual-clock order (empty without a controller).
+        rounds: planning rounds executed (1 unless adaptive control
+            re-planned).
+    """
+
+    outcomes: Tuple[TenantOutcome, ...]
+    makespan: float
+    channels: Dict[str, ChannelStats]
+    discipline: str
+    max_active: Optional[int] = None
+    active_peak: int = 0
+    batch_size: int = 0
+    adjustments: Tuple[WindowAdjustment, ...] = ()
+    rounds: int = 1
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def tenant(self, name: str) -> TenantOutcome:
+        """Look one tenant's outcome up by name."""
+        for outcome in self.outcomes:
+            if outcome.tenant == name:
+                return outcome
+        raise FederationError(f"unknown tenant {name!r}")
+
+    def makespans(self) -> Tuple[float, ...]:
+        """Per-tenant completion times in registration order."""
+        return tuple(outcome.makespan for outcome in self.outcomes)
+
+    def p95_makespan(self) -> float:
+        """95th-percentile per-tenant completion time (nearest-rank)."""
+        spans = sorted(self.makespans())
+        if not spans:
+            return 0.0
+        rank = -(-len(spans) * 95 // 100)  # ceil(0.95 n), nearest-rank
+        return spans[max(0, rank - 1)]
+
+    def throughput(self) -> float:
+        """Completed queries per simulated second."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return len(self.outcomes) / self.makespan
+
+    def fairness_ratio(self) -> float:
+        """Max/min per-tenant makespan — 1.0 is perfectly fair."""
+        spans = [span for span in self.makespans() if span > 0.0]
+        if not spans:
+            return 1.0
+        return max(spans) / min(spans)
+
+    def metrics(self) -> MetricsRegistry:
+        """Channel, admission and controller counters as a registry.
+
+        Mirrors :meth:`FederatedExecutor.metrics` for the concurrent
+        path: per-channel service/admission counters, the admission
+        cap's observed peak, and the AIMD controller's adjustment
+        counts, all behind one
+        :class:`~repro.obs.metrics.MetricsRegistry` whose ``render()``
+        is the bench/CI export format.
+        """
+        registry = MetricsRegistry()
+        registry.set("admission.active_peak", self.active_peak)
+        registry.set(
+            "admission.max_active",
+            self.max_active if self.max_active is not None else 0,
+        )
+        registry.set("admission.queries", len(self.outcomes))
+        registry.set("controller.adjustments", len(self.adjustments))
+        registry.set(
+            "controller.decreases",
+            sum(1 for adj in self.adjustments if adj.congested),
+        )
+        registry.set("controller.rounds", self.rounds)
+        registry.set("controller.batch_size", self.batch_size)
+        for name, stats in sorted(self.channels.items()):
+            prefix = f"channel.{name}"
+            registry.counter(f"{prefix}.completed").inc(stats.completed)
+            registry.counter(f"{prefix}.admitted").inc(stats.admitted)
+            registry.counter(f"{prefix}.failed").inc(stats.failed)
+            registry.set(f"{prefix}.peak_in_flight", stats.peak_in_flight)
+            registry.set(f"{prefix}.peak_backlog", stats.peak_backlog)
+            registry.observe(
+                f"{prefix}.queueing_delay",
+                stats.queueing_delay(),
+                bounds=(0.01, 0.1, 1.0, 10.0),
+            )
+        return registry
 
 
 class FederatedExecutor:
@@ -491,16 +630,6 @@ class FederatedExecutor:
             or prepared.offset
             or prepared.ask
         )
-        # The planning-time demand cap: an unordered LIMIT can never
-        # emit more than offset+limit distinct rows, and ASK needs one.
-        # ORDER BY drains fully (sorting is a pipeline breaker), so it
-        # plans without a cap.  Streams are resumable — if projection
-        # collapses rows, the final slice simply pulls deeper.
-        demand: Optional[int] = None
-        if prepared.ask:
-            demand = 1
-        elif not prepared.order and prepared.limit is not None:
-            demand = max(1, prepared.offset + prepared.limit)
         if strategy == "collect":
             union, unreachable = self._collect_union(stats, session, tracer)
             if modified:
@@ -521,46 +650,16 @@ class FederatedExecutor:
                     concurrency=self.concurrency,
                     max_in_flight=self.max_in_flight,
                 )
-            ctx = ExecContext(
-                self.network,
+            id_rows, plans, unreachable = self._record(
+                prepared,
+                strategy,
                 stats,
-                RelationCache(self.dictionary),
                 scheduler,
-                self.streaming,
-                demand=demand,
-                faults=session,
-                retry=self.retry_policy,
+                session,
+                decisions,
                 tracer=tracer,
                 analyze=analyze,
             )
-            interp = PlanInterpreter(ctx)
-            roots = [
-                self._run_branch(
-                    branch, strategy, interp, decisions, index, demand
-                )
-                for index, branch in enumerate(prepared.branches)
-            ]
-            union_node = roots[0] if len(roots) == 1 else UnionNode(roots)
-            if prepared.order:
-                root: FedOp = TopKNode(
-                    union_node,
-                    prepared.head,
-                    prepared.order,
-                    prepared.offset,
-                    prepared.limit,
-                    self.dictionary,
-                )
-            elif modified:
-                root = SliceNode(
-                    ProjectDedupe(union_node, prepared.head),
-                    offset=0 if prepared.ask else prepared.offset,
-                    limit=1 if prepared.ask else prepared.limit,
-                )
-            else:
-                root = ProjectDedupe(union_node, prepared.head)
-            rows_out = interp.run(root)
-            id_rows = project(rows_out.bindings, prepared.head)
-            plans = (root,)
             if scheduler is not None:
                 # Branch pipelines and fan-outs overlapped on the
                 # runtime; the replayed makespan is the execution's
@@ -570,7 +669,6 @@ class FederatedExecutor:
                 channels = scheduler.channel_stats()
                 if tracer.enabled:
                     _emit_runtime_spans(tracer, scheduler)
-            unreachable = ctx.unreachable
         decode = self.dictionary.decode
         rows = {
             tuple(None if tid is None else decode(tid) for tid in row)
@@ -586,6 +684,97 @@ class FederatedExecutor:
             plans,
             partial=partial,
         )
+
+    def _record(
+        self,
+        prepared: PreparedQuery,
+        strategy: str,
+        stats: NetworkStats,
+        scheduler,
+        session: Optional[FaultSession],
+        decisions: List[Decision],
+        tracer=NULL_TRACER,
+        analyze: bool = False,
+        batch_size: Optional[int] = None,
+    ) -> Tuple[
+        Set[Tuple[Optional[int], ...]],
+        Tuple[FedOp, ...],
+        List[Unreachable],
+    ]:
+        """Plan and interpret one prepared query against the peers.
+
+        The shared recording core of :meth:`_execute` (one query onto
+        its private :class:`OverlapScheduler`) and
+        :meth:`execute_concurrent` (N queries, each onto a tenant view
+        of one shared :class:`~repro.runtime.multi.QueryScheduler`).
+        Issues every simulated request against ``scheduler`` and
+        returns the ID-level answer rows, the executed plan roots and
+        the unreachable endpoints.  The *caller* owns makespan
+        finalisation: under multi-tenancy the replay may only run after
+        every tenant has recorded, so nothing here touches
+        ``scheduler.makespan()``.
+
+        ``batch_size`` overrides the executor's bound-join batch size
+        for this recording only — the adaptive concurrency
+        controller's between-rounds re-planning hook.
+        """
+        modified = bool(
+            prepared.order
+            or prepared.limit is not None
+            or prepared.offset
+            or prepared.ask
+        )
+        # The planning-time demand cap: an unordered LIMIT can never
+        # emit more than offset+limit distinct rows, and ASK needs one.
+        # ORDER BY drains fully (sorting is a pipeline breaker), so it
+        # plans without a cap.  Streams are resumable — if projection
+        # collapses rows, the final slice simply pulls deeper.
+        demand: Optional[int] = None
+        if prepared.ask:
+            demand = 1
+        elif not prepared.order and prepared.limit is not None:
+            demand = max(1, prepared.offset + prepared.limit)
+        ctx = ExecContext(
+            self.network,
+            stats,
+            RelationCache(self.dictionary),
+            scheduler,
+            self.streaming,
+            demand=demand,
+            faults=session,
+            retry=self.retry_policy,
+            tracer=tracer,
+            analyze=analyze,
+            batch_size=batch_size,
+        )
+        interp = PlanInterpreter(ctx)
+        roots = [
+            self._run_branch(
+                branch, strategy, interp, decisions, index, demand
+            )
+            for index, branch in enumerate(prepared.branches)
+        ]
+        union_node = roots[0] if len(roots) == 1 else UnionNode(roots)
+        if prepared.order:
+            root: FedOp = TopKNode(
+                union_node,
+                prepared.head,
+                prepared.order,
+                prepared.offset,
+                prepared.limit,
+                self.dictionary,
+            )
+        elif modified:
+            root = SliceNode(
+                ProjectDedupe(union_node, prepared.head),
+                offset=0 if prepared.ask else prepared.offset,
+                limit=1 if prepared.ask else prepared.limit,
+            )
+        else:
+            root = ProjectDedupe(union_node, prepared.head)
+        rows_out = interp.run(root)
+        id_rows = project(rows_out.bindings, prepared.head)
+        return id_rows, (root,), ctx.unreachable
 
     def run_all_strategies(
         self,
@@ -635,6 +824,279 @@ class FederatedExecutor:
                     f"{len(result.rows)} vs {len(reference)} answers"
                 )
         return results
+
+    def execute_concurrent(
+        self,
+        queries: Union[
+            Mapping[str, Union[_Query, PreparedQuery]],
+            Iterable[Tuple[str, Union[_Query, PreparedQuery]]],
+        ],
+        nsm: Optional[NamespaceManager] = None,
+        *,
+        strategy: str = PARALLEL,
+        discipline: str = "fifo",
+        weights: Optional[Mapping[str, int]] = None,
+        max_active: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+        adaptive: bool = False,
+        control: Optional[AimdSettings] = None,
+        tracer=NULL_TRACER,
+    ) -> ConcurrentResult:
+        """Run N tenants' queries concurrently on one shared runtime.
+
+        Every tenant's query is planned exactly as :meth:`execute`
+        would plan it, but all of them record onto **one**
+        :class:`~repro.runtime.multi.QueryScheduler` — one simulation
+        kernel, one channel per endpoint — so the coordinators
+        genuinely contend: per-endpoint queues interleave different
+        tenants' requests under the executor's ``concurrency`` and
+        in-flight limits, and each tenant's reported elapsed time is
+        its completion time on the *shared* clock.
+
+        Args:
+            queries: tenant-name → query mapping, or ``(name, query)``
+                pairs; order is the admission order.  Queries may be
+                pre-:meth:`prepare`-d; otherwise each *distinct* query
+                (by text, or by object identity) is prepared exactly
+                once and shared across the tenants that submitted it.
+            nsm: namespace manager for text queries.
+            strategy: any per-request strategy — ``"parallel"``
+                (default), ``"adaptive"``, ``"bound"`` or ``"naive"``;
+                the physical operators record onto the shared runtime
+                whatever policy built the plan.  ``"collect"`` is
+                rejected: a whole-database dump has no per-request
+                runtime surface to contend on.
+            discipline: backlog admission policy per channel —
+                ``"fifo"`` or ``"wrr"`` (weighted round-robin across
+                tenants).
+            weights: per-tenant weights for the ``"wrr"`` discipline
+                (default 1 each; ignored by FIFO).
+            max_active: admission-control cap on concurrently active
+                queries (``None`` = all tenants start at once).
+            max_in_flight: per-endpoint window override for this call
+                (defaults to the executor's; ignored when adaptive
+                control is on, which supplies its own start window).
+            adaptive: attach an AIMD controller
+                (:class:`~repro.runtime.control.AimdController`) that
+                retunes each channel's in-flight window inside the
+                replay, then re-plans the bound-join batch size
+                between rounds from the observed queueing delay; the
+                better round — by (p95 tenant makespan, overall
+                makespan) — is returned.  Answer sets are asserted
+                identical across rounds.
+            control: AIMD tuning constants (implies nothing unless
+                ``adaptive`` is set).
+            tracer: receives one wall span for the whole call plus
+                virtual spans — per-tenant lanes with their replayed
+                requests, and one ``controller:`` span per window
+                adjustment.
+
+        Returns:
+            A :class:`ConcurrentResult`: per-tenant
+            :class:`TenantOutcome`\\ s (each wrapping a normal
+            :class:`FederationResult` whose ``channels`` are the
+            tenant's share of the contended channels), the overall
+            makespan, aggregate channel statistics, and the adaptive
+            controller's adjustment log.
+
+        Raises:
+            FederationError: on an empty tenant set, a duplicate or
+                empty tenant name, or a non-runtime strategy.
+        """
+        if strategy not in STRATEGIES or strategy == "collect":
+            raise FederationError(
+                f"execute_concurrent needs a per-request strategy "
+                f"(one of {tuple(s for s in STRATEGIES if s != 'collect')}),"
+                f" got {strategy!r}"
+            )
+        if isinstance(queries, Mapping):
+            items = list(queries.items())
+        else:
+            items = [(name, query) for name, query in queries]
+        if not items:
+            raise FederationError("execute_concurrent needs >= 1 tenant")
+        for name, _ in items:
+            if not isinstance(name, str) or not name:
+                raise FederationError(
+                    f"tenant names must be non-empty strings: {name!r}"
+                )
+        weight_of = dict(weights or {})
+        # Prepare each *distinct* query once — tenants submitting the
+        # same text (or the same query object) share one PreparedQuery,
+        # exactly like run_all_strategies shares across strategies.
+        prepared_by_key: Dict[object, PreparedQuery] = {}
+        tenants: List[Tuple[str, PreparedQuery]] = []
+        for name, query in items:
+            if isinstance(query, PreparedQuery):
+                prepared = query
+            else:
+                key: object = (
+                    query if isinstance(query, str) else id(query)
+                )
+                cached = prepared_by_key.get(key)
+                if cached is None:
+                    cached = self.prepare(query, nsm)
+                    prepared_by_key[key] = cached
+                prepared = cached
+            tenants.append((name, prepared))
+        window = (
+            max_in_flight if max_in_flight is not None
+            else self.max_in_flight
+        )
+        with tracer.span(f"execute_concurrent:{discipline}"):
+            return self._execute_concurrent_rounds(
+                tenants,
+                strategy,
+                discipline,
+                weight_of,
+                max_active,
+                window,
+                adaptive,
+                control,
+                tracer,
+            )
+
+    def _execute_concurrent_rounds(
+        self,
+        tenants: List[Tuple[str, PreparedQuery]],
+        strategy: str,
+        discipline: str,
+        weight_of: Dict[str, int],
+        max_active: Optional[int],
+        window: Optional[int],
+        adaptive: bool,
+        control: Optional[AimdSettings],
+        tracer,
+    ) -> ConcurrentResult:
+        """Planning-round loop behind :meth:`execute_concurrent`.
+
+        Round 1 records every tenant with the executor's bound-join
+        batch size.  Under adaptive control the controller then reads
+        the round's aggregate channel statistics and may recommend a
+        different batch size (:meth:`AimdController.recommend_batch`);
+        if it does, one re-planning round runs and the better round —
+        ordered by (p95 tenant makespan, overall makespan) — wins.
+        Answers must be byte-identical across rounds; anything else is
+        a planning bug and raises.
+        """
+        decode = self.dictionary.decode
+        batch = self.batch_size
+        rounds = 0
+        best: Optional[ConcurrentResult] = None
+        best_key: Optional[Tuple[float, float]] = None
+        best_scheduler: Optional[QueryScheduler] = None
+        best_controller: Optional[AimdController] = None
+        reference_rows: Optional[Dict[str, Set]] = None
+        while True:
+            rounds += 1
+            controller = AimdController(control) if adaptive else None
+            scheduler = QueryScheduler(
+                concurrency=self.concurrency,
+                max_in_flight=window,
+                discipline=discipline,
+                max_active=max_active,
+                controller=controller,
+            )
+            recorded = []
+            for name, prepared in tenants:
+                recorder = scheduler.tenant(name, weight_of.get(name, 1))
+                stats = NetworkStats()
+                self.catalog.begin_execution(stats)
+                # A fresh session per tenant per round: every round
+                # (and every tenant) sees the same fault schedule.
+                session: Optional[FaultSession] = (
+                    self.fault_model.session()
+                    if self.fault_model is not None
+                    else None
+                )
+                decisions: List[Decision] = []
+                id_rows, plans, unreachable = self._record(
+                    prepared,
+                    strategy,
+                    stats,
+                    recorder,
+                    session,
+                    decisions,
+                    batch_size=batch,
+                )
+                recorded.append(
+                    (name, stats, decisions, id_rows, plans, unreachable)
+                )
+            makespan = scheduler.run()
+            outcomes: List[TenantOutcome] = []
+            for name, stats, decisions, id_rows, plans, unreachable in (
+                recorded
+            ):
+                span = scheduler.tenant_makespan(name)
+                stats.elapsed_seconds += span
+                rows = {
+                    tuple(
+                        None if tid is None else decode(tid) for tid in row
+                    )
+                    for row in id_rows
+                }
+                partial = (
+                    PartialAnswer(tuple(unreachable))
+                    if unreachable
+                    else None
+                )
+                outcomes.append(
+                    TenantOutcome(
+                        tenant=name,
+                        result=FederationResult(
+                            strategy,
+                            rows,
+                            stats,
+                            tuple(decisions),
+                            scheduler.tenant_channel_stats(name),
+                            plans,
+                            partial=partial,
+                        ),
+                        makespan=span,
+                        admission_wait=scheduler.admission_wait(name),
+                    )
+                )
+            rows_by_tenant = {
+                outcome.tenant: outcome.result.rows for outcome in outcomes
+            }
+            if reference_rows is None:
+                reference_rows = rows_by_tenant
+            elif rows_by_tenant != reference_rows:
+                raise FederationError(
+                    "adaptive re-planning changed a tenant's answer set"
+                )
+            candidate = ConcurrentResult(
+                outcomes=tuple(outcomes),
+                makespan=makespan,
+                channels=scheduler.channel_stats(),
+                discipline=discipline,
+                max_active=max_active,
+                active_peak=scheduler.active_peak,
+                batch_size=batch,
+                adjustments=(
+                    tuple(controller.adjustments)
+                    if controller is not None
+                    else ()
+                ),
+                rounds=rounds,
+            )
+            key = (candidate.p95_makespan(), candidate.makespan)
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+                best_scheduler, best_controller = scheduler, controller
+            if controller is None or rounds >= 2:
+                break
+            next_batch = controller.recommend_batch(
+                scheduler.channel_stats(), batch
+            )
+            if next_batch == batch:
+                break
+            batch = next_batch
+        assert best is not None and best_scheduler is not None
+        best.rounds = rounds
+        if tracer.enabled:
+            _emit_concurrent_spans(tracer, best_scheduler, best_controller)
+        return best
 
     def metrics(self) -> MetricsRegistry:
         """The executor's cumulative counters behind one registry.
@@ -1106,6 +1568,60 @@ def _emit_runtime_spans(tracer, scheduler: OverlapScheduler) -> None:
                 label=handle.label,
                 failed=int(handle.failed),
             )
+
+
+def _emit_concurrent_spans(
+    tracer,
+    scheduler: QueryScheduler,
+    controller: Optional[AimdController],
+) -> None:
+    """Virtual spans for a multi-tenant replay: one lane per tenant.
+
+    Where the single-query export groups spans by endpoint channel,
+    the multi-tenant export groups them by *tenant* — each tenant gets
+    its own lane (its own ``tid`` in the Chrome-trace rendering), with
+    one parent span covering the query's activation-to-completion
+    window and one child span per replayed request.  The controller's
+    window adjustments render on a dedicated ``controller`` lane: each
+    ``controller:<channel>`` span covers the completion epoch that
+    triggered the decision and carries the window before/after.
+    """
+    by_tenant: Dict[str, List] = {}
+    for handle in scheduler.timeline():
+        by_tenant.setdefault(handle.tenant, []).append(handle)
+    for name in scheduler.tenants:
+        group = by_tenant.get(name, [])
+        parent = tracer.record(
+            f"tenant:{name}",
+            scheduler.admission_wait(name),
+            scheduler.tenant_makespan(name),
+            lane=name,
+            requests=len(group),
+        )
+        for handle in group:
+            tracer.record(
+                f"request:{handle.endpoint}",
+                handle.started_at,
+                handle.completed_at,
+                lane=name,
+                parent=parent,
+                index=handle.index,
+                endpoint=handle.endpoint,
+                label=handle.label,
+                failed=int(handle.failed),
+            )
+    if controller is None:
+        return
+    for adjustment in controller.adjustments:
+        tracer.record(
+            f"controller:{adjustment.channel}",
+            adjustment.epoch_start,
+            adjustment.at,
+            lane="controller",
+            window_before=adjustment.before,
+            window_after=adjustment.after,
+            congested=int(adjustment.congested),
+        )
 
 
 def execute_federated(

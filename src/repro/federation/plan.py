@@ -223,6 +223,13 @@ class ExecContext:
             attribute read when tracing is off.
         analyze: when True the interpreter attaches an actual-counter
             dict to every operator it starts (EXPLAIN ANALYZE).
+        batch_size: per-execution bound-join batch override.  The
+            planner stamps every :class:`BoundJoinStream` with the
+            executor's constructor knob; a non-``None`` value here
+            replaces it at execution time — the adaptive concurrency
+            controller's re-planning hook
+            (:meth:`~repro.runtime.control.AimdController.
+            recommend_batch`).
 
     Attributes:
         unreachable: dropped contributions, in drop order and deduped
@@ -243,6 +250,7 @@ class ExecContext:
         retry: Optional[RetryPolicy] = None,
         tracer=NULL_TRACER,
         analyze: bool = False,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.network = network
         self.stats = stats
@@ -254,6 +262,7 @@ class ExecContext:
         self.retry = retry if retry is not None else RetryPolicy()
         self.tracer = tracer
         self.analyze = analyze
+        self.batch_size = batch_size
         self.unreachable: List[Unreachable] = []
         self._unreachable_seen: Set[Tuple[str, str]] = set()
 
@@ -807,6 +816,10 @@ class BoundJoinStream(FedOp):
             yield chunk
 
     def _stream(self, ctx: ExecContext, interp: "PlanInterpreter") -> _RowGen:
+        if ctx.batch_size is not None:
+            # Adaptive re-planning: the execution context's batch size
+            # overrides the constructor knob the planner stamped in.
+            self.batch_size = ctx.batch_size
         pipelined = ctx.scheduler is not None and ctx.streaming
         if ctx.serial:
             self.mode = "serial"

@@ -283,7 +283,10 @@ def validate_trace_events(document) -> List[str]:
     the object-format shape Chrome's trace viewer loads: a
     ``traceEvents`` list of complete events carrying ``name``/``cat``
     strings, integer non-negative ``ts``/``dur``, integer
-    ``pid``/``tid`` and an ``args`` object.  Dependency-free on
+    ``pid``/``tid`` and an ``args`` object.  ``controller:``-prefixed
+    events (adaptive-concurrency window adjustments) must additionally
+    carry integer ``window_before``/``window_after`` args — the
+    contract the bench's exported traces rely on.  Dependency-free on
     purpose: CI runs it before any project install.
     """
     if not isinstance(document, dict):
@@ -314,4 +317,18 @@ def validate_trace_events(document) -> List[str]:
         dur = event.get("dur")
         if isinstance(dur, int) and not isinstance(dur, bool) and dur < 0:
             problems.append(f"event {i}: negative dur")
+        name = event.get("name")
+        args = event.get("args")
+        if (
+            isinstance(name, str)
+            and name.startswith("controller:")
+            and isinstance(args, dict)
+        ):
+            for key in ("window_before", "window_after"):
+                value = args.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(
+                        f"event {i}: controller span without integer "
+                        f"{key!r}"
+                    )
     return problems

@@ -10,11 +10,31 @@ mode:
   records a dependency DAG of priced requests during execution, then
   replays it through the kernel into a makespan (``elapsed_seconds``),
   the concurrency-aware counterpart of the network model's summed
-  ``busy_seconds``.
+  ``busy_seconds``;
+* :mod:`repro.runtime.multi` — the multi-tenant query scheduler:
+  N queries' DAGs replayed through one shared kernel and one channel
+  per endpoint, with pluggable backlog fairness and admission control;
+* :mod:`repro.runtime.control` — AIMD adaptive concurrency control
+  tuning per-channel in-flight windows and the bound-join batch size
+  from live queueing delay and service-time variance.
 """
 
-from repro.runtime.channel import Channel, ChannelStats, Request
+from repro.runtime.channel import (
+    Channel,
+    ChannelStats,
+    FifoDiscipline,
+    QueueDiscipline,
+    Request,
+    WeightedRoundRobinDiscipline,
+    make_discipline,
+)
+from repro.runtime.control import (
+    AimdController,
+    AimdSettings,
+    WindowAdjustment,
+)
 from repro.runtime.kernel import SimKernel
+from repro.runtime.multi import QueryScheduler, TenantRecorder
 from repro.runtime.scheduler import (
     DEFAULT_CONCURRENCY,
     OverlapScheduler,
@@ -22,11 +42,20 @@ from repro.runtime.scheduler import (
 )
 
 __all__ = [
+    "AimdController",
+    "AimdSettings",
     "DEFAULT_CONCURRENCY",
     "Channel",
     "ChannelStats",
+    "FifoDiscipline",
     "OverlapScheduler",
+    "QueryScheduler",
+    "QueueDiscipline",
     "Request",
     "RequestHandle",
     "SimKernel",
+    "TenantRecorder",
+    "WeightedRoundRobinDiscipline",
+    "WindowAdjustment",
+    "make_discipline",
 ]

@@ -18,6 +18,16 @@ retry-backoff delays enter the simulation as later
 :meth:`SimKernel.schedule_at` arrival times (see
 :mod:`repro.runtime.scheduler`), so fault recovery needs no kernel
 support beyond the clock itself.
+
+One kernel may drive *many* concurrent queries: the multi-tenant
+scheduler (:mod:`repro.runtime.multi`) replays every tenant's request
+DAG through one shared kernel and one channel per endpoint, so
+coordinators genuinely contend on the same virtual clock.  The only
+kernel-level nicety that needs is :meth:`SimKernel.defer` — scheduling
+a follow-up at the *current* instant, ordered after every event already
+queued for that instant — which is how a query admitted the moment
+another finishes starts after the finisher's completion cascade has
+fully run.
 """
 
 from __future__ import annotations
@@ -66,6 +76,19 @@ class SimKernel:
             )
         heapq.heappush(self._heap, (time, self._seq, callback))
         self._seq += 1
+
+    def defer(self, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` at the current instant, after every
+        event already queued for it.
+
+        Equivalent to ``schedule(0.0, callback)``; the monotonic
+        sequence number places the callback behind all same-time
+        events, so a deferred action observes the fully-settled state
+        of the instant that triggered it (e.g. admitting the next
+        waiting query only after the finishing query's completion
+        cascade has released its dependents).
+        """
+        self.schedule_at(self.now, callback)
 
     def run(self) -> float:
         """Drain the event queue; returns the final clock (the makespan).

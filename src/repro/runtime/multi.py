@@ -1,0 +1,438 @@
+"""Multi-tenant concurrent query scheduling on one shared kernel.
+
+The :class:`~repro.runtime.scheduler.OverlapScheduler` replays exactly
+one query's request DAG per :class:`~repro.runtime.kernel.SimKernel`.
+A PDMS answers queries for *many* peers at once, so this module runs N
+prepared queries' DAGs through **one shared kernel and one channel per
+endpoint**: coordinators genuinely contend, per-endpoint queues
+interleave requests from different tenants under the same
+``concurrency``/``max_in_flight`` limits, and deterministic
+tie-breaking is preserved — arrival ties still break on global
+submission order, so the whole contention pattern is a pure function
+of the recorded DAGs.
+
+Three layers of policy stack on the shared replay:
+
+* **Fairness** — each channel's coordinator-side backlog is ordered by
+  a pluggable :class:`~repro.runtime.channel.QueueDiscipline` (FIFO or
+  weighted round-robin across tenants), so one tenant's burst cannot
+  starve the others; per-tenant
+  :class:`~repro.runtime.channel.ChannelStats` make starvation
+  measurable.
+* **Admission control** — at most ``max_active`` queries run
+  concurrently; later tenants wait (in registration order) until a
+  running query's last request completes, and their waiting time is
+  reported as :meth:`QueryScheduler.admission_wait`.
+* **Adaptive concurrency** — an optional
+  :class:`~repro.runtime.control.AimdController` retunes every
+  channel's in-flight window from live queueing delay and service-time
+  variance as the replay progresses.
+
+Recording is unchanged: each tenant's executor records onto a
+:class:`TenantRecorder` exactly as it would onto an
+``OverlapScheduler`` — the recorder only tags handles with the tenant
+and forwards them to the shared DAG.  Because tenants record
+sequentially, a tenant's dependencies always point at its own earlier
+handles, and global submission indices remain topologically sorted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.channel import (
+    Channel,
+    ChannelStats,
+    Request,
+    make_discipline,
+)
+from repro.runtime.control import AimdController
+from repro.runtime.kernel import SimKernel
+from repro.runtime.scheduler import DEFAULT_CONCURRENCY, RequestHandle
+
+__all__ = ["QueryScheduler", "TenantRecorder"]
+
+
+@dataclass
+class _Node:
+    """Replay bookkeeping for one handle."""
+
+    handle: RequestHandle
+    pending: int = 0
+    dependents: List["_Node"] = field(default_factory=list)
+
+
+class TenantRecorder:
+    """One tenant's recording facade over a shared :class:`QueryScheduler`.
+
+    Implements the same recording/reading surface the federated
+    executor uses on an ``OverlapScheduler`` — :meth:`submit`,
+    :meth:`makespan`, :meth:`channel_stats`, :meth:`timeline` — but
+    every handle is tagged with the tenant and lands in the shared DAG.
+    ``makespan`` and ``channel_stats`` report the *tenant's* view of
+    the shared replay: its completion time (admission wait included)
+    and its share of each channel's statistics.
+    """
+
+    def __init__(self, parent: "QueryScheduler", name: str, weight: int):
+        self.parent = parent
+        self.name = name
+        self.weight = weight
+
+    def submit(
+        self,
+        endpoint: str,
+        seconds: float,
+        after: Sequence[RequestHandle] = (),
+        release: float = 0.0,
+        label: str = "",
+        delay: float = 0.0,
+        failed: bool = False,
+    ) -> RequestHandle:
+        """Record one request into the shared multi-tenant DAG."""
+        return self.parent._submit(
+            self.name, endpoint, seconds, after, release, label, delay,
+            failed,
+        )
+
+    def makespan(self) -> float:
+        """This tenant's completion time on the shared clock."""
+        return self.parent.tenant_makespan(self.name)
+
+    def channel_stats(self) -> Dict[str, ChannelStats]:
+        """This tenant's share of each channel's statistics."""
+        return self.parent.tenant_channel_stats(self.name)
+
+    def timeline(self) -> List[RequestHandle]:
+        """This tenant's handles, in submission order."""
+        return [
+            handle
+            for handle in self.parent.timeline()
+            if handle.tenant == self.name
+        ]
+
+
+class QueryScheduler:
+    """Replays N tenants' request DAGs through one shared kernel.
+
+    Args:
+        concurrency: service lanes per endpoint channel.
+        max_in_flight: per-endpoint outstanding-request window
+            (``None`` = unbounded; the controller overrides this with
+            its adaptive start window when attached).
+        per_endpoint_concurrency: optional per-endpoint lane overrides.
+        discipline: backlog admission policy — ``"fifo"`` or ``"wrr"``
+            (weighted round-robin across tenants, weights from
+            :meth:`tenant` registration).
+        max_active: admission cap on concurrently active queries
+            (``None`` = all tenants start at t=0).
+        controller: optional AIMD window controller; observes every
+            completion and retunes channel windows inside the replay.
+    """
+
+    def __init__(
+        self,
+        concurrency: int = DEFAULT_CONCURRENCY,
+        max_in_flight: Optional[int] = None,
+        per_endpoint_concurrency: Optional[Dict[str, int]] = None,
+        discipline: str = "fifo",
+        max_active: Optional[int] = None,
+        controller: Optional[AimdController] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise SimulationError(
+                f"scheduler concurrency must be >= 1: {concurrency}"
+            )
+        if max_in_flight is not None and max_in_flight < concurrency:
+            raise SimulationError(
+                f"max_in_flight ({max_in_flight}) below concurrency "
+                f"({concurrency}) would waste service lanes"
+            )
+        if max_active is not None and max_active < 1:
+            raise SimulationError(
+                f"max_active must be >= 1: {max_active}"
+            )
+        self.concurrency = concurrency
+        self.max_in_flight = max_in_flight
+        self.per_endpoint_concurrency = dict(per_endpoint_concurrency or {})
+        self.discipline = discipline
+        self.max_active = max_active
+        self.controller = controller
+        self._tenants: List[TenantRecorder] = []
+        self._weights: Dict[str, int] = {}
+        self._handles: List[RequestHandle] = []
+        self._channel_stats: Dict[str, ChannelStats] = {}
+        self._tenant_channel_stats: Dict[str, Dict[str, ChannelStats]] = {}
+        self._activated_at: Dict[str, float] = {}
+        self._finished_at: Dict[str, float] = {}
+        self._active_peak = 0
+        self._makespan: Optional[float] = None
+        # Fail fast on an unknown policy name, not mid-replay.
+        make_discipline(discipline)
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        """Registered tenant names in registration (admission) order."""
+        return tuple(recorder.name for recorder in self._tenants)
+
+    def tenant(self, name: str, weight: int = 1) -> TenantRecorder:
+        """Register one tenant; returns its recording facade.
+
+        Registration order is the admission order under ``max_active``
+        and the deterministic tie-breaker everywhere else.  ``weight``
+        feeds the weighted-round-robin discipline (ignored by FIFO).
+        """
+        if any(recorder.name == name for recorder in self._tenants):
+            raise SimulationError(f"duplicate tenant name: {name!r}")
+        if weight < 1:
+            raise SimulationError(
+                f"tenant {name!r} weight must be >= 1: {weight}"
+            )
+        recorder = TenantRecorder(self, name, weight)
+        self._tenants.append(recorder)
+        self._weights[name] = weight
+        return recorder
+
+    def _submit(
+        self,
+        tenant: str,
+        endpoint: str,
+        seconds: float,
+        after: Sequence[RequestHandle],
+        release: float,
+        label: str,
+        delay: float,
+        failed: bool,
+    ) -> RequestHandle:
+        if seconds < 0:
+            raise SimulationError(f"negative request duration: {seconds}")
+        if delay < 0:
+            raise SimulationError(f"negative request delay: {delay}")
+        for dep in after:
+            if dep.tenant != tenant:
+                raise SimulationError(
+                    f"tenant {tenant!r} may not depend on tenant "
+                    f"{dep.tenant!r}'s request {dep.index}"
+                )
+        handle = RequestHandle(
+            index=len(self._handles),
+            endpoint=endpoint,
+            seconds=seconds,
+            after=tuple(after),
+            release=release,
+            delay=delay,
+            label=label,
+            failed=failed,
+            tenant=tenant,
+        )
+        self._handles.append(handle)
+        self._makespan = None  # DAG changed; replay again
+        return handle
+
+    # -- results --------------------------------------------------------
+
+    def makespan(self) -> float:
+        """Replay the shared DAG; returns the overall elapsed seconds.
+
+        Idempotent: cached until the next submission.
+        """
+        if self._makespan is None:
+            self._makespan = self._replay()
+        return self._makespan
+
+    def run(self) -> float:
+        """Alias for :meth:`makespan` — replay and return the elapsed."""
+        return self.makespan()
+
+    def busy_seconds(self) -> float:
+        """Summed request durations across every tenant."""
+        return sum(handle.seconds for handle in self._handles)
+
+    def tenant_makespan(self, name: str) -> float:
+        """One tenant's completion time (admission wait included)."""
+        self.makespan()
+        return self._finished_at.get(name, 0.0)
+
+    def admission_wait(self, name: str) -> float:
+        """Seconds a tenant waited for an active-query slot."""
+        self.makespan()
+        return self._activated_at.get(name, 0.0)
+
+    @property
+    def active_peak(self) -> int:
+        """Maximum concurrently active queries of the last replay."""
+        self.makespan()
+        return self._active_peak
+
+    def channel_stats(self) -> Dict[str, ChannelStats]:
+        """Per-endpoint aggregate statistics of the last replay."""
+        self.makespan()
+        return dict(self._channel_stats)
+
+    def tenant_channel_stats(self, name: str) -> Dict[str, ChannelStats]:
+        """One tenant's share of each channel's statistics."""
+        self.makespan()
+        return dict(self._tenant_channel_stats.get(name, {}))
+
+    def timeline(self) -> List[RequestHandle]:
+        """All handles in submission order with replayed timelines."""
+        self.makespan()
+        return list(self._handles)
+
+    # -- replay ---------------------------------------------------------
+
+    def _replay(self) -> float:
+        kernel = SimKernel()
+        channels: Dict[str, Channel] = {}
+        controller = self.controller
+        nodes = [_Node(handle) for handle in self._handles]
+        roots: Dict[str, List[_Node]] = {
+            recorder.name: [] for recorder in self._tenants
+        }
+        remaining: Dict[str, int] = {
+            recorder.name: 0 for recorder in self._tenants
+        }
+        for node in nodes:
+            tenant = node.handle.tenant
+            if tenant not in remaining:
+                raise SimulationError(
+                    f"handle {node.handle.index} belongs to unregistered "
+                    f"tenant {tenant!r}"
+                )
+            remaining[tenant] += 1
+            node.pending = len(node.handle.after)
+            for dep in node.handle.after:
+                if dep.index >= node.handle.index:
+                    raise SimulationError(
+                        "dependency cycle: a request may only depend on "
+                        "earlier submissions"
+                    )
+                nodes[dep.index].dependents.append(node)
+            if node.pending == 0:
+                roots[tenant].append(node)
+
+        def channel_for(name: str) -> Channel:
+            channel = channels.get(name)
+            if channel is None:
+                lanes = self.per_endpoint_concurrency.get(
+                    name, self.concurrency
+                )
+                window = self.max_in_flight
+                observer = None
+                if controller is not None:
+                    window = controller.initial_window(lanes)
+                    observer = controller.observe
+                channel = Channel(
+                    kernel,
+                    name,
+                    concurrency=lanes,
+                    max_in_flight=window,
+                    discipline=make_discipline(
+                        self.discipline, self._weights
+                    ),
+                    observer=observer,
+                )
+                channels[name] = channel
+            return channel
+
+        pending_tenants: Deque[TenantRecorder] = deque(self._tenants)
+        active: Set[str] = set()
+        activated: Dict[str, float] = {}
+        finished: Dict[str, float] = {}
+        self._active_peak = 0
+
+        def finish(tenant: str) -> None:
+            finished[tenant] = kernel.now
+            active.discard(tenant)
+            if pending_tenants:
+                # Deferred so the admitted query's first arrivals sort
+                # after the finishing query's completion cascade.
+                kernel.defer(admit_next)
+
+        def admit_next() -> None:
+            while pending_tenants and (
+                self.max_active is None or len(active) < self.max_active
+            ):
+                activate(pending_tenants.popleft())
+
+        def activate(recorder: TenantRecorder) -> None:
+            tenant = recorder.name
+            activated[tenant] = kernel.now
+            active.add(tenant)
+            self._active_peak = max(self._active_peak, len(active))
+            if remaining[tenant] == 0:
+                # A tenant with no recorded requests completes at its
+                # activation instant (e.g. a fully local query).
+                finish(tenant)
+                return
+            for node in roots[tenant]:
+                _schedule_arrival(node)
+
+        def arrive(node: _Node) -> None:
+            handle = node.handle
+            tenant = handle.tenant
+
+            def on_complete(request: Request) -> None:
+                handle.started_at = request.started_at
+                handle.completed_at = request.completed_at
+                remaining[tenant] -= 1
+                for dependent in node.dependents:
+                    dependent.pending -= 1
+                    if dependent.pending == 0:
+                        _schedule_arrival(dependent)
+                if remaining[tenant] == 0:
+                    finish(tenant)
+
+            handle.arrived_at = kernel.now
+            channel_for(handle.endpoint).submit(
+                Request(
+                    duration=handle.seconds,
+                    label=handle.label,
+                    tenant=tenant,
+                    on_complete=on_complete,
+                    failed=handle.failed,
+                )
+            )
+
+        def _schedule_arrival(node: _Node) -> None:
+            handle = node.handle
+            # Release floors are relative to the query's own start:
+            # shifted by the tenant's activation time under admission
+            # control.  The delay (retry backoff) starts once the
+            # dependencies complete — i.e. now.
+            floor = activated[handle.tenant] + handle.release
+            kernel.schedule_at(
+                max(floor, kernel.now + handle.delay),
+                lambda: arrive(node),
+            )
+
+        admit_next()
+        elapsed = kernel.run()
+        unfinished = [n.handle for n in nodes if n.handle.completed_at < 0]
+        if unfinished:  # pragma: no cover - guarded by the cycle check
+            raise SimulationError(
+                f"{len(unfinished)} request(s) never completed"
+            )
+        stuck = [name for name in remaining if name not in finished]
+        if stuck:  # pragma: no cover - every path above calls finish()
+            raise SimulationError(f"queries never finished: {stuck}")
+        self._channel_stats = {
+            name: channel.stats for name, channel in channels.items()
+        }
+        self._tenant_channel_stats = {
+            recorder.name: {} for recorder in self._tenants
+        }
+        for name, channel in channels.items():
+            for tenant, stats in channel.tenant_stats.items():
+                self._tenant_channel_stats.setdefault(tenant, {})[name] = (
+                    stats
+                )
+        self._activated_at = activated
+        self._finished_at = finished
+        return elapsed

@@ -68,6 +68,8 @@ class RequestHandle:
         failed: the attempt was answered with an injected fault; it
             still occupies its channel for ``seconds`` (failures are
             charged like real traffic).
+        tenant: owning query/coordinator in a multi-tenant replay
+            (:mod:`repro.runtime.multi`); empty for single-query DAGs.
         arrived_at/started_at/completed_at: timeline, filled by the
             replay (``-1`` before :meth:`OverlapScheduler.makespan`).
     """
@@ -80,6 +82,7 @@ class RequestHandle:
     delay: float = 0.0
     label: str = ""
     failed: bool = False
+    tenant: str = ""
     arrived_at: float = -1.0
     started_at: float = -1.0
     completed_at: float = -1.0

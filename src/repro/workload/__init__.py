@@ -41,6 +41,11 @@ from repro.workload.federation import (
     grow_knows_relation,
 )
 from repro.workload.queries import path_query, random_queries, star_query
+from repro.workload.tenants import (
+    TenantQuery,
+    skewed_tenant_workload,
+    tenant_workload,
+)
 from repro.workload.topologies import (
     TOPOLOGY_BUILDERS,
     build_topology_rps,
@@ -61,6 +66,7 @@ __all__ = [
     "SHARED",
     "SOCIAL",
     "TOPOLOGY_BUILDERS",
+    "TenantQuery",
     "VCARD",
     "build_topology_rps",
     "chain_rps",
@@ -85,6 +91,8 @@ __all__ = [
     "random_queries",
     "random_rps",
     "scaled_film_rps",
+    "skewed_tenant_workload",
     "star_query",
     "star_rps",
+    "tenant_workload",
 ]

@@ -56,6 +56,9 @@ UNRECOVERABLE_FAULT_WORKLOADS = ("blackout@3p",)
 
 OBS_WORKLOADS = ("serial@3p", "runtime@3p")
 
+CONCURRENCY_LOADS = (2, 4, 8)
+CONCURRENCY_WINDOWS = (1, 2, 8)
+
 EXPECTED_BENCHMARKS = {
     "match/by_subject",
     "match/by_predicate",
@@ -102,6 +105,13 @@ EXPECTED_BENCHMARKS = {
     for mode in ("faultfree", "faulty")
 } | {
     f"obs/{workload}" for workload in OBS_WORKLOADS
+} | {
+    f"concurrency/load{load}:{variant}"
+    for load in CONCURRENCY_LOADS
+    for variant in tuple(f"w{w}" for w in CONCURRENCY_WINDOWS)
+    + ("adaptive",)
+} | {
+    f"concurrency/skew:{discipline}" for discipline in ("fifo", "wrr")
 }
 
 
@@ -552,6 +562,63 @@ def test_check_fails_when_instrumented_run_has_no_spans(report, committed):
     assert not outcome.ok
     assert any(
         "collected no spans" in failure for failure in outcome.failures
+    )
+
+
+def test_concurrency_rows_carry_gated_metrics(report):
+    data, _ = report
+    rows = {
+        row["name"]: row
+        for row in data["benchmarks"]
+        if row["name"].startswith("concurrency/")
+    }
+    any_strict = False
+    for load in CONCURRENCY_LOADS:
+        adaptive = rows[f"concurrency/load{load}:adaptive"]["meta"]
+        assert adaptive["tenants"] == load
+        assert adaptive["adjustments"] > 0
+        for window in CONCURRENCY_WINDOWS:
+            fixed = rows[f"concurrency/load{load}:w{window}"]["meta"]
+            assert fixed["tenants"] == load
+            assert adaptive["p95_us"] <= fixed["p95_us"]
+            any_strict |= adaptive["p95_us"] < fixed["p95_us"]
+    assert any_strict
+    fifo = rows["concurrency/skew:fifo"]["meta"]
+    wrr = rows["concurrency/skew:wrr"]["meta"]
+    assert wrr["ratio_x1000"] < fifo["ratio_x1000"]
+
+
+def test_check_fails_when_adaptive_loses_to_fixed_window(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    # Doctor fresh and committed identically so only the concurrency
+    # invariant trips, not the deterministic-metric comparison.
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "concurrency/load4:adaptive":
+                row["meta"]["p95_us"] = 10**9
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "adaptive p95" in failure and "exceeds fixed window" in failure
+        for failure in outcome.failures
+    )
+
+
+def test_check_fails_when_wrr_stops_bounding_skew(report, committed):
+    data, _ = report
+    fresh = copy.deepcopy(data)
+    doctored = copy.deepcopy(committed)
+    for blob in (fresh["benchmarks"], doctored["smoke"]["benchmarks"]):
+        for row in blob:
+            if row["name"] == "concurrency/skew:wrr":
+                row["meta"]["ratio_x1000"] = 10**9
+    outcome = check_against(doctored, fresh=fresh)
+    assert not outcome.ok
+    assert any(
+        "did not improve on FIFO" in failure
+        for failure in outcome.failures
     )
 
 
